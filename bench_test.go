@@ -1,0 +1,151 @@
+// Package minroute_test holds the benchmark harness: one benchmark per
+// table/figure of the paper's evaluation. Each benchmark regenerates its
+// figure end-to-end (OPT solve where applicable, packet simulations for
+// every scheme) and reports the per-scheme mean delays as benchmark
+// metrics, so `go test -bench` output carries the reproduced numbers.
+//
+// Benchmarks use experiments.Quick; run cmd/mdrsim -full for paper-quality
+// settings.
+package minroute_test
+
+import (
+	"testing"
+
+	"minroute/internal/experiments"
+	"minroute/internal/gallager"
+	"minroute/internal/report"
+	"minroute/internal/topo"
+)
+
+// benchFigure runs one figure generator b.N times, reporting each column's
+// mean delay (ms) as a named metric and logging the full table once.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	gen := experiments.All[id]
+	if gen == nil {
+		b.Fatalf("unknown figure %s", id)
+	}
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = gen(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for c, col := range fig.Columns {
+		b.ReportMetric(fig.ColumnMean(c), "ms_"+sanitize(col))
+	}
+	b.Log("\n" + fig.Table())
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig09_CAIRN_OPTvsMP regenerates Fig. 9: per-flow delays of OPT
+// and MP-TL-10-TS-2 in CAIRN (paper: MP within the OPT+5% envelope).
+func BenchmarkFig09_CAIRN_OPTvsMP(b *testing.B) { benchFigure(b, "fig9") }
+
+// BenchmarkFig10_NET1_OPTvsMP regenerates Fig. 10: OPT vs MP in NET1
+// (paper: MP within the OPT+8% envelope).
+func BenchmarkFig10_NET1_OPTvsMP(b *testing.B) { benchFigure(b, "fig10") }
+
+// BenchmarkFig11_CAIRN_MPvsSP regenerates Fig. 11: OPT, MP-TL-10-TS-10,
+// MP-TL-10-TS-2 and SP-TL-10 in CAIRN (paper: SP 2-4x MP on some flows).
+func BenchmarkFig11_CAIRN_MPvsSP(b *testing.B) { benchFigure(b, "fig11") }
+
+// BenchmarkFig12_NET1_MPvsSP regenerates Fig. 12: the same comparison in
+// NET1 (paper: SP up to 5-6x MP thanks to NET1's higher connectivity).
+func BenchmarkFig12_NET1_MPvsSP(b *testing.B) { benchFigure(b, "fig12") }
+
+// BenchmarkFig13_CAIRN_TlSweep regenerates Fig. 13: the effect of raising
+// Tl from 10 to 20 seconds in CAIRN (paper: SP delays more than double,
+// MP stays put).
+func BenchmarkFig13_CAIRN_TlSweep(b *testing.B) { benchFigure(b, "fig13") }
+
+// BenchmarkFig14_NET1_TlSweep regenerates Fig. 14: the Tl sweep in NET1.
+func BenchmarkFig14_NET1_TlSweep(b *testing.B) { benchFigure(b, "fig14") }
+
+// BenchmarkFig15_CAIRN_Dynamic regenerates the reconstructed dynamic
+// (bursty on-off traffic) experiment on CAIRN.
+func BenchmarkFig15_CAIRN_Dynamic(b *testing.B) { benchFigure(b, "fig15") }
+
+// BenchmarkFig16_NET1_Dynamic regenerates the reconstructed dynamic
+// experiment on NET1.
+func BenchmarkFig16_NET1_Dynamic(b *testing.B) { benchFigure(b, "fig16") }
+
+// BenchmarkFig08_Topologies rebuilds the Fig. 8 topologies and reports
+// their structural statistics (nodes, directed links, diameter).
+func BenchmarkFig08_Topologies(b *testing.B) {
+	var cairn, net1 *topo.Network
+	for i := 0; i < b.N; i++ {
+		cairn = topo.CAIRN()
+		net1 = topo.NET1()
+	}
+	b.ReportMetric(float64(cairn.Graph.NumNodes()), "cairn_nodes")
+	b.ReportMetric(float64(cairn.Graph.NumLinks()), "cairn_links")
+	b.ReportMetric(float64(cairn.Graph.Diameter()), "cairn_diam")
+	b.ReportMetric(float64(net1.Graph.NumNodes()), "net1_nodes")
+	b.ReportMetric(float64(net1.Graph.Diameter()), "net1_diam")
+}
+
+// BenchmarkOPTSolver measures the Gallager iteration alone (the fluid-model
+// lower-bound solve used by Figs. 9-12).
+func BenchmarkOPTSolver(b *testing.B) {
+	net := topo.CAIRN()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gallager.Solve(net.Graph, net.Flows, gallager.Options{MeanPacketBits: 8000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices DESIGN.md §6 calls out) ---
+
+// BenchmarkAblationAH compares the damped AH rule (production default)
+// against the literal Fig. 7 rule and no AH at all.
+func BenchmarkAblationAH(b *testing.B) { benchFigure(b, "abl-ah") }
+
+// BenchmarkAblationBaselines measures the full baseline spectrum on NET1:
+// OPT, MP, OSPF-style ECMP, SP.
+func BenchmarkAblationBaselines(b *testing.B) { benchFigure(b, "abl-base") }
+
+// BenchmarkAblationEstimator compares the closed-form M/M/1 marginal with
+// the online (perturbation-analysis-role) estimator.
+func BenchmarkAblationEstimator(b *testing.B) { benchFigure(b, "abl-est") }
+
+// BenchmarkLoadSweep traces the MP-vs-SP gap across offered-load scales
+// (the paper: no advantage at light load, large gaps under heavy load).
+func BenchmarkLoadSweep(b *testing.B) { benchFigure(b, "loadsweep") }
+
+// BenchmarkConnectivitySweep traces the MP-vs-SP gap as topology richness
+// grows (paper: MP needs alternate paths to win; at tree connectivity the
+// schemes coincide).
+func BenchmarkConnectivitySweep(b *testing.B) { benchFigure(b, "connsweep") }
+
+// BenchmarkFailover measures the bridge failure/recovery timeline on NET1
+// for MP and SP.
+func BenchmarkFailover(b *testing.B) { benchFigure(b, "failover") }
+
+// BenchmarkJitter compares per-flow delay standard deviation between MP
+// and SP (paper: MP's plots are "less jagged").
+func BenchmarkJitter(b *testing.B) { benchFigure(b, "jitter") }
+
+// BenchmarkAblationAdaptive compares static against congestion-adaptive
+// Ts/Tl timers under bursty sources (a paper-suggested extension).
+func BenchmarkAblationAdaptive(b *testing.B) { benchFigure(b, "abl-adapt") }
+
+// BenchmarkOverhead traces MP's delay against its control bandwidth across
+// Tl (paper: longer Tl saves update bandwidth at negligible delay cost).
+func BenchmarkOverhead(b *testing.B) { benchFigure(b, "overhead") }

@@ -1,0 +1,182 @@
+// Command mdrsim regenerates the paper's evaluation figures and runs
+// user-supplied scenarios.
+//
+// Usage:
+//
+//	mdrsim -fig fig9            # one figure at full (paper-quality) scale
+//	mdrsim -all -quick          # every figure at quick scale
+//	mdrsim -fig fig12 -csv      # machine-readable output
+//	mdrsim -fig fig11 -chart    # ASCII bar chart
+//	mdrsim -list                # available figures
+//
+//	mdrsim -scenario net.txt               # simulate a custom network (MP)
+//	mdrsim -scenario net.txt -mode sp      # ... with single-path routing
+//
+// Scenario files use the internal/topo.Parse format: node/link/flow lines.
+// Figures are produced by internal/experiments; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for reference results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"minroute/internal/core"
+	"minroute/internal/experiments"
+	"minroute/internal/router"
+	"minroute/internal/topo"
+)
+
+func main() {
+	var (
+		figID = flag.String("fig", "", "figure to regenerate (fig9..fig16)")
+		all   = flag.Bool("all", false, "regenerate every figure")
+		quick = flag.Bool("quick", false, "quick settings (shorter warmup/measurement)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of a table")
+		chart = flag.Bool("chart", false, "emit an ASCII chart after the table")
+		list  = flag.Bool("list", false, "list available figures")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		runs  = flag.Int("runs", 0, "average each scheme over this many seeds (0 = setting default)")
+
+		scenario = flag.String("scenario", "", "simulate a custom network from a topo.Parse file")
+		mode     = flag.String("mode", "mp", "routing mode for -scenario: mp, sp, or ecmp")
+		compare  = flag.Bool("compare", false, "with -scenario: compare OPT, MP, SP and ECMP")
+		svgDir   = flag.String("svg", "", "also write each figure as an SVG chart into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	set := experiments.Full
+	if *quick {
+		set = experiments.Quick
+	}
+	set.Seed = *seed
+	if *runs > 0 {
+		set.Runs = *runs
+	}
+
+	if *scenario != "" {
+		var err error
+		if *compare {
+			err = compareScenario(*scenario, set, *csv)
+		} else {
+			err = runScenario(*scenario, *mode, set)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs
+	case *figID != "":
+		if experiments.All[*figID] == nil {
+			fmt.Fprintf(os.Stderr, "mdrsim: unknown figure %q (try -list)\n", *figID)
+			os.Exit(2)
+		}
+		ids = []string{*figID}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := experiments.All[id](set)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(fig.CSV())
+		} else {
+			fmt.Print(fig.Table())
+			if *chart {
+				fmt.Print(fig.Chart(60))
+			}
+			fmt.Printf("  (%.1fs wall)\n\n", time.Since(start).Seconds())
+		}
+		if *svgDir != "" {
+			path := filepath.Join(*svgDir, id+".svg")
+			if err := os.WriteFile(path, []byte(fig.SVG(0, 0)), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mdrsim: write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// runScenario simulates one custom network at the given settings.
+func runScenario(path, mode string, set experiments.Settings) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	net, err := topo.Parse(f)
+	if err != nil {
+		return err
+	}
+	opt := core.DefaultOptions()
+	switch mode {
+	case "mp":
+		opt.Router.Mode = router.ModeMP
+	case "sp":
+		opt.Router.Mode = router.ModeSP
+		opt.Router.Ts = opt.Router.Tl
+	case "ecmp":
+		opt.Router.Mode = router.ModeECMP
+	default:
+		return fmt.Errorf("unknown mode %q (mp, sp, ecmp)", mode)
+	}
+	opt.Seed = set.Seed
+	opt.Warmup = set.Warmup
+	opt.Duration = set.Duration
+	sim := core.Build(net, opt)
+	rep := sim.Run()
+	if err := sim.CheckLoopFree(); err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (%d nodes, %d links, %d flows):\n",
+		opt.Router.Mode, path, net.Graph.NumNodes(), net.Graph.NumLinks(), len(net.Flows))
+	fmt.Print(rep)
+	fmt.Printf("mean over flows: %.3f ms, loss: %.5f, LSUs: %d\n",
+		rep.AvgMeanDelayMs(), rep.LossRate(), rep.ControlMessages)
+	return nil
+}
+
+// compareScenario runs the full scheme spectrum on a custom network.
+func compareScenario(path string, set experiments.Settings, asCSV bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	net, err := topo.Parse(f)
+	if err != nil {
+		return err
+	}
+	fig, err := experiments.CustomComparison(net, set)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		fmt.Print(fig.CSV())
+	} else {
+		fmt.Print(fig.Table())
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// Command mdrtopo inspects the paper's topologies (Fig. 8): node and link
+// counts, degrees, diameter, the configured flows, and the full link list.
+//
+// Usage:
+//
+//	mdrtopo -topo cairn
+//	mdrtopo -topo net1 -links
+//	mdrtopo -topo cairn -svg cairn.svg   # force-directed diagram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minroute/internal/netsvg"
+	"minroute/internal/topo"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "cairn", "topology: cairn or net1")
+		links    = flag.Bool("links", false, "print the full link list")
+		svgOut   = flag.String("svg", "", "write a force-directed SVG diagram to this file")
+	)
+	flag.Parse()
+
+	var net *topo.Network
+	switch *topoName {
+	case "cairn":
+		net = topo.CAIRN()
+	case "net1":
+		net = topo.NET1()
+	default:
+		fmt.Fprintf(os.Stderr, "mdrtopo: unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+	g := net.Graph
+	fmt.Printf("%s: %d nodes, %d directed links, diameter %d\n",
+		*topoName, g.NumNodes(), g.NumLinks(), g.Diameter())
+
+	minDeg, maxDeg := 1<<30, 0
+	for _, id := range g.Nodes() {
+		d := g.Degree(id)
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Printf("degrees: %d..%d\n\n", minDeg, maxDeg)
+
+	fmt.Println("flows:")
+	total := 0.0
+	for _, f := range net.Flows {
+		fmt.Printf("  %-18s %.1f Mb/s\n", f.Name, f.Rate/1e6)
+		total += f.Rate
+	}
+	fmt.Printf("  total offered: %.1f Mb/s\n", total/1e6)
+
+	if *links {
+		fmt.Println()
+		fmt.Print(g.String())
+	}
+
+	if *svgOut != "" {
+		doc := netsvg.Render(g, netsvg.Options{})
+		if err := os.WriteFile(*svgOut, []byte(doc), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrtopo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+}

@@ -1,0 +1,49 @@
+// Dynamic traffic: the scenario the paper's introduction motivates —
+// "traffic is very bursty at any time scale" — where optimal routing is
+// unusable and single-path routing reacts too slowly. On-off sources send
+// 4x-rate bursts; MP's short-term load balancing (heuristic AH every Ts)
+// absorbs them on alternate loop-free paths, SP cannot.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+
+	"minroute/internal/core"
+	"minroute/internal/router"
+	"minroute/internal/topo"
+	"minroute/internal/traffic"
+)
+
+func run(mode router.Mode, peak float64) *core.Report {
+	network := topo.NET1()
+	opt := core.DefaultOptions()
+	opt.Router.Mode = mode
+	opt.Warmup = 40
+	opt.Duration = 30
+	opt.Seed = 3
+	opt.Source = func(f topo.Flow) traffic.Source {
+		return traffic.OnOff{
+			RateBits:       f.Rate,
+			MeanPacketBits: 8000,
+			PeakFactor:     peak,
+			MeanOn:         0.25,
+		}
+	}
+	return core.Build(network, opt).Run()
+}
+
+func main() {
+	fmt.Println("NET1 under on-off bursty sources (average rates unchanged)")
+	fmt.Printf("\n%-12s %14s %14s %10s\n", "burstiness", "MP mean (ms)", "SP mean (ms)", "SP/MP")
+	for _, peak := range []float64{2, 4, 6} {
+		mp := run(router.ModeMP, peak)
+		sp := run(router.ModeSP, peak)
+		fmt.Printf("peak=%-6.0fx %14.3f %14.3f %10.2f\n",
+			peak, mp.AvgMeanDelayMs(), sp.AvgMeanDelayMs(),
+			sp.AvgMeanDelayMs()/mp.AvgMeanDelayMs())
+	}
+	fmt.Println("\nthe MP advantage grows with burst intensity: local AH shifts")
+	fmt.Println("bursts onto alternate loop-free paths within one Ts interval")
+}

@@ -1,0 +1,64 @@
+// Failover: exercise the property single-path routing lacks — instantly
+// usable alternate paths. One of NET1's two bridge links fails mid-run;
+// MPDA reconverges loop-free (Theorem 3 audited before, during, and after)
+// and the flows keep being delivered over the surviving bridge.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minroute/internal/core"
+	"minroute/internal/topo"
+)
+
+func main() {
+	network := topo.NET1()
+	opt := core.DefaultOptions()
+	opt.Seed = 5
+	sim := core.Build(network, opt)
+	sim.Start()
+
+	audit := func(when string) {
+		if err := sim.CheckLoopFree(); err != nil {
+			log.Fatalf("%s: %v", when, err)
+		}
+		fmt.Printf("  loop-freedom audit %-22s OK\n", when)
+	}
+
+	fmt.Println("phase 1: converge and warm up (40 s)")
+	sim.Eng.Run(40)
+	audit("after warmup:")
+
+	window := func(label string, until float64) {
+		for _, s := range sim.Stats {
+			s.Reset()
+		}
+		sim.Eng.Run(until)
+		rep := sim.Report()
+		delivered := int64(0)
+		for _, d := range rep.Delivered {
+			delivered += d
+		}
+		fmt.Printf("  %-26s mean=%8.3f ms  delivered=%8d  drops(no-route)=%d\n",
+			label, rep.AvgMeanDelayMs(), delivered, rep.DropsNoRoute)
+	}
+
+	window("baseline (both bridges):", 60)
+
+	fmt.Println("phase 2: bridge link 4-5 fails")
+	sim.FailLink(4, 5)
+	audit("right after failure:")
+	window("degraded (one bridge):", 90)
+	audit("after reconvergence:")
+
+	fmt.Println("phase 3: bridge link 4-5 recovers")
+	sim.RestoreLink(4, 5)
+	window("recovered:", 120)
+	audit("after recovery:")
+
+	fmt.Println("\nevery packet that was delivered traversed only loop-free")
+	fmt.Println("successor sets; the failure cost capacity, never correctness")
+}

@@ -1,0 +1,42 @@
+// Quickstart: build the paper's NET1 topology, run the near-optimal
+// multipath routing framework (MPDA + IH/AH load balancing) on a packet
+// simulation, and print per-flow average delays.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minroute/internal/core"
+	"minroute/internal/topo"
+)
+
+func main() {
+	// NET1: ten routers, two 4-cliques joined by a two-link bridge, ten
+	// flows of 1-3 Mb/s (Section 5 of the paper).
+	network := topo.NET1()
+
+	// Default options are the paper's MP-TL-10-TS-2 configuration:
+	// long-term route updates every 10 s, local load-balancing every 2 s.
+	opt := core.DefaultOptions()
+	opt.Warmup = 40   // let the protocol and queues reach steady state
+	opt.Duration = 20 // measurement period
+	opt.Seed = 7
+
+	sim := core.Build(network, opt)
+	rep := sim.Run()
+
+	fmt.Println("MP (multipath minimum-delay approximation) on NET1:")
+	fmt.Print(rep)
+	fmt.Printf("average of per-flow means: %.3f ms\n", rep.AvgMeanDelayMs())
+	fmt.Printf("loss rate: %.5f, LSU messages: %d\n", rep.LossRate(), rep.ControlMessages)
+
+	// The headline safety property — Theorem 3: the successor graphs are
+	// loop-free at every instant — is auditable at any time.
+	if err := sim.CheckLoopFree(); err != nil {
+		log.Fatalf("loop-freedom violated: %v", err)
+	}
+	fmt.Println("loop-freedom audit: OK")
+}

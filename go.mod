@@ -1,0 +1,3 @@
+module minroute
+
+go 1.22

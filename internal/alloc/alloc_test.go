@@ -1,0 +1,289 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"minroute/internal/graph"
+	"minroute/internal/rng"
+)
+
+func distOf(m map[graph.NodeID]float64) DistFunc {
+	return func(k graph.NodeID) float64 {
+		if d, ok := m[k]; ok {
+			return d
+		}
+		return math.Inf(1)
+	}
+}
+
+func TestInitialSingleSuccessor(t *testing.T) {
+	phi := Initial([]graph.NodeID{3}, distOf(map[graph.NodeID]float64{3: 1.5}))
+	if phi[3] != 1 {
+		t.Fatalf("phi = %v", phi)
+	}
+	if err := Validate(phi, []graph.NodeID{3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialEmpty(t *testing.T) {
+	if phi := Initial(nil, distOf(nil)); phi != nil {
+		t.Fatalf("phi = %v, want nil", phi)
+	}
+}
+
+func TestInitialTwoSuccessorsInverseToDistance(t *testing.T) {
+	succ := []graph.NodeID{1, 2}
+	phi := Initial(succ, distOf(map[graph.NodeID]float64{1: 1, 2: 3}))
+	// total=4: phi_1 = (1 - 1/4)/1 = 0.75, phi_2 = (1 - 3/4)/1 = 0.25.
+	if math.Abs(phi[1]-0.75) > 1e-12 || math.Abs(phi[2]-0.25) > 1e-12 {
+		t.Fatalf("phi = %v", phi)
+	}
+	if err := Validate(phi, succ); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialMonotoneInDistance(t *testing.T) {
+	succ := []graph.NodeID{1, 2, 3}
+	phi := Initial(succ, distOf(map[graph.NodeID]float64{1: 1, 2: 2, 3: 4}))
+	if !(phi[1] > phi[2] && phi[2] > phi[3]) {
+		t.Fatalf("fractions not decreasing with distance: %v", phi)
+	}
+	if err := Validate(phi, succ); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialInfiniteSuccessorGetsZero(t *testing.T) {
+	succ := []graph.NodeID{1, 2}
+	phi := Initial(succ, distOf(map[graph.NodeID]float64{1: 1}))
+	if phi[1] != 1 || phi[2] != 0 {
+		t.Fatalf("phi = %v", phi)
+	}
+}
+
+func TestInitialAllZeroDistances(t *testing.T) {
+	succ := []graph.NodeID{1, 2}
+	phi := Initial(succ, distOf(map[graph.NodeID]float64{1: 0, 2: 0}))
+	if math.Abs(phi[1]-0.5) > 1e-12 || math.Abs(phi[2]-0.5) > 1e-12 {
+		t.Fatalf("phi = %v", phi)
+	}
+}
+
+func TestAdjustMovesTowardBest(t *testing.T) {
+	succ := []graph.NodeID{1, 2}
+	phi := Params{1: 0.5, 2: 0.5}
+	Adjust(phi, succ, distOf(map[graph.NodeID]float64{1: 1, 2: 2}))
+	if !(phi[1] > 0.5 && phi[2] < 0.5) {
+		t.Fatalf("traffic did not move toward the best successor: %v", phi)
+	}
+	if err := Validate(phi, succ); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjustDrainsWorstRatioSuccessor(t *testing.T) {
+	// phi=(0.5,0.3,0.2), a=(0,1,4): delta=min(0.3/1, 0.2/4)=0.05.
+	// phi2 = 0.3-0.05 = 0.25; phi3 = 0.2-0.2 = 0; phi1 = 0.75.
+	succ := []graph.NodeID{1, 2, 3}
+	phi := Params{1: 0.5, 2: 0.3, 3: 0.2}
+	Adjust(phi, succ, distOf(map[graph.NodeID]float64{1: 1, 2: 2, 3: 5}))
+	if math.Abs(phi[1]-0.75) > 1e-12 || math.Abs(phi[2]-0.25) > 1e-12 || math.Abs(phi[3]) > 1e-12 {
+		t.Fatalf("phi = %v, want {1:0.75 2:0.25 3:0}", phi)
+	}
+}
+
+func TestAdjustNoOpWhenBalanced(t *testing.T) {
+	succ := []graph.NodeID{1, 2}
+	phi := Params{1: 0.6, 2: 0.4}
+	Adjust(phi, succ, distOf(map[graph.NodeID]float64{1: 2, 2: 2}))
+	if phi[1] != 0.6 || phi[2] != 0.4 {
+		t.Fatalf("balanced set was perturbed: %v", phi)
+	}
+}
+
+func TestAdjustSingleSuccessorNoOp(t *testing.T) {
+	phi := Params{1: 1}
+	Adjust(phi, []graph.NodeID{1}, distOf(map[graph.NodeID]float64{1: 2}))
+	if phi[1] != 1 {
+		t.Fatalf("phi = %v", phi)
+	}
+}
+
+func TestAdjustInfiniteDistanceDrained(t *testing.T) {
+	succ := []graph.NodeID{1, 2}
+	phi := Params{1: 0.5, 2: 0.5}
+	Adjust(phi, succ, distOf(map[graph.NodeID]float64{1: 1}))
+	if phi[1] != 1 || phi[2] != 0 {
+		t.Fatalf("unusable successor kept traffic: %v", phi)
+	}
+}
+
+func TestAdjustSeeksEqualization(t *testing.T) {
+	// Synthetic congestion feedback: the marginal distance through each
+	// successor grows with the traffic it carries. As in the real system,
+	// AH sees *measured* (window-smoothed) costs, not instantaneous ones.
+	// The smoothed allocation must hover at the equilibrium where marginal
+	// distances equalize (paper Eqs. 10-12): 1+p = 1+2(1-p) -> p = 2/3.
+	succ := []graph.NodeID{1, 2}
+	phi := Params{1: 0.5, 2: 0.5}
+	s1, s2 := 0.5, 0.5 // smoothed carried fractions (what the meter sees)
+	const alpha = 0.1
+	dist := func(k graph.NodeID) float64 {
+		if k == 1 {
+			return 1 + s1
+		}
+		return 1 + 2*s2
+	}
+	sum1, samples := 0.0, 0
+	for i := 0; i < 400; i++ {
+		Adjust(phi, succ, dist)
+		s1 += alpha * (phi[1] - s1)
+		s2 += alpha * (phi[2] - s2)
+		if i >= 200 {
+			sum1 += s1
+			samples++
+		}
+	}
+	avg := sum1 / float64(samples)
+	if math.Abs(avg-2.0/3) > 0.1 {
+		t.Fatalf("time-averaged allocation = %v, want ~2/3 on successor 1", avg)
+	}
+	if err := Validate(phi, succ); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	phi := Uniform([]graph.NodeID{1, 2, 3, 4})
+	for _, v := range phi {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("phi = %v", phi)
+		}
+	}
+	if Uniform(nil) != nil {
+		t.Fatal("Uniform(nil) not nil")
+	}
+}
+
+func TestSingle(t *testing.T) {
+	phi := Single(7)
+	if phi[7] != 1 || len(phi) != 1 {
+		t.Fatalf("phi = %v", phi)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	succ := []graph.NodeID{1, 2}
+	cases := map[string]Params{
+		"negative":       {1: -0.1, 2: 1.1},
+		"off-set":        {1: 0.5, 3: 0.5},
+		"sum too small":  {1: 0.3, 2: 0.3},
+		"sum too large":  {1: 0.8, 2: 0.8},
+		"empty non-null": {},
+	}
+	for name, phi := range cases {
+		if err := Validate(phi, succ); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateEmptyOK(t *testing.T) {
+	if err := Validate(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	phi := Params{1: 0.5, 2: 0.5}
+	c := phi.Clone()
+	c[1] = 0.9
+	if phi[1] != 0.5 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	phi := Params{9: 0.1, 1: 0.2, 5: 0.7}
+	keys := phi.Keys()
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 5 || keys[2] != 9 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+// Property: IH and repeated AH preserve Property 1 for arbitrary successor
+// sets and distances.
+func TestPropertyHeuristicsPreserveProperty1(t *testing.T) {
+	check := func(seed uint64, n8 uint8, rounds8 uint8) bool {
+		r := rng.New(seed)
+		n := int(n8%6) + 1
+		succ := make([]graph.NodeID, n)
+		dists := make(map[graph.NodeID]float64, n)
+		for i := range succ {
+			succ[i] = graph.NodeID(i + 1)
+			dists[succ[i]] = 0.1 + r.Float64()*10
+		}
+		phi := Initial(succ, distOf(dists))
+		if err := Validate(phi, succ); err != nil {
+			return false
+		}
+		rounds := int(rounds8 % 20)
+		for i := 0; i < rounds; i++ {
+			// Perturb distances between adjustments as congestion would.
+			for k := range dists {
+				dists[k] = 0.1 + r.Float64()*10
+			}
+			Adjust(phi, succ, distOf(dists))
+			if err := Validate(phi, succ); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AH never increases the marginal-distance-weighted average, i.e.
+// it is a descent heuristic with respect to the current distances.
+func TestPropertyAdjustDescent(t *testing.T) {
+	check := func(seed uint64, n8 uint8) bool {
+		r := rng.New(seed)
+		n := int(n8%5) + 2
+		succ := make([]graph.NodeID, n)
+		dists := make(map[graph.NodeID]float64, n)
+		for i := range succ {
+			succ[i] = graph.NodeID(i + 1)
+			dists[succ[i]] = 0.1 + r.Float64()*10
+		}
+		phi := Initial(succ, distOf(dists))
+		cost := func() float64 {
+			c := 0.0
+			for k, v := range phi {
+				c += v * dists[k]
+			}
+			return c
+		}
+		before := cost()
+		Adjust(phi, succ, distOf(dists))
+		return cost() <= before+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdjust(b *testing.B) {
+	succ := []graph.NodeID{1, 2, 3, 4}
+	dists := map[graph.NodeID]float64{1: 1, 2: 2, 3: 3, 4: 4}
+	phi := Initial(succ, distOf(dists))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Adjust(phi, succ, distOf(dists))
+	}
+}

@@ -1,0 +1,49 @@
+package alloc_test
+
+import (
+	"fmt"
+	"sort"
+
+	"minroute/internal/alloc"
+	"minroute/internal/graph"
+)
+
+// ExampleInitial shows heuristic IH: fresh routing parameters over a
+// successor set, inversely related to each successor's marginal distance.
+func ExampleInitial() {
+	succ := []graph.NodeID{1, 2}
+	dist := func(k graph.NodeID) float64 {
+		if k == 1 {
+			return 1.0 // closer successor
+		}
+		return 3.0
+	}
+	phi := alloc.Initial(succ, dist)
+	keys := phi.Keys()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		fmt.Printf("successor %d: %.2f\n", k, phi[k])
+	}
+	// Output:
+	// successor 1: 0.75
+	// successor 2: 0.25
+}
+
+// ExampleAdjustDamped shows heuristic AH: repeated adjustments move
+// traffic toward the successor with the least marginal delay.
+func ExampleAdjustDamped() {
+	succ := []graph.NodeID{1, 2}
+	phi := alloc.Params{1: 0.5, 2: 0.5}
+	dist := func(k graph.NodeID) float64 {
+		if k == 1 {
+			return 1.0
+		}
+		return 2.0 // successor 2 is congested
+	}
+	for i := 0; i < 3; i++ {
+		alloc.AdjustDamped(phi, succ, dist, 0.5)
+	}
+	fmt.Printf("phi1 > 0.7: %v, phi1+phi2 = %.0f\n", phi[1] > 0.7, phi[1]+phi[2])
+	// Output:
+	// phi1 > 0.7: true, phi1+phi2 = 1
+}

@@ -1,0 +1,386 @@
+// Package core assembles the complete simulated network: topology, one
+// router.Node per router, one des.Port per directed link, traffic sources,
+// and per-flow delay measurement. It is the library's top-level API — the
+// examples, the experiment harness, and the benchmarks all drive
+// simulations through core.Build and Network.Run.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"minroute/internal/alloc"
+	"minroute/internal/des"
+	"minroute/internal/graph"
+	"minroute/internal/lfi"
+	"minroute/internal/lsu"
+	"minroute/internal/metrics"
+	"minroute/internal/mpda"
+	"minroute/internal/router"
+	"minroute/internal/topo"
+	"minroute/internal/trace"
+	"minroute/internal/traffic"
+)
+
+// framingBits is charged per LSU packet on top of the payload (layer-2
+// headers etc.).
+const framingBits = 24 * 8
+
+// Options configures a simulation.
+type Options struct {
+	// Router is the per-node configuration (mode, Tl, Ts, ...).
+	Router router.Config
+	// Seed drives every random choice in the run.
+	Seed uint64
+	// Warmup is the settling time before measurements start.
+	Warmup float64
+	// Duration is the measurement period after warmup.
+	Duration float64
+	// Source builds the traffic source for a flow; nil selects Poisson with
+	// the router's mean packet size.
+	Source func(f topo.Flow) traffic.Source
+	// TraceCapacity, when positive, records the forwarding path of the most
+	// recent packets (Network.Tracer).
+	TraceCapacity int
+}
+
+// DefaultOptions returns the settings of the paper's headline experiments:
+// MP-TL-10-TS-2, 30 s warmup, 60 s measurement.
+func DefaultOptions() Options {
+	return Options{
+		Router:   router.Defaults(),
+		Seed:     1,
+		Warmup:   30,
+		Duration: 60,
+	}
+}
+
+// Network is an assembled simulation.
+type Network struct {
+	Eng   *des.Engine
+	Graph *graph.Graph
+	Nodes map[graph.NodeID]*router.Node
+	Ports map[[2]graph.NodeID]*des.Port
+	Flows []topo.Flow
+	Stats []*metrics.DelayStats
+	opt   Options
+
+	// SentPackets[x] counts packets offered by flow x after warmup.
+	SentPackets []int64
+	// ControlMessages counts LSU transmissions since the run began.
+	ControlMessages int64
+	// ControlBits accumulates the wire size of all LSUs sent.
+	ControlBits float64
+	// Tracer records packet paths when Options.TraceCapacity > 0.
+	Tracer     *trace.Recorder
+	warmupDone bool
+	maxHops    int
+	serial     uint64
+	// reordering bookkeeping: per-flow highest serial seen and counts.
+	flowMaxSerial []uint64
+	flowLate      []int64
+	flowArrived   []int64
+}
+
+// Build wires the network described by net under the given options.
+func Build(net *topo.Network, opt Options) *Network {
+	if opt.Router.MeanPacketBits <= 0 {
+		opt.Router = router.Defaults()
+	}
+	n := &Network{
+		Eng:         des.NewEngine(opt.Seed),
+		Graph:       net.Graph,
+		Nodes:       make(map[graph.NodeID]*router.Node),
+		Ports:       make(map[[2]graph.NodeID]*des.Port),
+		Flows:       net.Flows,
+		Stats:       make([]*metrics.DelayStats, len(net.Flows)),
+		SentPackets: make([]int64, len(net.Flows)),
+		opt:         opt,
+	}
+	numNodes := net.Graph.NumNodes()
+	n.flowMaxSerial = make([]uint64, len(net.Flows))
+	n.flowLate = make([]int64, len(net.Flows))
+	n.flowArrived = make([]int64, len(net.Flows))
+	if opt.TraceCapacity > 0 {
+		n.Tracer = trace.NewRecorder(opt.TraceCapacity)
+	}
+
+	// Nodes first (the LSU sender closure reads the port map lazily, so the
+	// ports can be created afterwards).
+	for _, id := range net.Graph.Nodes() {
+		n.Nodes[id] = router.New(n.Eng, id, numNodes, opt.Router, n.lsuSender(id))
+	}
+
+	// Ports: one per directed link, delivering to the receiving node.
+	for _, l := range net.Graph.Links() {
+		l := l
+		to := n.Nodes[l.To]
+		port := des.NewPort(n.Eng, l, opt.Router.QueueBits, func(pkt *des.Packet) {
+			if pkt.IsControl() {
+				to.HandleControl(pkt)
+			} else {
+				to.HandleData(pkt)
+			}
+		})
+		n.Ports[[2]graph.NodeID{l.From, l.To}] = port
+		n.Nodes[l.From].AttachPort(l.To, port)
+	}
+
+	// Delay measurement at each flow destination.
+	for x := range n.Flows {
+		n.Stats[x] = &metrics.DelayStats{}
+	}
+	for _, id := range net.Graph.Nodes() {
+		node := n.Nodes[id]
+		node.OnArrive = func(pkt *des.Packet) {
+			if pkt.FlowID >= 0 && pkt.FlowID < len(n.Stats) {
+				n.Stats[pkt.FlowID].Add(n.Eng.Now() - pkt.Created)
+				if pkt.Hops > n.maxHops {
+					n.maxHops = pkt.Hops
+				}
+				if n.Tracer != nil && pkt.Serial != 0 {
+					n.Tracer.Deliver(pkt.Serial, n.Eng.Now())
+				}
+				if pkt.Serial != 0 {
+					n.flowArrived[pkt.FlowID]++
+					if pkt.Serial < n.flowMaxSerial[pkt.FlowID] {
+						n.flowLate[pkt.FlowID]++
+					} else {
+						n.flowMaxSerial[pkt.FlowID] = pkt.Serial
+					}
+				}
+			}
+		}
+		if n.Tracer != nil {
+			node.OnForward = func(pkt *des.Packet, next graph.NodeID) {
+				if pkt.Serial != 0 {
+					n.Tracer.Step(pkt.Serial, next, n.Eng.Now())
+				}
+			}
+		}
+	}
+
+	// Traffic sources.
+	for x, f := range n.Flows {
+		x, f := x, f
+		src := n.sourceFor(f)
+		stream := n.Eng.RNG().Split(0x7afc + uint64(x))
+		node := n.Nodes[f.Src]
+		src.Start(n.Eng, stream, func(bits float64) {
+			if n.warmupDone {
+				n.SentPackets[x]++
+			}
+			pkt := &des.Packet{
+				FlowID:  x,
+				Src:     f.Src,
+				Dst:     f.Dst,
+				Bits:    bits,
+				Created: n.Eng.Now(),
+			}
+			n.serial++
+			pkt.Serial = n.serial
+			if n.Tracer != nil {
+				n.Tracer.Begin(pkt.Serial, x, f.Src, f.Dst, n.Eng.Now())
+			}
+			node.HandleData(pkt)
+		})
+	}
+	return n
+}
+
+func (n *Network) sourceFor(f topo.Flow) traffic.Source {
+	if n.opt.Source != nil {
+		return n.opt.Source(f)
+	}
+	return traffic.Poisson{RateBits: f.Rate, MeanPacketBits: n.opt.Router.MeanPacketBits}
+}
+
+// lsuSender builds the mpda.Sender for node id: marshal, frame, and
+// transmit in the lossless control band of the outgoing port.
+func (n *Network) lsuSender(id graph.NodeID) mpda.Sender {
+	return func(to graph.NodeID, m *lsu.Msg) {
+		port, ok := n.Ports[[2]graph.NodeID{id, to}]
+		if !ok {
+			return // link vanished under the protocol
+		}
+		buf, err := m.Marshal()
+		if err != nil {
+			panic("core: marshal LSU: " + err.Error())
+		}
+		n.ControlMessages++
+		bits := float64(len(buf)*8 + framingBits)
+		n.ControlBits += bits
+		port.Send(&des.Packet{
+			FlowID:  -1,
+			Src:     id,
+			Dst:     to,
+			Bits:    bits,
+			Created: n.Eng.Now(),
+			Control: buf,
+		})
+	}
+}
+
+// InstallStatic installs fixed routing parameters (e.g. Gallager's OPT
+// solution): phi[j][i] is the fraction vector router i uses toward
+// destination j. Routers must be in ModeStatic for these to take effect.
+func (n *Network) InstallStatic(phi [][]alloc.Params) {
+	numNodes := n.Graph.NumNodes()
+	for _, id := range n.Graph.Nodes() {
+		mine := make([]alloc.Params, numNodes)
+		for j := 0; j < numNodes; j++ {
+			mine[j] = phi[j][id]
+		}
+		n.Nodes[id].InstallStatic(mine)
+	}
+}
+
+// Start boots every router (flooding initial LSUs and arming timers).
+func (n *Network) Start() {
+	for _, id := range n.Graph.Nodes() {
+		n.Nodes[id].Start()
+	}
+}
+
+// Run executes warmup plus measurement and returns the per-flow report.
+// It starts the routers if the clock is still at zero.
+func (n *Network) Run() *Report {
+	if n.Eng.Now() == 0 {
+		n.Start()
+	}
+	n.Eng.Run(n.opt.Warmup)
+	for _, s := range n.Stats {
+		s.Reset()
+	}
+	n.warmupDone = true
+	n.Eng.Run(n.opt.Warmup + n.opt.Duration)
+	return n.Report()
+}
+
+// FailLink takes the duplex link a↔b down at the current simulation time.
+func (n *Network) FailLink(a, b graph.NodeID) {
+	for _, pair := range [][2]graph.NodeID{{a, b}, {b, a}} {
+		if p, ok := n.Ports[pair]; ok {
+			p.SetDown(true)
+		}
+	}
+	n.Nodes[a].LinkFailed(b)
+	n.Nodes[b].LinkFailed(a)
+}
+
+// RestoreLink brings the duplex link a↔b back up.
+func (n *Network) RestoreLink(a, b graph.NodeID) {
+	for _, pair := range [][2]graph.NodeID{{a, b}, {b, a}} {
+		if p, ok := n.Ports[pair]; ok {
+			p.SetDown(false)
+		}
+	}
+	n.Nodes[a].LinkRecovered(b)
+	n.Nodes[b].LinkRecovered(a)
+}
+
+// CheckLoopFree audits the instantaneous successor graph of every
+// destination (Theorem 3) — callable at any simulation time.
+func (n *Network) CheckLoopFree() error {
+	views := make(map[graph.NodeID]lfi.RouterView, len(n.Nodes))
+	for id, node := range n.Nodes {
+		views[id] = node.Protocol()
+	}
+	return lfi.CheckAllDestinations(n.Graph.NumNodes(), views)
+}
+
+// Report summarizes a run.
+type Report struct {
+	FlowNames []string
+	// MeanDelayMs[x] is flow x's average end-to-end delay in milliseconds.
+	MeanDelayMs []float64
+	// P95DelayMs[x] is the 95th-percentile delay in milliseconds.
+	P95DelayMs []float64
+	// StdDevMs[x] is the standard deviation of flow x's packet delays in
+	// milliseconds — the "jaggedness" the paper notes MP reduces.
+	StdDevMs []float64
+	// Delivered[x] counts delivered packets, Offered[x] generated ones.
+	Delivered []int64
+	Offered   []int64
+	// Drops aggregates router-level drops over the whole run.
+	DropsNoRoute, DropsHopLimit, DropsQueue int64
+	// ControlMessages counts LSUs transmitted over the whole run.
+	ControlMessages int64
+	// MaxHops is the largest forwarding hop count any delivered packet
+	// accumulated — bounded near the network diameter when routing is sane
+	// (transient reroutes can add a few).
+	MaxHops int
+	// Reordered[x] is the fraction of flow x's delivered packets that
+	// arrived after a later-sent packet — the out-of-order cost of
+	// per-packet multipath (zero for single-path routing).
+	Reordered []float64
+}
+
+// Report snapshots the current statistics.
+func (n *Network) Report() *Report {
+	r := &Report{ControlMessages: n.ControlMessages, MaxHops: n.maxHops}
+	for x, f := range n.Flows {
+		r.FlowNames = append(r.FlowNames, f.Name)
+		r.MeanDelayMs = append(r.MeanDelayMs, n.Stats[x].Mean()*1e3)
+		r.P95DelayMs = append(r.P95DelayMs, n.Stats[x].Percentile(95)*1e3)
+		r.StdDevMs = append(r.StdDevMs, n.Stats[x].StdDev()*1e3)
+		r.Delivered = append(r.Delivered, n.Stats[x].Count())
+		r.Offered = append(r.Offered, n.SentPackets[x])
+		if n.flowArrived[x] > 0 {
+			r.Reordered = append(r.Reordered, float64(n.flowLate[x])/float64(n.flowArrived[x]))
+		} else {
+			r.Reordered = append(r.Reordered, 0)
+		}
+	}
+	for _, node := range n.Nodes {
+		r.DropsNoRoute += node.DroppedNoRoute
+		r.DropsHopLimit += node.DroppedHopLimit
+		r.DropsQueue += node.DroppedQueue
+	}
+	return r
+}
+
+// AvgMeanDelayMs returns the average over flows of the per-flow mean delays
+// (the scalar the Tl/Ts sweeps compare), ignoring flows with no samples.
+func (r *Report) AvgMeanDelayMs() float64 {
+	sum, n := 0.0, 0
+	for _, d := range r.MeanDelayMs {
+		if !math.IsNaN(d) {
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// LossRate returns 1 - delivered/offered over all flows after warmup.
+func (r *Report) LossRate() float64 {
+	var del, off int64
+	for x := range r.Delivered {
+		del += r.Delivered[x]
+		off += r.Offered[x]
+	}
+	if off == 0 {
+		return 0
+	}
+	lr := 1 - float64(del)/float64(off)
+	if lr < 0 {
+		// Packets generated during warmup can be delivered after the stats
+		// reset, making delivered marginally exceed offered.
+		lr = 0
+	}
+	return lr
+}
+
+// String renders the paper-style per-flow table.
+func (r *Report) String() string {
+	s := fmt.Sprintf("%-20s %12s %12s %10s\n", "flow", "mean(ms)", "p95(ms)", "delivered")
+	for x := range r.FlowNames {
+		s += fmt.Sprintf("%-20s %12.3f %12.3f %10d\n",
+			r.FlowNames[x], r.MeanDelayMs[x], r.P95DelayMs[x], r.Delivered[x])
+	}
+	return s
+}

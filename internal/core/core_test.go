@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"minroute/internal/gallager"
+	"minroute/internal/graph"
+	"minroute/internal/router"
+	"minroute/internal/topo"
+	"minroute/internal/traffic"
+)
+
+func quickOptions(mode router.Mode, seed uint64) Options {
+	opt := DefaultOptions()
+	opt.Router.Mode = mode
+	opt.Router.Tl = 5
+	opt.Router.Ts = 1
+	opt.Seed = seed
+	opt.Warmup = 8
+	opt.Duration = 12
+	return opt
+}
+
+func TestMPOnNET1DeliversWithFiniteDelays(t *testing.T) {
+	net := topo.NET1()
+	n := Build(net, quickOptions(router.ModeMP, 1))
+	rep := n.Run()
+	if err := n.CheckLoopFree(); err != nil {
+		t.Fatal(err)
+	}
+	for x, name := range rep.FlowNames {
+		if rep.Delivered[x] == 0 {
+			t.Fatalf("flow %s delivered nothing", name)
+		}
+		if math.IsNaN(rep.MeanDelayMs[x]) || rep.MeanDelayMs[x] <= 0 {
+			t.Fatalf("flow %s mean delay = %v", name, rep.MeanDelayMs[x])
+		}
+		if rep.MeanDelayMs[x] > 1000 {
+			t.Fatalf("flow %s mean delay absurd: %v ms", name, rep.MeanDelayMs[x])
+		}
+	}
+	if lr := rep.LossRate(); lr > 0.02 {
+		t.Fatalf("loss rate %v too high for MP under nominal load", lr)
+	}
+	if rep.ControlMessages == 0 {
+		t.Fatal("no control traffic despite periodic Tl updates")
+	}
+}
+
+func TestSPOnNET1Works(t *testing.T) {
+	net := topo.NET1()
+	n := Build(net, quickOptions(router.ModeSP, 2))
+	rep := n.Run()
+	for x := range rep.FlowNames {
+		if rep.Delivered[x] == 0 {
+			t.Fatalf("SP flow %d delivered nothing", x)
+		}
+	}
+}
+
+func TestMPBeatsSPOnNET1(t *testing.T) {
+	// The paper's headline comparison: under identical load, MP's average
+	// delays are well below SP's (Fig. 12 shows 5-6x on NET1).
+	net := topo.NET1()
+	mp := Build(topo.NET1(), quickOptions(router.ModeMP, 3)).Run()
+	sp := Build(net, quickOptions(router.ModeSP, 3)).Run()
+	mpAvg, spAvg := mp.AvgMeanDelayMs(), sp.AvgMeanDelayMs()
+	if !(mpAvg < spAvg) {
+		t.Fatalf("MP avg %.3f ms not better than SP avg %.3f ms", mpAvg, spAvg)
+	}
+}
+
+func TestStaticModeWithOPT(t *testing.T) {
+	net := topo.NET1()
+	opt, err := gallager.Solve(net.Graph, net.Flows, gallager.Options{MeanPacketBits: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := quickOptions(router.ModeStatic, 4)
+	n := Build(net, o)
+	n.InstallStatic(opt.Phi)
+	rep := n.Run()
+	for x := range rep.FlowNames {
+		if rep.Delivered[x] == 0 {
+			t.Fatalf("OPT flow %d delivered nothing", x)
+		}
+	}
+	if lr := rep.LossRate(); lr > 0.02 {
+		t.Fatalf("loss under OPT routing: %v", lr)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := Build(topo.NET1(), quickOptions(router.ModeMP, 7)).Run()
+	b := Build(topo.NET1(), quickOptions(router.ModeMP, 7)).Run()
+	for x := range a.MeanDelayMs {
+		if a.MeanDelayMs[x] != b.MeanDelayMs[x] || a.Delivered[x] != b.Delivered[x] {
+			t.Fatalf("same-seed runs diverge at flow %d", x)
+		}
+	}
+	c := Build(topo.NET1(), quickOptions(router.ModeMP, 8)).Run()
+	same := true
+	for x := range a.MeanDelayMs {
+		if a.Delivered[x] != c.Delivered[x] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical packet counts (suspicious)")
+	}
+}
+
+func TestLinkFailureRerouting(t *testing.T) {
+	net := topo.NET1()
+	o := quickOptions(router.ModeMP, 9)
+	n := Build(net, o)
+	n.Start()
+	n.Eng.Run(5)
+	// Fail one of the two bridges; all west-east flows must reroute.
+	n.FailLink(4, 5)
+	n.Eng.Run(8)
+	if err := n.CheckLoopFree(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range n.Stats {
+		s.Reset()
+	}
+	n.warmupDone = true
+	n.Eng.Run(20)
+	rep := n.Report()
+	for x, name := range rep.FlowNames {
+		if rep.Delivered[x] == 0 {
+			t.Fatalf("flow %s starved after bridge failure", name)
+		}
+	}
+	// Restore and confirm reconvergence keeps delivering.
+	n.RestoreLink(4, 5)
+	n.Eng.Run(30)
+	if err := n.CheckLoopFree(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnOffSources(t *testing.T) {
+	net := topo.NET1()
+	o := quickOptions(router.ModeMP, 11)
+	o.Source = func(f topo.Flow) traffic.Source {
+		return traffic.OnOff{RateBits: f.Rate, MeanPacketBits: 8000, PeakFactor: 4, MeanOn: 0.2}
+	}
+	rep := Build(net, o).Run()
+	for x := range rep.FlowNames {
+		if rep.Delivered[x] == 0 {
+			t.Fatalf("bursty flow %d delivered nothing", x)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Build(topo.NET1(), quickOptions(router.ModeMP, 12)).Run()
+	s := rep.String()
+	if len(s) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestCAIRNSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAIRN smoke test is slow")
+	}
+	net := topo.CAIRN()
+	rep := Build(net, quickOptions(router.ModeMP, 13)).Run()
+	for x, name := range rep.FlowNames {
+		if rep.Delivered[x] == 0 {
+			t.Fatalf("CAIRN flow %s delivered nothing", name)
+		}
+	}
+}
+
+func TestFailureStormStaysLoopFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure storm is slow")
+	}
+	// Repeatedly fail and restore links mid-traffic; the successor graphs
+	// must stay loop-free at every audit point and traffic keeps flowing.
+	net := topo.NET1()
+	o := quickOptions(router.ModeMP, 21)
+	n := Build(net, o)
+	n.Start()
+	n.Eng.Run(10)
+	victims := [][2]graph.NodeID{{4, 5}, {1, 4}, {5, 8}, {0, 1}, {6, 8}}
+	for round, v := range victims {
+		n.FailLink(v[0], v[1])
+		n.Eng.Run(n.Eng.Now() + 3)
+		if err := n.CheckLoopFree(); err != nil {
+			t.Fatalf("round %d after failure: %v", round, err)
+		}
+		n.RestoreLink(v[0], v[1])
+		n.Eng.Run(n.Eng.Now() + 3)
+		if err := n.CheckLoopFree(); err != nil {
+			t.Fatalf("round %d after restore: %v", round, err)
+		}
+	}
+	for _, s := range n.Stats {
+		s.Reset()
+	}
+	n.warmupDone = true
+	n.Eng.Run(n.Eng.Now() + 10)
+	rep := n.Report()
+	for x, name := range rep.FlowNames {
+		if rep.Delivered[x] == 0 {
+			t.Fatalf("flow %s starved after failure storm", name)
+		}
+	}
+}
+
+func TestLargeRandomNetworkSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large network smoke is slow")
+	}
+	g := topo.Random(99, 40, 30, 8e6, 10e6, 1e-3)
+	net := &topo.Network{Graph: g}
+	r := g.NumNodes()
+	for i := 0; i < 12; i++ {
+		src := graph.NodeID((i * 7) % r)
+		dst := graph.NodeID((i*13 + 5) % r)
+		if src == dst {
+			continue
+		}
+		net.Flows = append(net.Flows, topo.Flow{
+			Name: fmt.Sprintf("f%d", i), Src: src, Dst: dst, Rate: 1.5e6,
+		})
+	}
+	o := quickOptions(router.ModeMP, 22)
+	o.Warmup, o.Duration = 15, 10
+	n := Build(net, o)
+	rep := n.Run()
+	if err := n.CheckLoopFree(); err != nil {
+		t.Fatal(err)
+	}
+	delivered := int64(0)
+	for _, d := range rep.Delivered {
+		delivered += d
+	}
+	if delivered == 0 {
+		t.Fatal("40-node network delivered nothing")
+	}
+	if lr := rep.LossRate(); lr > 0.05 {
+		t.Fatalf("loss rate %v on random network", lr)
+	}
+}
+
+func TestHopCountsBounded(t *testing.T) {
+	// With loop-free routing, delivered packets should take paths not far
+	// beyond the diameter (4 for NET1): transients may add a few hops but
+	// nothing pathological.
+	rep := Build(topo.NET1(), quickOptions(router.ModeMP, 31)).Run()
+	if rep.MaxHops == 0 {
+		t.Fatal("hop tracking broken")
+	}
+	if rep.MaxHops > 4+6 {
+		t.Fatalf("max hops = %d, far beyond NET1's diameter 4", rep.MaxHops)
+	}
+}
+
+func TestTracedPathsLoopFreeInPractice(t *testing.T) {
+	// The data-plane counterpart of Theorem 3: actual forwarded packets on
+	// MP, with routes changing beneath them, must essentially never revisit
+	// a node. (A transient reroute can in principle cause a revisit across
+	// time; it must be vanishingly rare.)
+	o := quickOptions(router.ModeMP, 41)
+	o.TraceCapacity = 20000
+	n := Build(topo.NET1(), o)
+	rep := n.Run()
+	_ = rep
+	delivered, withRevisit, maxHops := n.Tracer.Audit()
+	if delivered < 1000 {
+		t.Fatalf("only %d delivered paths traced", delivered)
+	}
+	if frac := float64(withRevisit) / float64(delivered); frac > 0.001 {
+		t.Fatalf("%d of %d traced paths revisit a node (%.4f)", withRevisit, delivered, frac)
+	}
+	if maxHops > 10 {
+		t.Fatalf("max traced path length %d on diameter-4 NET1", maxHops)
+	}
+	// Every delivered path must start at its flow's source and end at its
+	// destination.
+	for _, p := range n.Tracer.Paths() {
+		if !p.Delivered {
+			continue
+		}
+		if p.Hops[0].Node != p.Src || p.Hops[len(p.Hops)-1].Node != p.Dst {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+	}
+}
+
+func TestReorderingMetric(t *testing.T) {
+	// SP keeps each flow on one path at a time: essentially in-order.
+	// MP's per-packet splitting reorders some fraction.
+	sp := Build(topo.NET1(), quickOptions(router.ModeSP, 51)).Run()
+	mp := Build(topo.NET1(), quickOptions(router.ModeMP, 51)).Run()
+	var spMax, mpSum float64
+	for x := range sp.Reordered {
+		if sp.Reordered[x] > spMax {
+			spMax = sp.Reordered[x]
+		}
+		mpSum += mp.Reordered[x]
+	}
+	if spMax > 0.02 {
+		t.Fatalf("SP reordering %v unexpectedly high", spMax)
+	}
+	if mpSum == 0 {
+		t.Fatal("MP shows zero reordering; metric suspect")
+	}
+}
+
+func TestAsymmetricLinkCosts(t *testing.T) {
+	// The paper: "Each link is bidirectional with possibly different costs
+	// in each direction." Build a network where one direction of a link is
+	// 10x slower and verify MP converges, routes correctly, and delivers
+	// in both directions.
+	g := graph.New()
+	for _, name := range []string{"a", "b", "c", "d"} {
+		g.AddNode(name)
+	}
+	// a->b fast, b->a slow; plus a ring a-c-d-b providing an alternative.
+	mustLink := func(from, to graph.NodeID, capacity float64) {
+		if err := g.AddLink(from, to, capacity, 0.5e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink(0, 1, 10e6)
+	mustLink(1, 0, 1e6) // asymmetric: reverse direction is 10x slower
+	for _, e := range [][2]graph.NodeID{{0, 2}, {2, 0}, {2, 3}, {3, 2}, {3, 1}, {1, 3}} {
+		mustLink(e[0], e[1], 10e6)
+	}
+	net := &topo.Network{Graph: g, Flows: []topo.Flow{
+		{Name: "a->b", Src: 0, Dst: 1, Rate: 4e6},
+		{Name: "b->a", Src: 1, Dst: 0, Rate: 4e6},
+	}}
+	o := quickOptions(router.ModeMP, 61)
+	n := Build(net, o)
+	rep := n.Run()
+	if err := n.CheckLoopFree(); err != nil {
+		t.Fatal(err)
+	}
+	for x, name := range rep.FlowNames {
+		if rep.Delivered[x] == 0 {
+			t.Fatalf("flow %s starved", name)
+		}
+	}
+	// The 4 Mb/s reverse flow cannot fit the 1 Mb/s direct link: MP must
+	// route it (mostly) around via d-c, keeping delay sane.
+	if rep.MeanDelayMs[1] > 100 {
+		t.Fatalf("reverse flow delay %v ms: asymmetric capacity not routed around", rep.MeanDelayMs[1])
+	}
+	if lr := rep.LossRate(); lr > 0.02 {
+		t.Fatalf("loss %v under asymmetric capacities", lr)
+	}
+}
+
+func TestFlowletSwitchingCutsReordering(t *testing.T) {
+	base := quickOptions(router.ModeMP, 71)
+	plain := Build(topo.NET1(), base).Run()
+	withFlowlets := base
+	withFlowlets.Router.FlowletTimeout = 0.05 // 50 ms idle gap re-picks
+	fl := Build(topo.NET1(), withFlowlets).Run()
+
+	var plainSum, flSum float64
+	for x := range plain.Reordered {
+		plainSum += plain.Reordered[x]
+		flSum += fl.Reordered[x]
+	}
+	if !(flSum < plainSum*0.5) {
+		t.Fatalf("flowlets did not cut reordering: %v vs %v", flSum, plainSum)
+	}
+	// Load balancing must survive: delays stay in the same regime.
+	if fl.AvgMeanDelayMs() > plain.AvgMeanDelayMs()*2 {
+		t.Fatalf("flowlets destroyed balancing: %v vs %v ms",
+			fl.AvgMeanDelayMs(), plain.AvgMeanDelayMs())
+	}
+	for x := range fl.FlowNames {
+		if fl.Delivered[x] == 0 {
+			t.Fatalf("flow %d starved under flowlets", x)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package des is the discrete-event network simulator substrate: a
+// single-threaded event engine, the packet model, and the link transmission
+// pipeline (output queue + transmitter + propagation). The paper evaluates
+// its framework on a packet simulator; this package is that simulator,
+// built from scratch on the eventq scheduler.
+//
+// Design notes:
+//   - Single-threaded and fully deterministic for a given seed: every run of
+//     an experiment is exactly reproducible.
+//   - Data packets have exponentially distributed sizes so a FIFO link
+//     approximates the M/M/1 behaviour the paper's cost function assumes.
+//   - Routing-protocol messages travel over the same links but in a strict-
+//     priority, lossless control band, implementing the paper's assumption
+//     that "an underlying protocol ensures that messages transmitted over an
+//     operational link are received correctly and in the proper sequence".
+package des
+
+import (
+	"fmt"
+
+	"minroute/internal/eventq"
+	"minroute/internal/rng"
+)
+
+// Engine advances simulated time and dispatches events. Create with
+// NewEngine; not safe for concurrent use.
+type Engine struct {
+	q   eventq.Queue
+	now float64
+	rng *rng.Source
+}
+
+// NewEngine returns an engine with its clock at zero and a root RNG seeded
+// with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: rng.New(seed)}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// RNG returns the engine's root random source. Components should derive
+// their own streams via Split to stay decorrelated.
+func (e *Engine) RNG() *rng.Source { return e.rng }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it
+// is always a simulation bug.
+func (e *Engine) Schedule(at float64, fn func()) *eventq.Event {
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past (%.9f < %.9f)", at, e.now))
+	}
+	return e.q.Push(at, fn)
+}
+
+// After runs fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) *eventq.Event {
+	if d < 0 {
+		panic("des: negative delay")
+	}
+	return e.q.Push(e.now+d, fn)
+}
+
+// Cancel revokes a pending event.
+func (e *Engine) Cancel(ev *eventq.Event) { e.q.Cancel(ev) }
+
+// Step executes the next event, advancing the clock. It reports false when
+// no events remain.
+func (e *Engine) Step() bool {
+	ev := e.q.Pop()
+	if ev == nil {
+		return false
+	}
+	e.now = ev.Time()
+	ev.Fire()
+	return true
+}
+
+// Run executes events until the clock would pass until, leaving later
+// events pending and the clock at until.
+func (e *Engine) Run(until float64) {
+	for {
+		ev := e.q.Peek()
+		if ev == nil || ev.Time() > until {
+			break
+		}
+		e.Step()
+	}
+	if until > e.now {
+		e.now = until
+	}
+}
+
+// RunAll executes every pending event. It panics after maxEvents events as
+// a runaway guard (protocols that never quiesce are bugs).
+func (e *Engine) RunAll(maxEvents int) {
+	for i := 0; e.Step(); i++ {
+		if i >= maxEvents {
+			panic("des: RunAll exceeded event budget; protocol not quiescing")
+		}
+	}
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return e.q.Len() }

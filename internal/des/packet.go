@@ -1,0 +1,27 @@
+package des
+
+import "minroute/internal/graph"
+
+// Packet is the unit of traffic. Data packets carry FlowID >= 0 and a nil
+// Control payload; routing-protocol packets carry Control != nil and travel
+// in the lossless priority band.
+type Packet struct {
+	// Serial uniquely identifies a data packet when path tracing is on
+	// (zero when untraced).
+	Serial uint64
+	// FlowID indexes the experiment's flow table; -1 for control traffic.
+	FlowID int
+	// Src and Dst are the origin and final destination routers.
+	Src, Dst graph.NodeID
+	// Bits is the packet length including headers.
+	Bits float64
+	// Created is the time the packet entered the network.
+	Created float64
+	// Hops counts forwarding steps, used to catch forwarding loops.
+	Hops int
+	// Control is an opaque protocol payload (e.g. an LSU message).
+	Control any
+}
+
+// IsControl reports whether the packet belongs to the control band.
+func (p *Packet) IsControl() bool { return p.Control != nil }

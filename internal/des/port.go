@@ -1,0 +1,201 @@
+package des
+
+import (
+	"minroute/internal/graph"
+	"minroute/internal/linkcost"
+)
+
+// DefaultQueueBits is the default output-queue limit: 512 KB of buffering
+// (~500 mean-size packets). The paper's fluid model assumes traffic
+// conservation — "the network does not lose any packets" — so the default
+// is sized to absorb transient overloads; drop-tail still bounds truly
+// pathological backlogs.
+const DefaultQueueBits = 512 * 8 * 1024
+
+// Port is the sending side of one directed link: a strict-priority,
+// work-conserving transmitter with a lossless control band and a drop-tail
+// data band, followed by a fixed propagation pipe. A Port is owned by the
+// sending router; delivery invokes the receiver's callback.
+type Port struct {
+	From, To  graph.NodeID
+	Capacity  float64 // bits per second
+	Prop      float64 // seconds
+	eng       *Engine
+	deliver   func(*Packet)
+	ctrl      fifo
+	data      fifo
+	dataBits  float64
+	limitBits float64
+	busy      bool
+	down      bool
+
+	// DataMeter counts transmitted data packets; routers read-and-reset it
+	// at measurement boundaries to estimate the link flow f_ik.
+	DataMeter linkcost.Meter
+	// Estimator, when non-nil, receives (sojourn, service) observations for
+	// every transmitted data packet (the PA-style online estimator input).
+	Estimator *linkcost.OnlineEstimator
+
+	// Counters for validation and reporting. The Data* pair counts only
+	// data-band packets; routers snapshot them to derive windowed flow
+	// rates over arbitrary (Ts, Tl) horizons.
+	SentPackets    int64
+	SentBits       float64
+	DataPackets    int64
+	DataBits       float64
+	DroppedPackets int64
+	DroppedBits    float64
+}
+
+type portItem struct {
+	pkt *Packet
+	enq float64
+}
+
+type fifo struct {
+	items []portItem
+}
+
+func (f *fifo) push(it portItem) { f.items = append(f.items, it) }
+func (f *fifo) empty() bool      { return len(f.items) == 0 }
+func (f *fifo) pop() portItem {
+	it := f.items[0]
+	// Reslice; occasionally compact to avoid unbounded backing growth.
+	f.items = f.items[1:]
+	if len(f.items) == 0 {
+		f.items = nil
+	} else if cap(f.items) > 4*len(f.items) && cap(f.items) > 64 {
+		f.items = append([]portItem(nil), f.items...)
+	}
+	return it
+}
+func (f *fifo) clear() { f.items = nil }
+
+// NewPort builds the sending side of link l. queueBits limits the data band
+// (control is unbounded and lossless); deliver is invoked at the receiver
+// after transmission plus propagation.
+func NewPort(eng *Engine, l *graph.Link, queueBits float64, deliver func(*Packet)) *Port {
+	if deliver == nil {
+		panic("des: NewPort with nil deliver")
+	}
+	if queueBits <= 0 {
+		queueBits = DefaultQueueBits
+	}
+	return &Port{
+		From:      l.From,
+		To:        l.To,
+		Capacity:  l.Capacity,
+		Prop:      l.PropDelay,
+		eng:       eng,
+		deliver:   deliver,
+		limitBits: queueBits,
+	}
+}
+
+// Send enqueues pkt for transmission. It reports false when the packet was
+// dropped (data-band overflow or link down). Control packets are never
+// dropped while the link is up.
+func (p *Port) Send(pkt *Packet) bool {
+	if p.down {
+		p.DroppedPackets++
+		p.DroppedBits += pkt.Bits
+		return false
+	}
+	it := portItem{pkt: pkt, enq: p.eng.Now()}
+	if pkt.IsControl() {
+		p.ctrl.push(it)
+	} else {
+		if p.dataBits+pkt.Bits > p.limitBits {
+			p.DroppedPackets++
+			p.DroppedBits += pkt.Bits
+			return false
+		}
+		p.data.push(it)
+		p.dataBits += pkt.Bits
+	}
+	if !p.busy {
+		p.startNext()
+	}
+	return true
+}
+
+func (p *Port) startNext() {
+	var it portItem
+	switch {
+	case !p.ctrl.empty():
+		it = p.ctrl.pop()
+	case !p.data.empty():
+		it = p.data.pop()
+		p.dataBits -= it.pkt.Bits
+	default:
+		p.busy = false
+		return
+	}
+	p.busy = true
+	service := it.pkt.Bits / p.Capacity
+	p.eng.After(service, func() { p.finishTransmission(it, service) })
+}
+
+func (p *Port) finishTransmission(it portItem, service float64) {
+	if p.down {
+		// The link failed mid-transmission; the packet is lost and the
+		// transmitter stays idle until the link recovers.
+		p.busy = false
+		return
+	}
+	pkt := it.pkt
+	p.SentPackets++
+	p.SentBits += pkt.Bits
+	if !pkt.IsControl() {
+		p.DataPackets++
+		p.DataBits += pkt.Bits
+		p.DataMeter.Add(pkt.Bits)
+		if p.Estimator != nil {
+			p.Estimator.Observe(p.eng.Now()-it.enq, service)
+		}
+	}
+	p.eng.After(p.Prop, func() {
+		if !p.down {
+			p.deliver(pkt)
+		}
+	})
+	p.startNext()
+}
+
+// SetDown takes the link down (queued packets are lost) or brings it back
+// up. Bringing an up link up, or a down link down, is a no-op.
+func (p *Port) SetDown(down bool) {
+	if p.down == down {
+		return
+	}
+	p.down = down
+	if down {
+		for !p.ctrl.empty() {
+			it := p.ctrl.pop()
+			p.DroppedPackets++
+			p.DroppedBits += it.pkt.Bits
+		}
+		for !p.data.empty() {
+			it := p.data.pop()
+			p.DroppedPackets++
+			p.DroppedBits += it.pkt.Bits
+		}
+		p.ctrl.clear()
+		p.data.clear()
+		p.dataBits = 0
+	}
+}
+
+// Down reports whether the link is failed.
+func (p *Port) Down() bool { return p.down }
+
+// QueuedDataBits returns the data-band backlog, excluding the packet in
+// transmission.
+func (p *Port) QueuedDataBits() float64 { return p.dataBits }
+
+// QueuedPackets returns the number of queued packets in both bands,
+// excluding the packet in transmission.
+func (p *Port) QueuedPackets() int { return len(p.ctrl.items) + len(p.data.items) }
+
+// Busy reports whether a transmission is in progress.
+func (p *Port) Busy() bool { return p.busy }

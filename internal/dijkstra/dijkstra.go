@@ -1,0 +1,215 @@
+// Package dijkstra implements Dijkstra's shortest-path-first algorithm with
+// the deterministic tie-breaking the paper requires: "because there are
+// potentially many shortest-path trees, ties should be broken consistently
+// during the run of Dijkstra's algorithm". Ties are broken in favor of the
+// lower-address parent, matching the "lowest address neighbor" convention
+// used throughout PDA and MPDA.
+//
+// The algorithm consumes an abstract adjacency view so that it can run both
+// on the ground-truth topology (internal/graph) and on the partial topology
+// tables routers assemble from LSU messages (internal/pda).
+package dijkstra
+
+import (
+	"math"
+
+	"minroute/internal/graph"
+)
+
+// Inf is the distance assigned to unreachable nodes.
+var Inf = math.Inf(1)
+
+// View is the read-only weighted-graph interface Dijkstra consumes.
+type View interface {
+	// NumNodes returns the size of the ID space; node IDs are dense in
+	// [0, NumNodes).
+	NumNodes() int
+	// VisitOut calls visit for every outgoing link u->v with cost c.
+	// Costs must be non-negative.
+	VisitOut(u graph.NodeID, visit func(v graph.NodeID, cost float64))
+}
+
+// Result holds single-source shortest-path distances and the shortest-path
+// tree, indexed densely by NodeID.
+type Result struct {
+	Src    graph.NodeID
+	Dist   []float64
+	Parent []graph.NodeID
+}
+
+// Run computes shortest paths from src over the view.
+func Run(v View, src graph.NodeID) *Result {
+	n := v.NumNodes()
+	res := &Result{
+		Src:    src,
+		Dist:   make([]float64, n),
+		Parent: make([]graph.NodeID, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Inf
+		res.Parent[i] = graph.None
+	}
+	if int(src) < 0 || int(src) >= n {
+		return res
+	}
+	res.Dist[src] = 0
+
+	// Lazy-deletion binary heap: duplicates allowed, finalized nodes skipped.
+	h := &distHeap{}
+	h.push(item{node: src, dist: 0})
+	done := make([]bool, n)
+	for h.len() > 0 {
+		it := h.pop()
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		du := res.Dist[u]
+		v.VisitOut(u, func(to graph.NodeID, cost float64) {
+			if cost < 0 {
+				panic("dijkstra: negative link cost")
+			}
+			if done[to] {
+				return
+			}
+			nd := du + cost
+			switch {
+			case nd < res.Dist[to]:
+				res.Dist[to] = nd
+				res.Parent[to] = u
+				h.push(item{node: to, dist: nd})
+			case nd == res.Dist[to] && u < res.Parent[to]:
+				// Equal-cost path through a lower-address parent wins;
+				// the distance is unchanged so no re-push is needed.
+				res.Parent[to] = u
+			}
+		})
+	}
+	return res
+}
+
+// Reachable reports whether id has a finite distance.
+func (r *Result) Reachable(id graph.NodeID) bool {
+	return int(id) >= 0 && int(id) < len(r.Dist) && !math.IsInf(r.Dist[id], 1)
+}
+
+// PathTo returns the node sequence src..id along the shortest-path tree,
+// or nil when id is unreachable.
+func (r *Result) PathTo(id graph.NodeID) []graph.NodeID {
+	if !r.Reachable(id) {
+		return nil
+	}
+	var rev []graph.NodeID
+	for at := id; at != graph.None; at = r.Parent[at] {
+		rev = append(rev, at)
+		if at == r.Src {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// TreeLinks returns the (parent, child) pairs of the shortest-path tree.
+func (r *Result) TreeLinks() [][2]graph.NodeID {
+	var out [][2]graph.NodeID
+	for id, p := range r.Parent {
+		if p != graph.None {
+			out = append(out, [2]graph.NodeID{p, graph.NodeID(id)})
+		}
+	}
+	return out
+}
+
+// NextHop returns the first hop from src toward id along the tree, or
+// graph.None when unreachable or id == src.
+func (r *Result) NextHop(id graph.NodeID) graph.NodeID {
+	if !r.Reachable(id) || id == r.Src {
+		return graph.None
+	}
+	at := id
+	for r.Parent[at] != r.Src {
+		at = r.Parent[at]
+		if at == graph.None {
+			return graph.None
+		}
+	}
+	return at
+}
+
+type item struct {
+	node graph.NodeID
+	dist float64
+}
+
+type distHeap struct{ items []item }
+
+func (h *distHeap) len() int { return len(h.items) }
+
+func (h *distHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	// Pop lower-address nodes first among equals so parent updates settle
+	// deterministically.
+	return a.node < b.node
+}
+
+func (h *distHeap) push(it item) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() item {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		min := left
+		if right := left + 1; right < last && h.less(right, left) {
+			min = right
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+	return top
+}
+
+// GraphView adapts internal/graph.Graph plus a cost function to the View
+// interface. Cost returns the routing cost of a link (typically its marginal
+// delay); it must be non-negative.
+type GraphView struct {
+	G    *graph.Graph
+	Cost func(l *graph.Link) float64
+}
+
+// NumNodes implements View.
+func (gv GraphView) NumNodes() int { return gv.G.NumNodes() }
+
+// VisitOut implements View.
+func (gv GraphView) VisitOut(u graph.NodeID, visit func(graph.NodeID, float64)) {
+	for _, l := range gv.G.OutLinks(u) {
+		visit(l.To, gv.Cost(l))
+	}
+}

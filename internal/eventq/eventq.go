@@ -1,0 +1,143 @@
+// Package eventq implements the discrete-event scheduler core: a binary-heap
+// priority queue of timestamped events with stable FIFO ordering among
+// events scheduled for the same instant. Stability matters for protocol
+// correctness — MPDA assumes messages on a link are delivered in the order
+// sent, and equal-time events must not be reordered by the heap.
+package eventq
+
+// Event is a callback scheduled at an absolute simulation time.
+type Event struct {
+	time float64
+	seq  uint64
+	fn   func()
+	// index into the heap, -1 once popped or canceled.
+	index int
+}
+
+// Time returns the absolute time the event fires at.
+func (e *Event) Time() float64 { return e.time }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+// Queue is a min-heap of events ordered by (time, insertion sequence).
+// The zero value is ready for use. Queue is not safe for concurrent use:
+// the simulator is single-threaded by design, which keeps runs reproducible.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules fn at absolute time t and returns a handle that can cancel
+// it. It panics on a nil fn (always a programming error).
+func (q *Queue) Push(t float64, fn func()) *Event {
+	if fn == nil {
+		panic("eventq: Push with nil fn")
+	}
+	e := &Event{time: t, seq: q.seq, fn: fn, index: len(q.heap)}
+	q.seq++
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+	return e
+}
+
+// Pop removes and returns the earliest event. It returns nil when empty.
+func (q *Queue) Pop() *Event {
+	for {
+		if len(q.heap) == 0 {
+			return nil
+		}
+		e := q.heap[0]
+		last := len(q.heap) - 1
+		q.swap(0, last)
+		q.heap = q.heap[:last]
+		if last > 0 {
+			q.down(0)
+		}
+		e.index = -1
+		if e.fn == nil { // canceled
+			continue
+		}
+		return e
+	}
+}
+
+// Peek returns the earliest pending event without removing it.
+func (q *Queue) Peek() *Event {
+	for len(q.heap) > 0 && q.heap[0].fn == nil {
+		// Discard the canceled top without touching live events.
+		e := q.heap[0]
+		last := len(q.heap) - 1
+		q.swap(0, last)
+		q.heap = q.heap[:last]
+		if last > 0 {
+			q.down(0)
+		}
+		e.index = -1
+	}
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Cancel prevents a pending event from firing. Canceling an already-fired
+// or already-canceled event is a no-op. Cancellation is O(1); the slot is
+// reclaimed lazily on Pop.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil {
+		return
+	}
+	e.fn = nil
+}
+
+// Run pops and executes the canceled-filtered event stream.
+// Fire invokes the event's callback.
+func (e *Event) Fire() { e.fn() }
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && q.less(right, left) {
+			min = right
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.swap(i, min)
+		i = min
+	}
+}

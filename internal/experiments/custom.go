@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"minroute/internal/report"
+	"minroute/internal/router"
+	"minroute/internal/topo"
+)
+
+// CustomComparison runs the full scheme spectrum — Gallager's OPT, MP, SP
+// and ECMP — on a user-supplied network (e.g. one loaded with topo.Parse)
+// under identical traffic and seeds, returning the per-flow delay figure.
+// This is what `mdrsim -scenario x.txt -compare` prints.
+func CustomComparison(net *topo.Network, set Settings) (*report.Figure, error) {
+	build := func() *topo.Network { return net }
+	fig, err := compare("custom", "Scheme comparison on custom network", build, true, 0,
+		[]scheme{mp(10, 2), sp(10)}, set, nil)
+	if err != nil {
+		return nil, err
+	}
+	ecmp, err := runVariant(build, variant{label: "ECMP-TL-10", mode: router.ModeECMP}, set, 1)
+	if err != nil {
+		return nil, err
+	}
+	fig.Columns = append(fig.Columns, "ECMP-TL-10")
+	for r := range fig.Data {
+		fig.Data[r] = append(fig.Data[r], ecmp[r])
+	}
+	return fig, nil
+}

@@ -1,0 +1,309 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 5) plus the reconstructed dynamic-traffic experiments. Each
+// FigN function runs the schemes it compares — OPT (Gallager), MP (the
+// paper's framework at the stated Tl/Ts), and SP (single-path) — under
+// identical topology, traffic, and seed, and returns a report.Figure whose
+// rows are flow IDs and whose columns are the schemes, exactly as the
+// paper plots them.
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results and shape comparisons against the paper.
+package experiments
+
+import (
+	"fmt"
+
+	"minroute/internal/core"
+	"minroute/internal/gallager"
+	"minroute/internal/report"
+	"minroute/internal/router"
+	"minroute/internal/topo"
+	"minroute/internal/traffic"
+)
+
+// Settings scales the simulations. Full reproduces the paper-quality run;
+// Quick is used by unit tests and CI-grade benchmarks.
+type Settings struct {
+	Warmup   float64
+	Duration float64
+	Seed     uint64
+	// Runs averages each scheme over this many independent seeds
+	// (Seed, Seed+1000, ...). Zero means one run. Single-path routing with
+	// a delay metric is chaotic in the loaded regime, so the Tl-sweep
+	// figures in particular benefit from averaging.
+	Runs int
+}
+
+func (s Settings) runs() int {
+	if s.Runs < 1 {
+		return 1
+	}
+	return s.Runs
+}
+
+// Full is the paper-quality setting: the warmup spans several long-term
+// (Tl) update periods so every scheme is measured at steady state, and
+// every scheme is averaged over three seeds.
+var Full = Settings{Warmup: 80, Duration: 60, Seed: 1, Runs: 3}
+
+// Quick is a fast setting for tests and CI-grade benchmarks. It still
+// allows ~4 Tl rounds of settling at Tl=10.
+var Quick = Settings{Warmup: 40, Duration: 20, Seed: 1}
+
+// scheme describes one simulated routing configuration.
+type scheme struct {
+	label string
+	mode  router.Mode
+	tl    float64
+	ts    float64
+}
+
+func (s scheme) options(set Settings, src func(f topo.Flow) traffic.Source) core.Options {
+	opt := core.DefaultOptions()
+	opt.Router.Mode = s.mode
+	opt.Router.Tl = s.tl
+	opt.Router.Ts = s.ts
+	if s.mode == router.ModeSP || s.mode == router.ModeECMP {
+		// SP measures link delay over a fixed 5 s window regardless of the
+		// update period, ARPANET-style, so Tl sweeps vary staleness only
+		// (see DESIGN.md deviation 6). MP keeps the paper's Tl-window costs.
+		opt.Router.CostMeasureWindow = 5
+	}
+	opt.Seed = set.Seed
+	opt.Warmup = set.Warmup
+	opt.Duration = set.Duration
+	opt.Source = src
+	return opt
+}
+
+// runScheme simulates one scheme on fresh copies of the network, once per
+// seed, and returns the per-flow mean delays averaged across runs.
+func runScheme(build func() *topo.Network, s scheme, set Settings, src func(f topo.Flow) traffic.Source) ([]float64, error) {
+	if s.mode == router.ModeStatic {
+		return nil, fmt.Errorf("experiments: static scheme must use runOPT")
+	}
+	var acc []float64
+	for r := 0; r < set.runs(); r++ {
+		run := set
+		run.Seed = set.Seed + uint64(r)*1000
+		net := build()
+		n := core.Build(net, s.options(run, src))
+		rep := n.Run()
+		if err := n.CheckLoopFree(); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", s.label, err)
+		}
+		acc = accumulate(acc, rep.MeanDelayMs)
+	}
+	return scaleSlice(acc, 1/float64(set.runs())), nil
+}
+
+// accumulate adds b into a element-wise, allocating on first use.
+func accumulate(a, b []float64) []float64 {
+	if a == nil {
+		a = make([]float64, len(b))
+	}
+	for i := range b {
+		a[i] += b[i]
+	}
+	return a
+}
+
+func scaleSlice(a []float64, f float64) []float64 {
+	for i := range a {
+		a[i] *= f
+	}
+	return a
+}
+
+// runOPT solves Gallager's minimum-delay routing on the fluid model (once)
+// and measures its converged routing parameters inside the same packet
+// simulator used for MP and SP — once per seed — so all schemes are
+// observed identically.
+func runOPT(build func() *topo.Network, set Settings, src func(f topo.Flow) traffic.Source) ([]float64, error) {
+	sol, err := gallager.Solve(build().Graph, build().Flows, gallager.Options{MeanPacketBits: 8000})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: OPT solve: %w", err)
+	}
+	var acc []float64
+	for r := 0; r < set.runs(); r++ {
+		run := set
+		run.Seed = set.Seed + uint64(r)*1000
+		s := scheme{label: "OPT", mode: router.ModeStatic, tl: 0, ts: 0}
+		net := build()
+		n := core.Build(net, s.options(run, src))
+		n.InstallStatic(sol.Phi)
+		acc = accumulate(acc, n.Run().MeanDelayMs)
+	}
+	return scaleSlice(acc, 1/float64(set.runs())), nil
+}
+
+// compare runs OPT (optionally) plus the listed schemes and assembles the
+// figure, adding envelope columns where the paper plots them.
+func compare(id, title string, build func() *topo.Network, withOPT bool, envelope float64,
+	schemes []scheme, set Settings, src func(f topo.Flow) traffic.Source) (*report.Figure, error) {
+
+	fig := &report.Figure{ID: id, Title: title}
+	var columns [][]float64
+	if withOPT {
+		delays, err := runOPT(build, set, src)
+		if err != nil {
+			return nil, err
+		}
+		fig.Columns = append(fig.Columns, "OPT")
+		columns = append(columns, delays)
+		if envelope > 0 {
+			fig.Columns = append(fig.Columns, fmt.Sprintf("OPT+%.0f%%", envelope*100))
+			env := make([]float64, len(delays))
+			for i, v := range delays {
+				env[i] = v * (1 + envelope)
+			}
+			columns = append(columns, env)
+		}
+	}
+	for _, s := range schemes {
+		delays, err := runScheme(build, s, set, src)
+		if err != nil {
+			return nil, err
+		}
+		fig.Columns = append(fig.Columns, s.label)
+		columns = append(columns, delays)
+	}
+	net := build()
+	for x, f := range net.Flows {
+		row := make([]float64, len(columns))
+		for c := range columns {
+			row[c] = columns[c][x]
+		}
+		fig.AddRow(fmt.Sprintf("%d:%s", x, f.Name), row...)
+	}
+	return fig, nil
+}
+
+func mp(tl, ts float64) scheme {
+	return scheme{label: fmt.Sprintf("MP-TL-%.0f-TS-%.0f", tl, ts), mode: router.ModeMP, tl: tl, ts: ts}
+}
+
+func sp(tl float64) scheme {
+	return scheme{label: fmt.Sprintf("SP-TL-%.0f", tl), mode: router.ModeSP, tl: tl, ts: tl}
+}
+
+// Fig9 — "Delays of OPT and MP in CAIRN": MP-TL-10-TS-2 against OPT and
+// the paper's 5% envelope.
+func Fig9(set Settings) (*report.Figure, error) {
+	fig, err := compare("fig9", "Delays of OPT and MP in CAIRN", topoCAIRN, true, 0.05,
+		[]scheme{mp(10, 2)}, set, nil)
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, "paper: MP delays fall within the OPT+5% envelope")
+	return fig, nil
+}
+
+// Fig10 — "Delays of OPT and MP in NET1" with the paper's 8% envelope.
+func Fig10(set Settings) (*report.Figure, error) {
+	fig, err := compare("fig10", "Delays of OPT and MP in NET1", topoNET1, true, 0.08,
+		[]scheme{mp(10, 2)}, set, nil)
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, "paper: MP delays fall within the OPT+8% envelope")
+	return fig, nil
+}
+
+// Fig11 — "Delays of MP and SP in CAIRN": OPT, MP-TL-10-TS-10,
+// MP-TL-10-TS-2, SP-TL-10.
+func Fig11(set Settings) (*report.Figure, error) {
+	fig, err := compare("fig11", "Delays of MP and SP in CAIRN", topoCAIRN, true, 0,
+		[]scheme{mp(10, 10), mp(10, 2), sp(10)}, set, nil)
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, "paper: SP delays are two to four times those of MP on some flows")
+	return fig, nil
+}
+
+// Fig12 — "Delays of MP and SP in NET1": same columns as Fig11.
+func Fig12(set Settings) (*report.Figure, error) {
+	fig, err := compare("fig12", "Delays of MP and SP in NET1", topoNET1, true, 0,
+		[]scheme{mp(10, 10), mp(10, 2), sp(10)}, set, nil)
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: SP delays are as much as five to six times those of MP (higher connectivity)")
+	return fig, nil
+}
+
+// Fig13 — effect of the long-term interval Tl in CAIRN: Tl 10 -> 20 with
+// Ts fixed. The paper: SP delays more than double; MP barely changes.
+func Fig13(set Settings) (*report.Figure, error) {
+	fig, err := compare("fig13", "Effect of Tl in CAIRN (Tl 10 vs 20)", topoCAIRN, false, 0,
+		[]scheme{mp(10, 2), mp(20, 2), sp(10), sp(20)}, set, nil)
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: raising Tl from 10 to 20 more than doubles SP delays; MP remains relatively unchanged")
+	return fig, nil
+}
+
+// Fig14 — effect of Tl in NET1 (same sweep as Fig13).
+func Fig14(set Settings) (*report.Figure, error) {
+	fig, err := compare("fig14", "Effect of Tl in NET1 (Tl 10 vs 20)", topoNET1, false, 0,
+		[]scheme{mp(10, 2), mp(20, 2), sp(10), sp(20)}, set, nil)
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: SP delays increase significantly with Tl; MP shows negligible change")
+	return fig, nil
+}
+
+// burstySource builds the on-off sources of the dynamic experiments.
+func burstySource(f topo.Flow) traffic.Source {
+	return traffic.OnOff{RateBits: f.Rate, MeanPacketBits: 8000, PeakFactor: 4, MeanOn: 0.25}
+}
+
+// Fig15 — dynamic (bursty) traffic in CAIRN (reconstructed; the provided
+// paper text truncates before this experiment): MP vs SP under on-off
+// sources with the same average rates as the stationary runs.
+func Fig15(set Settings) (*report.Figure, error) {
+	fig, err := compare("fig15", "Dynamic (bursty) traffic in CAIRN (reconstructed)", topoCAIRN, false, 0,
+		[]scheme{mp(10, 2), sp(10)}, set, burstySource)
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"reconstructed: under short bursts MP's local load balancing absorbs what SP cannot")
+	return fig, nil
+}
+
+// Fig16 — dynamic (bursty) traffic in NET1 (reconstructed).
+func Fig16(set Settings) (*report.Figure, error) {
+	fig, err := compare("fig16", "Dynamic (bursty) traffic in NET1 (reconstructed)", topoNET1, false, 0,
+		[]scheme{mp(10, 2), sp(10)}, set, burstySource)
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"reconstructed: under short bursts MP's local load balancing absorbs what SP cannot")
+	return fig, nil
+}
+
+func topoCAIRN() *topo.Network { return topo.CAIRN() }
+func topoNET1() *topo.Network  { return topo.NET1() }
+
+// All maps figure IDs to their generators.
+var All = map[string]func(Settings) (*report.Figure, error){
+	"fig9":  Fig9,
+	"fig10": Fig10,
+	"fig11": Fig11,
+	"fig12": Fig12,
+	"fig13": Fig13,
+	"fig14": Fig14,
+	"fig15": Fig15,
+	"fig16": Fig16,
+}
+
+// IDs lists the figure identifiers in presentation order.
+var IDs = []string{"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}

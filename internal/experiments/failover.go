@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"minroute/internal/core"
+	"minroute/internal/report"
+	"minroute/internal/router"
+	"minroute/internal/topo"
+)
+
+// Failover quantifies the paper's remark that "in the presence of link
+// failures, MP can only perform better than SP, because of availability of
+// alternate paths": one NET1 bridge link (4-5) fails mid-run and later
+// recovers; the figure reports the mean delay over flows in each phase for
+// MP and SP. Rows are phases rather than flows.
+func Failover(set Settings) (*report.Figure, error) {
+	fig := &report.Figure{
+		ID:      "failover",
+		Title:   "Bridge failure and recovery in NET1 (mean over flows, ms)",
+		Columns: []string{"MP-TL-10-TS-2", "SP-TL-10"},
+	}
+	phases := []string{"baseline", "failed", "recovered"}
+	cells := make(map[string][]float64) // phase -> per-scheme means
+
+	for _, mode := range []router.Mode{router.ModeMP, router.ModeSP} {
+		var acc [3]float64
+		for r := 0; r < set.runs(); r++ {
+			vals, err := failoverRun(mode, set, set.Seed+uint64(r)*1000)
+			if err != nil {
+				return nil, err
+			}
+			for i := range vals {
+				acc[i] += vals[i]
+			}
+		}
+		for i, phase := range phases {
+			cells[phase] = append(cells[phase], acc[i]/float64(set.runs()))
+		}
+	}
+	for _, phase := range phases {
+		fig.AddRow(phase, cells[phase]...)
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: with link failures MP can only perform better than SP (alternate paths already in place)")
+	return fig, nil
+}
+
+// failoverRun measures one scheme's mean delay across the three phases.
+func failoverRun(mode router.Mode, set Settings, seed uint64) ([3]float64, error) {
+	var out [3]float64
+	net := topo.NET1()
+	opt := core.DefaultOptions()
+	opt.Router.Mode = mode
+	opt.Seed = seed
+	if mode == router.ModeSP {
+		opt.Router.Ts = opt.Router.Tl
+		opt.Router.CostMeasureWindow = 5
+	}
+	n := core.Build(net, opt)
+	n.Start()
+	n.Eng.Run(set.Warmup)
+
+	measure := func(idx int, dur float64) error {
+		for _, s := range n.Stats {
+			s.Reset()
+		}
+		n.Eng.Run(n.Eng.Now() + dur)
+		if err := n.CheckLoopFree(); err != nil {
+			return fmt.Errorf("experiments: failover %v: %w", mode, err)
+		}
+		out[idx] = n.Report().AvgMeanDelayMs()
+		return nil
+	}
+
+	if err := measure(0, set.Duration); err != nil {
+		return out, err
+	}
+	n.FailLink(4, 5)
+	n.Eng.Run(n.Eng.Now() + 5) // reconvergence grace
+	if err := measure(1, set.Duration); err != nil {
+		return out, err
+	}
+	n.RestoreLink(4, 5)
+	n.Eng.Run(n.Eng.Now() + 5)
+	if err := measure(2, set.Duration); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func init() {
+	All["failover"] = Failover
+	IDs = append(IDs, "failover")
+}

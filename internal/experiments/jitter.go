@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"minroute/internal/core"
+	"minroute/internal/report"
+	"minroute/internal/router"
+	"minroute/internal/topo"
+)
+
+// Jitter compares delay variability between MP and SP on NET1 — the paper
+// observes that "because of load-balancing used in MP, the plots of MP are
+// less jagged than those of SP". Columns report each flow's delay standard
+// deviation in milliseconds.
+func Jitter(set Settings) (*report.Figure, error) {
+	fig := &report.Figure{
+		ID:      "jitter",
+		Title:   "Per-flow delay standard deviation in NET1 (ms)",
+		Columns: []string{"MP-TL-10-TS-2", "SP-TL-10"},
+	}
+	var cols [][]float64
+	for _, mode := range []router.Mode{router.ModeMP, router.ModeSP} {
+		var acc []float64
+		for r := 0; r < set.runs(); r++ {
+			net := topo.NET1()
+			opt := core.DefaultOptions()
+			opt.Router.Mode = mode
+			opt.Seed = set.Seed + uint64(r)*1000
+			opt.Warmup = set.Warmup
+			opt.Duration = set.Duration
+			if mode == router.ModeSP {
+				opt.Router.Ts = opt.Router.Tl
+				opt.Router.CostMeasureWindow = 5
+			}
+			n := core.Build(net, opt)
+			rep := n.Run()
+			if err := n.CheckLoopFree(); err != nil {
+				return nil, fmt.Errorf("experiments: jitter: %w", err)
+			}
+			acc = accumulate(acc, rep.StdDevMs)
+		}
+		cols = append(cols, scaleSlice(acc, 1/float64(set.runs())))
+	}
+	net := topo.NET1()
+	for x, f := range net.Flows {
+		fig.AddRow(fmt.Sprintf("%d:%s", x, f.Name), cols[0][x], cols[1][x])
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: \"because of load-balancing used in MP, the plots of MP are less jagged than those of SP\"")
+	return fig, nil
+}
+
+func init() {
+	All["jitter"] = Jitter
+	IDs = append(IDs, "jitter")
+}

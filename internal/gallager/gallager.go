@@ -1,0 +1,493 @@
+// Package gallager implements Gallager's distributed minimum-delay routing
+// algorithm (Gallager 1977; the paper's Section 2.2, labeled OPT), which the
+// paper uses as the optimal-delay baseline. The iteration solves MDRP: find
+// routing parameters φ minimizing the total expected delay D_T.
+//
+// Each iteration:
+//
+//  1. Solves the flow equations for the current φ (internal/fluid).
+//  2. Computes link marginal delays l_ik = D'_ik(f_ik).
+//  3. Computes marginal distances ∂D_T/∂r_ij by the recursion of Eq. 5:
+//     ∂D/∂r_ij = Σ_k φ_ijk (l_ik + ∂D/∂r_kj), evaluated in reverse
+//     topological order of the (loop-free) routing graph.
+//  4. Shifts routing fractions away from non-minimal next hops:
+//     Δφ_ijk = min(φ_ijk, η·a_ijk/t_ij), where a_ijk is the excess marginal
+//     distance of k over the best neighbor, and adds the total to the best
+//     neighbor — honoring Gallager's blocking technique: a neighbor whose
+//     current routing is improper (or that forwards through one) may not
+//     receive new flow, which preserves loop-freedom at every step.
+//
+// As the paper stresses, OPT needs a global step size η chosen a priori and
+// stationary input traffic; it is "a method for obtaining lower bounds ...
+// rather than an algorithm to be used in practice". This implementation
+// runs the iteration centrally on the fluid model and adapts η downward
+// when an iteration fails to improve D_T, which keeps the lower-bound
+// computation robust without changing the fixed points.
+package gallager
+
+import (
+	"fmt"
+	"math"
+
+	"minroute/internal/alloc"
+	"minroute/internal/dijkstra"
+	"minroute/internal/fluid"
+	"minroute/internal/graph"
+	"minroute/internal/linkcost"
+	"minroute/internal/topo"
+)
+
+// Options tunes the solver. Zero values select sensible defaults.
+type Options struct {
+	// Eta is Gallager's global step size; the line search scales it up and
+	// down from here. Default 1.
+	Eta float64
+	// MaxIters bounds the iteration count. Default 2000.
+	MaxIters int
+	// Tol is the relative D_T improvement below which the iteration is
+	// considered converged. Default 1e-9.
+	Tol float64
+	// MeanPacketBits converts bit rates to packet rates. Default 8000.
+	MeanPacketBits float64
+	// SecondDerivative scales each traffic shift by the curvature of the
+	// delay function (Bertsekas & Gallager's acceleration, which the paper
+	// cites as "us[ing] second derivatives to speed up convergence of
+	// Gallager's algorithm"): Δφ = min(φ, η·a/(t_ij·h)) with h the second
+	// derivative of the link delay along the shifted direction. Steps are
+	// then naturally small on sharply-curved (nearly saturated) links and
+	// large on flat ones.
+	SecondDerivative bool
+}
+
+func (o *Options) setDefaults() {
+	if o.Eta <= 0 {
+		o.Eta = 1
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 2000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MeanPacketBits <= 0 {
+		o.MeanPacketBits = 8000
+	}
+}
+
+// Result is the converged routing.
+type Result struct {
+	// Phi[j][i] holds φ_ij·, the fractions router i uses for destination j.
+	Phi [][]alloc.Params
+	// TotalDelay is the final D_T.
+	TotalDelay float64
+	// Iterations actually performed.
+	Iterations int
+	// Converged reports whether the relative improvement fell below Tol
+	// before MaxIters.
+	Converged bool
+}
+
+// Fractions implements fluid.Routing.
+func (r *Result) Fractions(i, j graph.NodeID) alloc.Params { return r.Phi[j][i] }
+
+// Solve runs the OPT iteration for the given demands.
+//
+// The update rule is Gallager's; the step size is managed as a backtracking
+// line search around it. Each iteration proposes φ' = update(φ, η): if D_T
+// does not increase the proposal is accepted (and η doubles after a streak
+// of successes, since Gallager's fixed global η has no natural scale for a
+// given network); otherwise φ is kept and η halves. Iteration stops when a
+// window of iterations brings no relative improvement above Tol.
+func Solve(g *graph.Graph, flows []topo.Flow, opt Options) (*Result, error) {
+	opt.setDefaults()
+	n := g.NumNodes()
+	s := &solver{
+		g:    g,
+		n:    n,
+		opt:  opt,
+		cfg:  fluid.Config{Graph: g, Flows: flows, MeanPacketBits: opt.MeanPacketBits},
+		dest: destSet(flows),
+	}
+	s.initShortestPath()
+
+	res := &Result{}
+	eta := opt.Eta
+	best := math.Inf(1)
+	lastImprovedIter := 0
+	streak := 0
+	const stallWindow = 30
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		res.Iterations = iter + 1
+		dt, candidate, err := s.propose(eta)
+		if err != nil {
+			return nil, err
+		}
+		if dt < best*(1-opt.Tol) {
+			lastImprovedIter = iter
+		}
+		if dt < best {
+			best = dt
+		}
+		dtNew, okCand := s.evaluate(candidate)
+		if okCand && dtNew <= dt*(1+1e-12) {
+			s.phi = candidate
+			streak++
+			if streak >= 3 {
+				eta *= 2
+				streak = 0
+			}
+		} else {
+			// Overshoot (or the candidate formed a loop despite blocking,
+			// which the fluid solver rejects): keep φ, shrink the step.
+			eta /= 2
+			streak = 0
+			if eta < opt.Eta*1e-12 {
+				break
+			}
+		}
+		if iter-lastImprovedIter >= stallWindow {
+			res.Converged = true
+			break
+		}
+	}
+	if final, ok := s.evaluate(s.phi); ok {
+		best = math.Min(best, final)
+	}
+	res.Phi = s.phi
+	res.TotalDelay = best
+	if res.Iterations < opt.MaxIters {
+		res.Converged = true
+	}
+	return res, nil
+}
+
+// evaluate returns D_T under the given routing parameters, reporting false
+// when the parameters are not evaluable (cyclic routing graph).
+func (s *solver) evaluate(phi [][]alloc.Params) (float64, bool) {
+	rt := fluid.RoutingFunc(func(i, j graph.NodeID) alloc.Params { return phi[j][i] })
+	res, err := fluid.Solve(s.cfg, rt)
+	if err != nil {
+		return 0, false
+	}
+	dt := 0.0
+	for _, l := range s.g.Links() {
+		lambda := res.Flow(l.From, l.To) / s.opt.MeanPacketBits
+		mu := linkcost.KnownMu(l.Capacity, s.opt.MeanPacketBits)
+		dt += linkcost.MM1Total(lambda, mu, l.PropDelay)
+	}
+	return dt, true
+}
+
+type solver struct {
+	g    *graph.Graph
+	n    int
+	opt  Options
+	cfg  fluid.Config
+	dest map[graph.NodeID]bool
+	// phi[j][i] = φ_ij·
+	phi [][]alloc.Params
+}
+
+func destSet(flows []topo.Flow) map[graph.NodeID]bool {
+	m := make(map[graph.NodeID]bool)
+	for _, f := range flows {
+		m[f.Dst] = true
+	}
+	return m
+}
+
+// Fractions implements fluid.Routing for the in-progress state.
+func (s *solver) Fractions(i, j graph.NodeID) alloc.Params { return s.phi[j][i] }
+
+// initShortestPath seeds φ with single shortest paths under zero-flow
+// marginal costs — a loop-free starting point, as Gallager requires.
+func (s *solver) initShortestPath() {
+	s.phi = make([][]alloc.Params, s.n)
+	idleCost := func(l *graph.Link) float64 {
+		mu := linkcost.KnownMu(l.Capacity, s.opt.MeanPacketBits)
+		return linkcost.MM1Marginal(0, mu, l.PropDelay)
+	}
+	view := dijkstra.GraphView{G: s.g, Cost: idleCost}
+	// Distances from every node; next hops toward each destination.
+	results := make([]*dijkstra.Result, s.n)
+	for i := 0; i < s.n; i++ {
+		results[i] = dijkstra.Run(view, graph.NodeID(i))
+	}
+	for j := 0; j < s.n; j++ {
+		s.phi[j] = make([]alloc.Params, s.n)
+		if !s.dest[graph.NodeID(j)] {
+			continue
+		}
+		for i := 0; i < s.n; i++ {
+			if i == j {
+				continue
+			}
+			if nh := results[i].NextHop(graph.NodeID(j)); nh != graph.None {
+				s.phi[j][i] = alloc.Single(nh)
+			}
+		}
+	}
+}
+
+// propose computes the gradients at the current φ and returns the current
+// D_T along with a candidate φ produced by one Gallager step of size eta.
+// The current φ is left untouched.
+func (s *solver) propose(eta float64) (float64, [][]alloc.Params, error) {
+	res, err := fluid.Solve(s.cfg, s)
+	if err != nil {
+		return 0, nil, fmt.Errorf("gallager: %w", err)
+	}
+	// Link marginal costs (and curvatures, for the second-derivative
+	// acceleration) at the current flows.
+	cost := make(map[[2]graph.NodeID]float64, s.g.NumLinks())
+	var curv map[[2]graph.NodeID]float64
+	if s.opt.SecondDerivative {
+		curv = make(map[[2]graph.NodeID]float64, s.g.NumLinks())
+	}
+	dt := 0.0
+	for _, l := range s.g.Links() {
+		lambda := res.Flow(l.From, l.To) / s.opt.MeanPacketBits
+		mu := linkcost.KnownMu(l.Capacity, s.opt.MeanPacketBits)
+		key := [2]graph.NodeID{l.From, l.To}
+		cost[key] = linkcost.MM1Marginal(lambda, mu, l.PropDelay)
+		if curv != nil {
+			curv[key] = linkcost.MM1Curvature(lambda, mu)
+		}
+		dt += linkcost.MM1Total(lambda, mu, l.PropDelay)
+	}
+
+	candidate := make([][]alloc.Params, s.n)
+	for j := range s.phi {
+		candidate[j] = make([]alloc.Params, s.n)
+		for i := range s.phi[j] {
+			if s.phi[j][i] != nil {
+				candidate[j][i] = s.phi[j][i].Clone()
+			}
+		}
+	}
+	for j := range s.phi {
+		jid := graph.NodeID(j)
+		if !s.dest[jid] {
+			continue
+		}
+		lam, err := s.marginalDistances(jid, cost)
+		if err != nil {
+			return 0, nil, err
+		}
+		blocked := s.blockedSet(jid, lam, cost)
+		s.updateDest(candidate, jid, lam, cost, curv, blocked, eta, res)
+	}
+	return dt, candidate, nil
+}
+
+// marginalDistances computes ∂D_T/∂r_ij for all i by Eq. 5 in reverse
+// topological order of the routing graph for destination j.
+func (s *solver) marginalDistances(j graph.NodeID, cost map[[2]graph.NodeID]float64) ([]float64, error) {
+	lam := make([]float64, s.n)
+	pending := make([]int, s.n)
+	preds := make([][]graph.NodeID, s.n)
+	for i := 0; i < s.n; i++ {
+		lam[i] = math.Inf(1)
+		if graph.NodeID(i) == j {
+			continue
+		}
+		for k, v := range s.phi[j][i] {
+			if v > 0 {
+				pending[i]++
+				preds[k] = append(preds[k], graph.NodeID(i))
+			}
+		}
+	}
+	lam[j] = 0
+	queue := []graph.NodeID{j}
+	for i := 0; i < s.n; i++ {
+		if graph.NodeID(i) != j && pending[i] == 0 {
+			queue = append(queue, graph.NodeID(i))
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		k := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		if k != j && len(s.phi[j][k]) > 0 {
+			sum := 0.0
+			for m, v := range s.phi[j][k] {
+				if v <= 0 {
+					continue
+				}
+				sum += v * (cost[[2]graph.NodeID{k, m}] + lam[m])
+			}
+			lam[k] = sum
+		}
+		for _, p := range preds[k] {
+			pending[p]--
+			if pending[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	if done != s.n {
+		return nil, fmt.Errorf("gallager: routing graph for destination %d has a cycle", j)
+	}
+	return lam, nil
+}
+
+// blockedSet implements Gallager's blocking: node k is blocked for
+// destination j when some routing path from k to j traverses an improper
+// link — a link (l, m) with φ_ljm > 0 and ∂D/∂r_mj + l_lm ≥ ∂D/∂r_lj is
+// not strictly downhill. New flow must not be steered toward blocked nodes.
+func (s *solver) blockedSet(j graph.NodeID, lam []float64, cost map[[2]graph.NodeID]float64) []bool {
+	blocked := make([]bool, s.n)
+	state := make([]byte, s.n) // 0 unknown, 1 visiting, 2 done
+	var visit func(k graph.NodeID) bool
+	visit = func(k graph.NodeID) bool {
+		if k == j {
+			return false
+		}
+		switch state[k] {
+		case 2:
+			return blocked[k]
+		case 1:
+			// Cycle should be impossible; treat defensively as blocked.
+			return true
+		}
+		state[k] = 1
+		b := false
+		for m, v := range s.phi[j][k] {
+			if v <= 0 {
+				continue
+			}
+			improper := !(lam[m] < lam[k]) // m not strictly closer in marginal distance
+			if improper || visit(m) {
+				b = true
+			}
+		}
+		state[k] = 2
+		blocked[k] = b
+		return b
+	}
+	for i := 0; i < s.n; i++ {
+		visit(graph.NodeID(i))
+	}
+	return blocked
+}
+
+// updateDest applies Gallager's φ update for destination j to the
+// candidate parameter set (gradients were taken at the current φ).
+func (s *solver) updateDest(candidate [][]alloc.Params, j graph.NodeID, lam []float64,
+	cost, curv map[[2]graph.NodeID]float64, blocked []bool, eta float64, flows *fluid.Result) {
+	for i := 0; i < s.n; i++ {
+		iid := graph.NodeID(i)
+		if iid == j {
+			continue
+		}
+		phi := candidate[j][i]
+		if len(phi) == 0 {
+			continue // unreachable or no demand through i
+		}
+		// Candidate next hops: physical neighbors. A neighbor is eligible
+		// to *receive* flow only if unblocked; blocked neighbors with
+		// existing flow may only shed it.
+		nbrs := s.g.Neighbors(iid)
+		best := math.Inf(1)
+		kmin := graph.None
+		for _, k := range nbrs {
+			if k != j && blocked[k] {
+				continue
+			}
+			d := cost[[2]graph.NodeID{iid, k}] + lam[k]
+			if d < best {
+				best = d
+				kmin = k
+			}
+		}
+		if kmin == graph.None || math.IsInf(best, 1) {
+			continue
+		}
+		tij := flows.NodeTraffic[j][i] / s.opt.MeanPacketBits // packets/s
+		movedTotal := 0.0
+		for _, k := range phi.Keys() {
+			if k == kmin {
+				continue
+			}
+			v := phi[k]
+			if v <= 0 {
+				delete(phi, k)
+				continue
+			}
+			a := cost[[2]graph.NodeID{iid, k}] + lam[k] - best
+			if a <= 0 {
+				continue // k ties the minimum; leave its share in place
+			}
+			var move float64
+			switch {
+			case tij <= 0:
+				move = v // no traffic: jump straight to the best hop
+			case curv != nil:
+				// Second-derivative scaling: curvature of the shifted
+				// direction is the sum over the donor and receiver links.
+				h := curv[[2]graph.NodeID{iid, k}] + curv[[2]graph.NodeID{iid, kmin}]
+				if h <= 0 {
+					h = 1e-12
+				}
+				move = math.Min(v, eta*a/(tij*h))
+			default:
+				move = math.Min(v, eta*a/tij)
+			}
+			phi[k] = v - move
+			movedTotal += move
+			if phi[k] <= 1e-15 {
+				delete(phi, k)
+			}
+		}
+		if movedTotal > 0 {
+			phi[kmin] += movedTotal
+		}
+	}
+}
+
+// Equalization reports, for each router and destination with traffic, the
+// spread between the largest and smallest marginal distance among the next
+// hops actually carrying flow. At a true optimum the spread is ~0 for every
+// (i, j) (the paper's Eqs. 10-12); tests use this to verify optimality.
+func Equalization(g *graph.Graph, flows []topo.Flow, r *Result, meanPacketBits float64) (float64, error) {
+	cfg := fluid.Config{Graph: g, Flows: flows, MeanPacketBits: meanPacketBits}
+	res, err := fluid.Solve(cfg, r)
+	if err != nil {
+		return 0, err
+	}
+	cost := make(map[[2]graph.NodeID]float64)
+	for _, l := range g.Links() {
+		lambda := res.Flow(l.From, l.To) / meanPacketBits
+		mu := linkcost.KnownMu(l.Capacity, meanPacketBits)
+		cost[[2]graph.NodeID{l.From, l.To}] = linkcost.MM1Marginal(lambda, mu, l.PropDelay)
+	}
+	worst := 0.0
+	for j := range r.Phi {
+		jid := graph.NodeID(j)
+		s := &solver{g: g, n: g.NumNodes(), opt: Options{MeanPacketBits: meanPacketBits}, phi: r.Phi}
+		lam, err := s.marginalDistances(jid, cost)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < g.NumNodes(); i++ {
+			if graph.NodeID(i) == jid || res.NodeTraffic[j][i] <= 1e-9 {
+				continue
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for k, v := range r.Phi[j][i] {
+				if v <= 1e-9 {
+					continue
+				}
+				d := cost[[2]graph.NodeID{graph.NodeID(i), k}] + lam[k]
+				lo = math.Min(lo, d)
+				hi = math.Max(hi, d)
+			}
+			if hi > lo && hi-lo > worst {
+				worst = hi - lo
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,108 @@
+// Package lfi checks the Loop-Free Invariant conditions of Section 3 of the
+// paper and the acyclicity of successor graphs. Tests use it to assert
+// Theorem 1/Theorem 3 — that the routing graph SG_j(t) implied by the
+// successor sets is loop-free at every instant t — after every single
+// protocol event, and the simulator uses it to audit forwarding tables.
+package lfi
+
+import (
+	"fmt"
+
+	"minroute/internal/graph"
+)
+
+// RouterView is the read-only slice of router state the checker needs.
+// mpda.Router satisfies it.
+type RouterView interface {
+	ID() graph.NodeID
+	FD(j graph.NodeID) float64
+	Successors(j graph.NodeID) []graph.NodeID
+}
+
+// FindLoop searches the successor graph for destination j for a cycle and
+// returns it (a sequence of node IDs where the last routes to the first),
+// or nil when the graph is acyclic. n is the ID-space size.
+func FindLoop(n int, routers map[graph.NodeID]RouterView, j graph.NodeID) []graph.NodeID {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // finished
+	)
+	color := make([]byte, n)
+	parent := make([]graph.NodeID, n)
+	for i := range parent {
+		parent[i] = graph.None
+	}
+
+	var dfs func(u graph.NodeID) []graph.NodeID
+	dfs = func(u graph.NodeID) []graph.NodeID {
+		color[u] = grey
+		r := routers[u]
+		if r != nil {
+			for _, k := range r.Successors(j) {
+				switch color[k] {
+				case white:
+					parent[k] = u
+					if loop := dfs(k); loop != nil {
+						return loop
+					}
+				case grey:
+					// Found a cycle k -> ... -> u -> k; reconstruct it.
+					loop := []graph.NodeID{k}
+					for at := u; at != k && at != graph.None; at = parent[at] {
+						loop = append(loop, at)
+					}
+					// Reverse into forwarding order.
+					for a, b := 0, len(loop)-1; a < b; a, b = a+1, b-1 {
+						loop[a], loop[b] = loop[b], loop[a]
+					}
+					return loop
+				}
+			}
+		}
+		color[u] = black
+		return nil
+	}
+
+	for u := 0; u < n; u++ {
+		if color[u] == white {
+			if loop := dfs(graph.NodeID(u)); loop != nil {
+				return loop
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAllDestinations verifies loop-freedom for every destination and
+// returns a descriptive error naming the first violation.
+func CheckAllDestinations(n int, routers map[graph.NodeID]RouterView) error {
+	for j := 0; j < n; j++ {
+		if loop := FindLoop(n, routers, graph.NodeID(j)); loop != nil {
+			return fmt.Errorf("lfi: successor graph for destination %d has loop %v", j, loop)
+		}
+	}
+	return nil
+}
+
+// CheckFDOrdering verifies the consequence of the LFI conditions proved in
+// Theorem 1 (Eq. 19): if k ∈ S_j at router i, then FD_j^k < FD_j^i. This is
+// the strictly-decreasing potential that makes loops impossible.
+func CheckFDOrdering(n int, routers map[graph.NodeID]RouterView) error {
+	for _, r := range routers {
+		for j := 0; j < n; j++ {
+			jid := graph.NodeID(j)
+			for _, k := range r.Successors(jid) {
+				rk := routers[k]
+				if rk == nil {
+					continue
+				}
+				if !(rk.FD(jid) < r.FD(jid)) {
+					return fmt.Errorf("lfi: router %d has successor %d for %d but FD^%d=%v >= FD^%d=%v",
+						r.ID(), k, j, k, rk.FD(jid), r.ID(), r.FD(jid))
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package lfi
+
+import (
+	"math"
+	"testing"
+
+	"minroute/internal/graph"
+)
+
+// fakeRouter is a minimal RouterView for constructing scenarios.
+type fakeRouter struct {
+	id   graph.NodeID
+	fd   map[graph.NodeID]float64
+	succ map[graph.NodeID][]graph.NodeID
+}
+
+func (f *fakeRouter) ID() graph.NodeID { return f.id }
+func (f *fakeRouter) FD(j graph.NodeID) float64 {
+	if v, ok := f.fd[j]; ok {
+		return v
+	}
+	return math.Inf(1)
+}
+func (f *fakeRouter) Successors(j graph.NodeID) []graph.NodeID { return f.succ[j] }
+
+func mkNet(succ map[graph.NodeID]map[graph.NodeID][]graph.NodeID) map[graph.NodeID]RouterView {
+	out := make(map[graph.NodeID]RouterView)
+	for id, m := range succ {
+		out[id] = &fakeRouter{id: id, fd: map[graph.NodeID]float64{}, succ: m}
+	}
+	return out
+}
+
+func TestFindLoopAcyclic(t *testing.T) {
+	// 0 -> 1 -> 2 (destination), 0 -> 2 as well: a DAG.
+	net := mkNet(map[graph.NodeID]map[graph.NodeID][]graph.NodeID{
+		0: {2: {1, 2}},
+		1: {2: {2}},
+		2: {},
+	})
+	if loop := FindLoop(3, net, 2); loop != nil {
+		t.Fatalf("found loop in DAG: %v", loop)
+	}
+	if err := CheckAllDestinations(3, net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindLoopDetectsTwoCycle(t *testing.T) {
+	net := mkNet(map[graph.NodeID]map[graph.NodeID][]graph.NodeID{
+		0: {3: {1}},
+		1: {3: {0}},
+		2: {},
+		3: {},
+	})
+	loop := FindLoop(4, net, 3)
+	if loop == nil {
+		t.Fatal("two-cycle not detected")
+	}
+	if len(loop) != 2 {
+		t.Fatalf("loop = %v, want length 2", loop)
+	}
+	if err := CheckAllDestinations(4, net); err == nil {
+		t.Fatal("CheckAllDestinations missed the loop")
+	}
+}
+
+func TestFindLoopDetectsLongCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3 -> 1 for destination 4.
+	net := mkNet(map[graph.NodeID]map[graph.NodeID][]graph.NodeID{
+		0: {4: {1}},
+		1: {4: {2}},
+		2: {4: {3}},
+		3: {4: {1}},
+		4: {},
+	})
+	loop := FindLoop(5, net, 4)
+	if loop == nil {
+		t.Fatal("3-cycle not detected")
+	}
+	if len(loop) != 3 {
+		t.Fatalf("loop = %v, want length 3 (1->2->3)", loop)
+	}
+	// The loop must be a real cycle under the successor relation.
+	inLoop := map[graph.NodeID]bool{}
+	for _, n := range loop {
+		inLoop[n] = true
+	}
+	for _, n := range []graph.NodeID{1, 2, 3} {
+		if !inLoop[n] {
+			t.Fatalf("loop %v missing node %d", loop, n)
+		}
+	}
+}
+
+func TestFindLoopSelfSuccessorIgnoredByDesign(t *testing.T) {
+	// A self-successor is a 1-cycle and must be caught.
+	net := mkNet(map[graph.NodeID]map[graph.NodeID][]graph.NodeID{
+		0: {1: {0}},
+		1: {},
+	})
+	if loop := FindLoop(2, net, 1); loop == nil {
+		t.Fatal("self-loop not detected")
+	}
+}
+
+func TestFindLoopMissingRouters(t *testing.T) {
+	// Routers absent from the map are treated as sinks.
+	net := mkNet(map[graph.NodeID]map[graph.NodeID][]graph.NodeID{
+		0: {2: {1}},
+	})
+	if loop := FindLoop(3, net, 2); loop != nil {
+		t.Fatalf("loop through missing router: %v", loop)
+	}
+}
+
+func TestCheckFDOrdering(t *testing.T) {
+	a := &fakeRouter{id: 0, fd: map[graph.NodeID]float64{2: 3}, succ: map[graph.NodeID][]graph.NodeID{2: {1}}}
+	b := &fakeRouter{id: 1, fd: map[graph.NodeID]float64{2: 1}, succ: map[graph.NodeID][]graph.NodeID{}}
+	net := map[graph.NodeID]RouterView{0: a, 1: b}
+	if err := CheckFDOrdering(3, net); err != nil {
+		t.Fatalf("valid ordering rejected: %v", err)
+	}
+	// Violate: successor's FD not strictly smaller.
+	b.fd[2] = 3
+	if err := CheckFDOrdering(3, net); err == nil {
+		t.Fatal("FD ordering violation not detected")
+	}
+}
+
+func TestCheckFDOrderingMissingSuccessorSkipped(t *testing.T) {
+	a := &fakeRouter{id: 0, fd: map[graph.NodeID]float64{2: 3}, succ: map[graph.NodeID][]graph.NodeID{2: {1}}}
+	net := map[graph.NodeID]RouterView{0: a}
+	if err := CheckFDOrdering(3, net); err != nil {
+		t.Fatalf("missing successor not skipped: %v", err)
+	}
+}

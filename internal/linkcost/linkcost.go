@@ -1,0 +1,320 @@
+// Package linkcost computes link costs — marginal delays — as Section 4.3
+// of the paper prescribes.
+//
+// The paper's Eq. (24) models each link as an M/M/1 queue:
+//
+//	D_ik(f) = f/(C−f) + τ·f
+//
+// where D is "expected number of packets per second transmitted on the link
+// times the expected delay per packet", f the link flow, C the capacity and
+// τ the propagation delay. The link cost is the marginal delay
+//
+//	l_ik = D′_ik(f) = C/(C−f)² + τ.
+//
+// Flows here are in packets per second and capacities are service rates
+// μ = C_bits / L_bits (packets per second), which makes D dimensionally a
+// delay-weighted packet rate exactly as in the paper.
+//
+// Because Eq. (24) "becomes unstable when f approaches C", costs are clamped
+// smoothly above a utilization threshold (linear extension with matching
+// slope, preserving monotonicity and convexity), and an online estimator in
+// the spirit of Cassandras–Abidi–Towsley perturbation analysis is provided
+// that needs no a-priori knowledge of the capacity.
+package linkcost
+
+import "math"
+
+// MaxUtilization is the utilization beyond which the closed-form M/M/1
+// expressions are linearly extended.
+const MaxUtilization = 0.98
+
+// MM1Delay returns the expected per-packet delay 1/(μ−λ) + τ of an M/M/1
+// link, clamped above MaxUtilization. It panics when mu <= 0.
+func MM1Delay(lambda, mu, tau float64) float64 {
+	if mu <= 0 {
+		panic("linkcost: non-positive service rate")
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+	lc := MaxUtilization * mu
+	if lambda <= lc {
+		return 1/(mu-lambda) + tau
+	}
+	// Linear extension with the slope at the clamp point.
+	w := 1 / (mu - lc)
+	slope := 1 / ((mu - lc) * (mu - lc))
+	return w + slope*(lambda-lc) + tau
+}
+
+// MM1Total returns the paper's Eq. (24): D(f) = f/(C−f) + τ·f, clamped.
+func MM1Total(lambda, mu, tau float64) float64 {
+	if mu <= 0 {
+		panic("linkcost: non-positive service rate")
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+	lc := MaxUtilization * mu
+	if lambda <= lc {
+		return lambda/(mu-lambda) + tau*lambda
+	}
+	base := lc/(mu-lc) + tau*lc
+	// Continue with the (clamped) marginal so D stays convex and increasing.
+	return base + MM1Marginal(lambda, mu, tau)*(lambda-lc)
+}
+
+// MM1Marginal returns the link cost l = D′(f) = μ/(μ−λ)² + τ, linearly
+// extended above MaxUtilization so that it remains finite, increasing and
+// convex — properties both Gallager's iteration and the allocation
+// heuristics rely on.
+func MM1Marginal(lambda, mu, tau float64) float64 {
+	if mu <= 0 {
+		panic("linkcost: non-positive service rate")
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+	lc := MaxUtilization * mu
+	if lambda <= lc {
+		d := mu - lambda
+		return mu/(d*d) + tau
+	}
+	d := mu - lc
+	base := mu / (d * d)
+	slope := 2 * mu / (d * d * d) // D′′ at the clamp point
+	return base + slope*(lambda-lc) + tau
+}
+
+// Meter accumulates packet arrivals on a link over a measurement window.
+// The router reads-and-resets it at every short-term (Ts) or long-term (Tl)
+// boundary. The zero value is ready for use.
+type Meter struct {
+	packets int64
+	bits    float64
+}
+
+// Add records one packet of the given size in bits.
+func (m *Meter) Add(bits float64) {
+	m.packets++
+	m.bits += bits
+}
+
+// Packets returns the packets accumulated since the last Take.
+func (m *Meter) Packets() int64 { return m.packets }
+
+// Take returns the packet rate (packets/s) and bit rate (bits/s) over a
+// window of the given length, then resets the meter. A non-positive elapsed
+// returns zeros.
+func (m *Meter) Take(elapsed float64) (pktRate, bitRate float64) {
+	if elapsed > 0 {
+		pktRate = float64(m.packets) / elapsed
+		bitRate = m.bits / elapsed
+	}
+	m.packets = 0
+	m.bits = 0
+	return pktRate, bitRate
+}
+
+// Smoother maintains an exponentially weighted moving average of a rate,
+// used to stabilize long-term link costs between Tl updates.
+type Smoother struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewSmoother returns a Smoother with the given weight for new samples;
+// alpha must be in (0, 1].
+func NewSmoother(alpha float64) *Smoother {
+	if alpha <= 0 || alpha > 1 {
+		panic("linkcost: smoother alpha out of (0,1]")
+	}
+	return &Smoother{alpha: alpha}
+}
+
+// Update folds in a new sample and returns the smoothed value.
+func (s *Smoother) Update(sample float64) float64 {
+	if !s.init {
+		s.value = sample
+		s.init = true
+		return s.value
+	}
+	s.value += s.alpha * (sample - s.value)
+	return s.value
+}
+
+// Value returns the current smoothed value (zero before the first sample).
+func (s *Smoother) Value() float64 { return s.value }
+
+// OnlineEstimator estimates the marginal delay of a link from per-packet
+// observations only — measured sojourn times and service times — without
+// a-priori knowledge of the link capacity. This is the role the paper
+// assigns to the Cassandras–Abidi–Towsley perturbation-analysis estimator;
+// see DESIGN.md for the substitution note.
+//
+// Derivation: for an M/M/1 link, W = 1/(μ−λ) and the marginal delay is
+// D′(λ) = μ/(μ−λ)² = W²·μ. Both W and μ (via the mean service time) are
+// directly observable, so D′ ≈ W̄²/s̄. For non-Poisson input this remains a
+// consistent busy-period-based sensitivity estimate in the PA spirit.
+type OnlineEstimator struct {
+	tau      float64 // propagation delay, added to every estimate
+	fallback float64 // estimate to report before any packet is observed
+
+	n           int64
+	sumSojourn  float64
+	sumService  float64
+	lastEstim   float64
+	hasEstimate bool
+}
+
+// NewOnlineEstimator returns an estimator for a link with the given
+// propagation delay. fallbackServiceTime seeds the idle-link estimate
+// (typically meanPacketBits/capacity); it must be positive.
+func NewOnlineEstimator(tau, fallbackServiceTime float64) *OnlineEstimator {
+	if fallbackServiceTime <= 0 {
+		panic("linkcost: non-positive fallback service time")
+	}
+	return &OnlineEstimator{tau: tau, fallback: fallbackServiceTime}
+}
+
+// Observe records one transmitted packet: its sojourn time in the queue
+// (waiting plus transmission) and its transmission (service) time.
+func (e *OnlineEstimator) Observe(sojourn, service float64) {
+	if sojourn < 0 || service <= 0 {
+		return // clock skew or zero-size guard; ignore the sample
+	}
+	e.n++
+	e.sumSojourn += sojourn
+	e.sumService += service
+}
+
+// Take returns the marginal-delay estimate over the window since the last
+// Take and resets the accumulators. Windows with no packets return the
+// previous estimate, or the idle-link marginal 1/μ + τ when there has never
+// been one.
+func (e *OnlineEstimator) Take() float64 {
+	if e.n == 0 {
+		if e.hasEstimate {
+			return e.lastEstim
+		}
+		return e.fallback + e.tau
+	}
+	w := e.sumSojourn / float64(e.n)
+	s := e.sumService / float64(e.n)
+	e.n = 0
+	e.sumSojourn = 0
+	e.sumService = 0
+	est := w*w/s + e.tau
+	e.lastEstim = est
+	e.hasEstimate = true
+	return est
+}
+
+// KnownMu returns the service rate in packets/s for a link of cap bits/s and
+// mean packet size meanBits. It panics on non-positive arguments.
+func KnownMu(capacityBits, meanPacketBits float64) float64 {
+	if capacityBits <= 0 || meanPacketBits <= 0 {
+		panic("linkcost: non-positive capacity or packet size")
+	}
+	return capacityBits / meanPacketBits
+}
+
+// Utilization returns λ/μ clamped to [0, ∞).
+func Utilization(lambda, mu float64) float64 {
+	if mu <= 0 {
+		return math.Inf(1)
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+	return lambda / mu
+}
+
+// MM1Curvature returns the second derivative D”(λ) = 2μ/(μ−λ)³ of the
+// M/M/1 total-delay function, linearly clamped above MaxUtilization (where
+// D' is linearly extended, so D” is constant). Used by the Bertsekas-
+// Gallager second-derivative step scaling.
+func MM1Curvature(lambda, mu float64) float64 {
+	if mu <= 0 {
+		panic("linkcost: non-positive service rate")
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+	lc := MaxUtilization * mu
+	if lambda > lc {
+		lambda = lc
+	}
+	d := mu - lambda
+	return 2 * mu / (d * d * d)
+}
+
+// --- M/G/1 generalizations (Pollaczek-Khinchine) ---
+//
+// The paper assumes M/M/1 links because its sources use exponential packet
+// sizes. Real traffic has other size distributions; the M/G/1 forms below
+// support sensitivity studies. cs2 is the squared coefficient of variation
+// of the service time: 1 recovers M/M/1 exactly, 0 is M/D/1 (fixed-size
+// packets).
+
+// MG1Delay returns the expected per-packet sojourn of an M/G/1 link:
+// T = 1/μ + λ(1+cs²)/(2μ(μ−λ)) + τ, clamped above MaxUtilization.
+func MG1Delay(lambda, mu, cs2, tau float64) float64 {
+	if mu <= 0 {
+		panic("linkcost: non-positive service rate")
+	}
+	if cs2 < 0 {
+		panic("linkcost: negative squared coefficient of variation")
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+	lc := MaxUtilization * mu
+	if lambda <= lc {
+		return 1/mu + lambda*(1+cs2)/(2*mu*(mu-lambda)) + tau
+	}
+	base := 1/mu + lc*(1+cs2)/(2*mu*(mu-lc))
+	slope := (1 + cs2) / (2 * (mu - lc) * (mu - lc)) // dT/dλ at the clamp
+	return base + slope*(lambda-lc) + tau
+}
+
+// MG1Marginal returns the M/G/1 marginal delay
+// D′(λ) = T(λ) + λ·T′(λ) + τ with T′ = (1+cs²)/(2(μ−λ)²), clamped.
+// With cs2 = 1 it equals MM1Marginal exactly.
+func MG1Marginal(lambda, mu, cs2, tau float64) float64 {
+	if mu <= 0 {
+		panic("linkcost: non-positive service rate")
+	}
+	if cs2 < 0 {
+		panic("linkcost: negative squared coefficient of variation")
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+	lc := MaxUtilization * mu
+	marginalAt := func(l float64) float64 {
+		d := mu - l
+		return 1/mu + l*(1+cs2)/(2*mu*d) + l*(1+cs2)/(2*d*d)
+	}
+	if lambda <= lc {
+		return marginalAt(lambda) + tau
+	}
+	// Linear extension with the numerical slope at the clamp point.
+	h := mu * 1e-9
+	slope := (marginalAt(lc) - marginalAt(lc-h)) / h
+	return marginalAt(lc) + slope*(lambda-lc) + tau
+}
+
+// MG1Total returns D(λ) = λ·T(λ) + τλ for an M/G/1 link, clamped.
+func MG1Total(lambda, mu, cs2, tau float64) float64 {
+	if lambda < 0 {
+		lambda = 0
+	}
+	lc := MaxUtilization * mu
+	if lambda <= lc {
+		return lambda * MG1Delay(lambda, mu, cs2, tau)
+	}
+	base := lc * MG1Delay(lc, mu, cs2, tau)
+	return base + MG1Marginal(lambda, mu, cs2, tau)*(lambda-lc)
+}

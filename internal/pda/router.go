@@ -1,0 +1,82 @@
+package pda
+
+import (
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+)
+
+// Sender transmits an LSU message to a neighbor. The transport must deliver
+// messages on each link reliably and in order (the paper's stated link-level
+// assumption); internal/des provides such a transport.
+type Sender func(to graph.NodeID, m *lsu.Msg)
+
+// Router is the PDA state machine (paper Figs. 1-3): every event — an LSU
+// from a neighbor or an adjacent-link change — runs NTU then MTU, and any
+// change to the main topology table is flooded to the neighbors as an LSU
+// containing only the differences.
+//
+// PDA provides single shortest paths and is the foundation MPDA extends
+// with loop-free multipath successor sets. Router is not safe for
+// concurrent use.
+type Router struct {
+	t    *Tables
+	send Sender
+}
+
+// NewRouter returns a PDA router for node id over an ID space of n nodes.
+func NewRouter(id graph.NodeID, n int, send Sender) *Router {
+	if send == nil {
+		panic("pda: nil sender")
+	}
+	return &Router{t: NewTables(id, n), send: send}
+}
+
+// Tables exposes the routing tables for inspection.
+func (r *Router) Tables() *Tables { return r.t }
+
+// LinkUp handles detection of a new (or recovered) adjacent link to k with
+// cost l_ik. Per NTU step 2, the router sends its entire main topology
+// table to the new neighbor before flooding any differences.
+func (r *Router) LinkUp(k graph.NodeID, cost float64) {
+	r.t.SetAdjacent(k, cost)
+	if full := r.t.Main().Entries(); len(full) > 0 {
+		r.send(k, &lsu.Msg{From: r.t.ID(), Entries: full})
+	}
+	r.afterEvent()
+}
+
+// LinkCostChange handles a cost change of the adjacent link to k (NTU
+// step 3).
+func (r *Router) LinkCostChange(k graph.NodeID, cost float64) {
+	if _, up := r.t.AdjCost(k); !up {
+		return
+	}
+	r.t.SetAdjacent(k, cost)
+	r.afterEvent()
+}
+
+// LinkDown handles failure of the adjacent link to k (NTU step 4).
+func (r *Router) LinkDown(k graph.NodeID) {
+	r.t.RemoveAdjacent(k)
+	r.afterEvent()
+}
+
+// HandleLSU processes an LSU message received from a neighbor (NTU step 1).
+func (r *Router) HandleLSU(m *lsu.Msg) {
+	if _, up := r.t.AdjCost(m.From); !up {
+		return // stale message from a neighbor whose link is down
+	}
+	r.t.ApplyLSU(m.From, m.Entries)
+	r.afterEvent()
+}
+
+// afterEvent implements PDA steps 2-4: run MTU and flood the differences.
+func (r *Router) afterEvent() {
+	diff := r.t.RunMTU()
+	if len(diff) == 0 {
+		return
+	}
+	for _, k := range r.t.Neighbors() {
+		r.send(k, &lsu.Msg{From: r.t.ID(), Entries: diff})
+	}
+}

@@ -1,0 +1,210 @@
+package pda
+
+import (
+	"math"
+	"sort"
+
+	"minroute/internal/dijkstra"
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+)
+
+// Tables holds the per-router state both PDA and MPDA maintain (Section
+// 4.1.1): the main topology table T, one neighbor topology table T_k per
+// neighbor, the distance tables D_j and D_jk, and the adjacent-link costs
+// l_ik. Tables implements NTU (neighbor topology table update) and MTU
+// (main topology table update); the protocol state machines drive it.
+type Tables struct {
+	id graph.NodeID
+	n  int
+
+	// adj holds l_ik for each up adjacent link.
+	adj map[graph.NodeID]float64
+	// nbrTopo holds T_k, the time-delayed copy of neighbor k's main table.
+	nbrTopo map[graph.NodeID]*Topology
+	// nbrDist[k][j] is D_jk: the distance from k to j in T_k.
+	nbrDist map[graph.NodeID][]float64
+	// main is T, the router's own shortest-path tree.
+	main *Topology
+	// dist[j] is D_j, the distance from id to j in T.
+	dist []float64
+}
+
+// NewTables returns fresh tables for router id over an ID space of n nodes.
+// All distances start at infinity except D_id = 0 (paper INIT-PDA).
+func NewTables(id graph.NodeID, n int) *Tables {
+	t := &Tables{
+		id:      id,
+		n:       n,
+		adj:     make(map[graph.NodeID]float64),
+		nbrTopo: make(map[graph.NodeID]*Topology),
+		nbrDist: make(map[graph.NodeID][]float64),
+		main:    NewTopology(n),
+		dist:    infSlice(n),
+	}
+	t.dist[id] = 0
+	return t
+}
+
+func infSlice(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Inf(1)
+	}
+	return s
+}
+
+// ID returns the owning router.
+func (t *Tables) ID() graph.NodeID { return t.id }
+
+// NumNodes returns the ID-space size.
+func (t *Tables) NumNodes() int { return t.n }
+
+// Neighbors returns the up adjacent neighbors in ascending order.
+func (t *Tables) Neighbors() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(t.adj))
+	for k := range t.adj {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AdjCost returns l_ik for neighbor k.
+func (t *Tables) AdjCost(k graph.NodeID) (float64, bool) {
+	c, ok := t.adj[k]
+	return c, ok
+}
+
+// Dist returns D_j, the router's distance to j in T.
+func (t *Tables) Dist(j graph.NodeID) float64 { return t.dist[j] }
+
+// Dists returns the full distance vector (not a copy; callers must not
+// mutate it).
+func (t *Tables) Dists() []float64 { return t.dist }
+
+// NbrDist returns D_jk, the distance from neighbor k to destination j in the
+// router's copy of k's topology. Infinite when unknown.
+func (t *Tables) NbrDist(j, k graph.NodeID) float64 {
+	d, ok := t.nbrDist[k]
+	if !ok {
+		return math.Inf(1)
+	}
+	return d[j]
+}
+
+// Main exposes the main topology table T (read-only by convention).
+func (t *Tables) Main() *Topology { return t.main }
+
+// NeighborTopo exposes T_k (read-only by convention), or nil when k is not
+// an up neighbor.
+func (t *Tables) NeighborTopo(k graph.NodeID) *Topology { return t.nbrTopo[k] }
+
+// SetAdjacent records that the adjacent link to k is up with cost l_ik
+// (NTU steps 2 and 3).
+func (t *Tables) SetAdjacent(k graph.NodeID, cost float64) {
+	if _, known := t.adj[k]; !known {
+		t.nbrTopo[k] = NewTopology(t.n)
+		d := infSlice(t.n)
+		d[k] = 0
+		t.nbrDist[k] = d
+	}
+	t.adj[k] = cost
+}
+
+// RemoveAdjacent handles failure of the adjacent link to k (NTU step 4):
+// l_ik is removed and T_k is cleared.
+func (t *Tables) RemoveAdjacent(k graph.NodeID) {
+	delete(t.adj, k)
+	delete(t.nbrTopo, k)
+	delete(t.nbrDist, k)
+}
+
+// ApplyLSU implements NTU step 1: it applies the entries of an LSU received
+// from neighbor k to T_k and recomputes the distances D_jk from k over the
+// updated T_k. LSUs from unknown (down) neighbors are ignored.
+func (t *Tables) ApplyLSU(k graph.NodeID, entries []lsu.Entry) {
+	topo, ok := t.nbrTopo[k]
+	if !ok {
+		return
+	}
+	for _, e := range entries {
+		topo.Apply(e)
+	}
+	res := dijkstra.Run(topo, k)
+	t.nbrDist[k] = res.Dist
+}
+
+// RunMTU implements the MTU procedure (paper Fig. 3): rebuild the main
+// table T by merging the neighbor topologies — resolving conflicting link
+// reports in favor of the neighbor offering the shortest distance to the
+// head of the link, ties to the lowest address — overriding adjacent links
+// with local knowledge, pruning to the shortest-path tree, and updating the
+// distance table. It returns the LSU entries describing the difference from
+// the previous T (step 8); an empty result means T did not change.
+func (t *Tables) RunMTU() []lsu.Entry {
+	oldT := t.main
+	newT := NewTopology(t.n)
+	nbrs := t.Neighbors()
+
+	// Steps 2-3: the node set is the union over all T_k; each node j gets a
+	// preferred neighbor p minimizing D_jk + l_ik (ties to lowest address,
+	// which the ascending neighbor iteration provides).
+	nodes := make(map[graph.NodeID]bool)
+	for _, k := range nbrs {
+		nodes[k] = true
+		for _, j := range t.nbrTopo[k].Nodes() {
+			nodes[j] = true
+		}
+	}
+	for j := range nodes {
+		if j == t.id {
+			continue // local links are handled in step 5
+		}
+		best := math.Inf(1)
+		preferred := graph.None
+		for _, k := range nbrs {
+			d := t.nbrDist[k][j] + t.adj[k]
+			if d < best {
+				best = d
+				preferred = k
+			}
+		}
+		if preferred == graph.None {
+			continue
+		}
+		// Step 4: copy all links with head j from T_preferred.
+		t.nbrTopo[preferred].VisitOut(j, func(tail graph.NodeID, cost float64) {
+			newT.Set(j, tail, cost)
+		})
+	}
+
+	// Step 5: adjacent links override anything reported by neighbors.
+	for k, cost := range t.adj {
+		newT.Set(t.id, k, cost)
+	}
+
+	// Steps 6-7: prune to the shortest-path tree and refresh distances.
+	res := newT.SPT(t.id)
+	t.main = newT
+	t.dist = res.Dist
+
+	// Step 8: report differences.
+	return newT.Diff(oldT)
+}
+
+// PreferredNeighbor returns the neighbor minimizing D_jk + l_ik toward j
+// (the next hop single-path routing would use), or graph.None when j is
+// unreachable through every neighbor.
+func (t *Tables) PreferredNeighbor(j graph.NodeID) graph.NodeID {
+	best := math.Inf(1)
+	preferred := graph.None
+	for _, k := range t.Neighbors() {
+		d := t.nbrDist[k][j] + t.adj[k]
+		if d < best {
+			best = d
+			preferred = k
+		}
+	}
+	return preferred
+}

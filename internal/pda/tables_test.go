@@ -1,0 +1,152 @@
+package pda
+
+import (
+	"math"
+	"testing"
+
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+)
+
+// TestMTUConflictResolution exercises the paper's conflict rule directly:
+// "If two or more neighbors report information of link (m, n) then the
+// router should update topology table T with link information reported by
+// the neighbor that offers the shortest distance from the router to the
+// head node m of the link."
+func TestMTUConflictResolution(t *testing.T) {
+	// Router 0 with neighbors 1 and 2. Both report link 3->4 with different
+	// costs. Neighbor 1 offers the shorter path to head node 3.
+	tb := NewTables(0, 5)
+	tb.SetAdjacent(1, 1.0)
+	tb.SetAdjacent(2, 5.0)
+
+	// Neighbor 1's tree: 1->3 (1), 3->4 (10).
+	tb.ApplyLSU(1, []lsu.Entry{
+		{Op: lsu.OpAdd, Head: 1, Tail: 3, Cost: 1},
+		{Op: lsu.OpAdd, Head: 3, Tail: 4, Cost: 10},
+	})
+	// Neighbor 2's tree: 2->3 (1), 3->4 (2): cheaper tail but 2 is a more
+	// expensive neighbor, so 1's report of 3->4 must win.
+	tb.ApplyLSU(2, []lsu.Entry{
+		{Op: lsu.OpAdd, Head: 2, Tail: 3, Cost: 1},
+		{Op: lsu.OpAdd, Head: 3, Tail: 4, Cost: 2},
+	})
+	tb.RunMTU()
+	// Distance to 3: via 1 = 1+1 = 2; via 2 = 5+1 = 6. Preferred is 1, so
+	// link 3->4 must carry 1's cost (10) and D_4 = 2+10 = 12.
+	if c, ok := tb.Main().Cost(3, 4); !ok || c != 10 {
+		t.Fatalf("link 3->4 cost = %v,%v; want 10 from preferred neighbor", c, ok)
+	}
+	if got := tb.Dist(4); got != 12 {
+		t.Fatalf("D_4 = %v, want 12", got)
+	}
+}
+
+// TestMTUConflictTieBreaksLowestAddress: with equal distances to the head,
+// the lower-address neighbor's report wins.
+func TestMTUConflictTieBreaksLowestAddress(t *testing.T) {
+	tb := NewTables(0, 5)
+	tb.SetAdjacent(1, 1.0)
+	tb.SetAdjacent(2, 1.0)
+	tb.ApplyLSU(1, []lsu.Entry{
+		{Op: lsu.OpAdd, Head: 1, Tail: 3, Cost: 1},
+		{Op: lsu.OpAdd, Head: 3, Tail: 4, Cost: 7},
+	})
+	tb.ApplyLSU(2, []lsu.Entry{
+		{Op: lsu.OpAdd, Head: 2, Tail: 3, Cost: 1},
+		{Op: lsu.OpAdd, Head: 3, Tail: 4, Cost: 9},
+	})
+	tb.RunMTU()
+	if c, _ := tb.Main().Cost(3, 4); c != 7 {
+		t.Fatalf("link 3->4 cost = %v, want 7 (lower-address neighbor)", c)
+	}
+}
+
+// TestMTUAdjacentLinksOverride: "any information about an adjacent link
+// supplied by neighbors will be overridden by the most current information
+// about the link available to router i".
+func TestMTUAdjacentLinksOverride(t *testing.T) {
+	tb := NewTables(0, 3)
+	tb.SetAdjacent(1, 2.0)
+	// Neighbor 1 claims our adjacent link 0->1 costs 99.
+	tb.ApplyLSU(1, []lsu.Entry{
+		{Op: lsu.OpAdd, Head: 0, Tail: 1, Cost: 99},
+	})
+	tb.RunMTU()
+	if c, ok := tb.Main().Cost(0, 1); !ok || c != 2.0 {
+		t.Fatalf("adjacent link cost = %v,%v; want local value 2.0", c, ok)
+	}
+	if tb.Dist(1) != 2.0 {
+		t.Fatalf("D_1 = %v, want 2", tb.Dist(1))
+	}
+}
+
+// TestMTUPrunesToTree: T holds only shortest-path-tree links after MTU.
+func TestMTUPrunesToTree(t *testing.T) {
+	tb := NewTables(0, 4)
+	tb.SetAdjacent(1, 1.0)
+	tb.SetAdjacent(2, 1.0)
+	tb.ApplyLSU(1, []lsu.Entry{{Op: lsu.OpAdd, Head: 1, Tail: 3, Cost: 1}})
+	tb.ApplyLSU(2, []lsu.Entry{{Op: lsu.OpAdd, Head: 2, Tail: 3, Cost: 5}})
+	tb.RunMTU()
+	// Tree: 0->1, 0->2, 1->3. The 2->3 link is not on the tree.
+	if _, ok := tb.Main().Cost(2, 3); ok {
+		t.Fatal("non-tree link 2->3 survived MTU pruning")
+	}
+	if tb.Main().NumLinks() != 3 {
+		t.Fatalf("tree has %d links, want 3", tb.Main().NumLinks())
+	}
+	if tb.Dist(3) != 2 {
+		t.Fatalf("D_3 = %v, want 2", tb.Dist(3))
+	}
+}
+
+// TestMTUDiffIsMinimal: a second MTU with no changes reports an empty diff.
+func TestMTUDiffIsMinimal(t *testing.T) {
+	tb := NewTables(0, 3)
+	tb.SetAdjacent(1, 1.0)
+	if diff := tb.RunMTU(); len(diff) == 0 {
+		t.Fatal("first MTU reported no changes")
+	}
+	if diff := tb.RunMTU(); len(diff) != 0 {
+		t.Fatalf("idempotent MTU reported %v", diff)
+	}
+}
+
+func TestTablesNeighborsSorted(t *testing.T) {
+	tb := NewTables(0, 6)
+	for _, k := range []graph.NodeID{5, 2, 4} {
+		tb.SetAdjacent(k, 1)
+	}
+	nbrs := tb.Neighbors()
+	if len(nbrs) != 3 || nbrs[0] != 2 || nbrs[1] != 4 || nbrs[2] != 5 {
+		t.Fatalf("neighbors = %v", nbrs)
+	}
+}
+
+func TestTablesRemoveAdjacentClearsState(t *testing.T) {
+	tb := NewTables(0, 3)
+	tb.SetAdjacent(1, 1)
+	tb.ApplyLSU(1, []lsu.Entry{{Op: lsu.OpAdd, Head: 1, Tail: 2, Cost: 1}})
+	tb.RunMTU()
+	tb.RemoveAdjacent(1)
+	tb.RunMTU()
+	if !math.IsInf(tb.Dist(2), 1) {
+		t.Fatalf("D_2 = %v after losing the only neighbor", tb.Dist(2))
+	}
+	if tb.NeighborTopo(1) != nil {
+		t.Fatal("neighbor topology survives RemoveAdjacent")
+	}
+	if d := tb.NbrDist(2, 1); !math.IsInf(d, 1) {
+		t.Fatalf("NbrDist after removal = %v", d)
+	}
+}
+
+func TestTablesApplyLSUFromUnknownNeighborIgnored(t *testing.T) {
+	tb := NewTables(0, 3)
+	tb.ApplyLSU(1, []lsu.Entry{{Op: lsu.OpAdd, Head: 1, Tail: 2, Cost: 1}})
+	tb.RunMTU()
+	if !math.IsInf(tb.Dist(2), 1) {
+		t.Fatal("LSU from unknown neighbor was processed")
+	}
+}

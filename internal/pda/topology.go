@@ -1,0 +1,228 @@
+// Package pda implements the Partial-topology Dissemination Algorithm of
+// Section 4.1.1 of the paper: a link-state shortest-path routing algorithm
+// in which each router communicates to its neighbors only the links on its
+// own minimum-cost routing tree, validates conflicting link reports by
+// preferring the neighbor offering the shortest distance to the head of the
+// link (not by sequence numbers), and converges to correct shortest paths a
+// finite time after the last change (the paper's Theorem 2).
+package pda
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minroute/internal/dijkstra"
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+)
+
+// Topology is a router's view of a set of directed links with costs: the
+// main topology table T and the neighbor tables T_k of the paper. Entries
+// are triplets [head, tail, cost].
+type Topology struct {
+	n   int // dense NodeID space size
+	out map[graph.NodeID]map[graph.NodeID]float64
+}
+
+// NewTopology returns an empty topology over an ID space of n nodes.
+func NewTopology(n int) *Topology {
+	return &Topology{n: n, out: make(map[graph.NodeID]map[graph.NodeID]float64)}
+}
+
+// NumNodes implements dijkstra.View.
+func (t *Topology) NumNodes() int { return t.n }
+
+// VisitOut implements dijkstra.View.
+func (t *Topology) VisitOut(u graph.NodeID, visit func(graph.NodeID, float64)) {
+	row := t.out[u]
+	if len(row) == 0 {
+		return
+	}
+	// Deterministic iteration order: ascending tail ID.
+	tails := make([]graph.NodeID, 0, len(row))
+	for tail := range row {
+		tails = append(tails, tail)
+	}
+	sort.Slice(tails, func(i, j int) bool { return tails[i] < tails[j] })
+	for _, tail := range tails {
+		visit(tail, row[tail])
+	}
+}
+
+// Set records link head→tail with the given cost, replacing any previous
+// entry.
+func (t *Topology) Set(head, tail graph.NodeID, cost float64) {
+	row := t.out[head]
+	if row == nil {
+		row = make(map[graph.NodeID]float64)
+		t.out[head] = row
+	}
+	row[tail] = cost
+}
+
+// Delete removes link head→tail, reporting whether it was present.
+func (t *Topology) Delete(head, tail graph.NodeID) bool {
+	row := t.out[head]
+	if _, ok := row[tail]; !ok {
+		return false
+	}
+	delete(row, tail)
+	if len(row) == 0 {
+		delete(t.out, head)
+	}
+	return true
+}
+
+// Cost looks up the cost of link head→tail.
+func (t *Topology) Cost(head, tail graph.NodeID) (float64, bool) {
+	c, ok := t.out[head][tail]
+	return c, ok
+}
+
+// NumLinks returns the number of links in the table.
+func (t *Topology) NumLinks() int {
+	n := 0
+	for _, row := range t.out {
+		n += len(row)
+	}
+	return n
+}
+
+// Clear removes every link (used when an adjacent link to the neighbor that
+// reported this table fails).
+func (t *Topology) Clear() {
+	t.out = make(map[graph.NodeID]map[graph.NodeID]float64)
+}
+
+// Clone deep-copies the table.
+func (t *Topology) Clone() *Topology {
+	c := NewTopology(t.n)
+	for head, row := range t.out {
+		nr := make(map[graph.NodeID]float64, len(row))
+		for tail, cost := range row {
+			nr[tail] = cost
+		}
+		c.out[head] = nr
+	}
+	return c
+}
+
+// Apply mutates the table according to one LSU entry.
+func (t *Topology) Apply(e lsu.Entry) {
+	switch e.Op {
+	case lsu.OpAdd, lsu.OpChange:
+		t.Set(e.Head, e.Tail, e.Cost)
+	case lsu.OpDelete:
+		t.Delete(e.Head, e.Tail)
+	}
+}
+
+// Diff returns the LSU entries that transform old into t: adds, changes and
+// deletes, in deterministic (head, tail) order.
+func (t *Topology) Diff(old *Topology) []lsu.Entry {
+	var out []lsu.Entry
+	visitSorted(t, func(h, tl graph.NodeID, cost float64) {
+		if oc, ok := old.Cost(h, tl); !ok {
+			out = append(out, lsu.Entry{Op: lsu.OpAdd, Head: h, Tail: tl, Cost: cost})
+		} else if oc != cost {
+			out = append(out, lsu.Entry{Op: lsu.OpChange, Head: h, Tail: tl, Cost: cost})
+		}
+	})
+	visitSorted(old, func(h, tl graph.NodeID, cost float64) {
+		if _, ok := t.Cost(h, tl); !ok {
+			out = append(out, lsu.Entry{Op: lsu.OpDelete, Head: h, Tail: tl})
+		}
+	})
+	return out
+}
+
+// Entries returns every link as an add entry, in deterministic order. Used
+// for the full-table LSU sent when an adjacent link comes up.
+func (t *Topology) Entries() []lsu.Entry {
+	var out []lsu.Entry
+	visitSorted(t, func(h, tl graph.NodeID, cost float64) {
+		out = append(out, lsu.Entry{Op: lsu.OpAdd, Head: h, Tail: tl, Cost: cost})
+	})
+	return out
+}
+
+// Nodes returns the IDs mentioned by any link, ascending.
+func (t *Topology) Nodes() []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	for head, row := range t.out {
+		seen[head] = true
+		for tail := range row {
+			seen[tail] = true
+		}
+	}
+	out := make([]graph.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two tables contain identical links and costs.
+func (t *Topology) Equal(o *Topology) bool {
+	if t.NumLinks() != o.NumLinks() {
+		return false
+	}
+	for head, row := range t.out {
+		for tail, cost := range row {
+			if oc, ok := o.Cost(head, tail); !ok || oc != cost {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the table for debugging.
+func (t *Topology) String() string {
+	var b strings.Builder
+	visitSorted(t, func(h, tl graph.NodeID, cost float64) {
+		fmt.Fprintf(&b, "[%d->%d %.6g] ", h, tl, cost)
+	})
+	return strings.TrimSpace(b.String())
+}
+
+func visitSorted(t *Topology, fn func(h, tl graph.NodeID, cost float64)) {
+	heads := make([]graph.NodeID, 0, len(t.out))
+	for h := range t.out {
+		heads = append(heads, h)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	for _, h := range heads {
+		row := t.out[h]
+		tails := make([]graph.NodeID, 0, len(row))
+		for tl := range row {
+			tails = append(tails, tl)
+		}
+		sort.Slice(tails, func(i, j int) bool { return tails[i] < tails[j] })
+		for _, tl := range tails {
+			fn(h, tl, row[tl])
+		}
+	}
+}
+
+// SPT runs Dijkstra from src and prunes the table down to the shortest-path
+// tree, returning the distance result. Links not on the tree are removed,
+// implementing step 6 of MTU ("remove those links in T that are not part of
+// the shortest path tree").
+func (t *Topology) SPT(src graph.NodeID) *dijkstra.Result {
+	res := dijkstra.Run(t, src)
+	pruned := NewTopology(t.n)
+	for id := 0; id < t.n; id++ {
+		p := res.Parent[id]
+		if p == graph.None {
+			continue
+		}
+		if cost, ok := t.Cost(p, graph.NodeID(id)); ok {
+			pruned.Set(p, graph.NodeID(id), cost)
+		}
+	}
+	t.out = pruned.out
+	return res
+}

@@ -1,0 +1,179 @@
+package pda
+
+import (
+	"testing"
+
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+)
+
+func TestTopologySetCostDelete(t *testing.T) {
+	topo := NewTopology(4)
+	topo.Set(0, 1, 2.5)
+	if c, ok := topo.Cost(0, 1); !ok || c != 2.5 {
+		t.Fatalf("Cost = %v,%v", c, ok)
+	}
+	topo.Set(0, 1, 3.5) // replace
+	if c, _ := topo.Cost(0, 1); c != 3.5 {
+		t.Fatalf("replacement cost = %v", c)
+	}
+	if topo.NumLinks() != 1 {
+		t.Fatalf("NumLinks = %d", topo.NumLinks())
+	}
+	if !topo.Delete(0, 1) {
+		t.Fatal("Delete failed")
+	}
+	if topo.Delete(0, 1) {
+		t.Fatal("double delete reported true")
+	}
+	if topo.NumLinks() != 0 {
+		t.Fatal("link remains after delete")
+	}
+}
+
+func TestTopologyApply(t *testing.T) {
+	topo := NewTopology(4)
+	topo.Apply(lsu.Entry{Op: lsu.OpAdd, Head: 0, Tail: 1, Cost: 1})
+	topo.Apply(lsu.Entry{Op: lsu.OpChange, Head: 0, Tail: 1, Cost: 2})
+	if c, _ := topo.Cost(0, 1); c != 2 {
+		t.Fatalf("cost after change = %v", c)
+	}
+	topo.Apply(lsu.Entry{Op: lsu.OpDelete, Head: 0, Tail: 1})
+	if _, ok := topo.Cost(0, 1); ok {
+		t.Fatal("link survives delete entry")
+	}
+}
+
+func TestTopologyDiff(t *testing.T) {
+	old := NewTopology(5)
+	old.Set(0, 1, 1)
+	old.Set(1, 2, 2)
+	old.Set(2, 3, 3)
+
+	cur := NewTopology(5)
+	cur.Set(0, 1, 1) // unchanged
+	cur.Set(1, 2, 9) // changed
+	cur.Set(3, 4, 4) // added
+	// (2,3) deleted
+
+	diff := cur.Diff(old)
+	byKey := map[[2]graph.NodeID]lsu.Entry{}
+	for _, e := range diff {
+		byKey[[2]graph.NodeID{e.Head, e.Tail}] = e
+	}
+	if len(diff) != 3 {
+		t.Fatalf("diff has %d entries: %v", len(diff), diff)
+	}
+	if e := byKey[[2]graph.NodeID{1, 2}]; e.Op != lsu.OpChange || e.Cost != 9 {
+		t.Fatalf("change entry wrong: %+v", e)
+	}
+	if e := byKey[[2]graph.NodeID{3, 4}]; e.Op != lsu.OpAdd || e.Cost != 4 {
+		t.Fatalf("add entry wrong: %+v", e)
+	}
+	if e := byKey[[2]graph.NodeID{2, 3}]; e.Op != lsu.OpDelete {
+		t.Fatalf("delete entry wrong: %+v", e)
+	}
+}
+
+func TestTopologyDiffApplyRoundTrip(t *testing.T) {
+	old := NewTopology(6)
+	old.Set(0, 1, 1)
+	old.Set(1, 2, 2)
+	cur := NewTopology(6)
+	cur.Set(0, 1, 5)
+	cur.Set(4, 5, 1)
+
+	rebuilt := old.Clone()
+	for _, e := range cur.Diff(old) {
+		rebuilt.Apply(e)
+	}
+	if !rebuilt.Equal(cur) {
+		t.Fatalf("diff/apply round trip mismatch:\n%v\n%v", rebuilt, cur)
+	}
+}
+
+func TestTopologyCloneIndependent(t *testing.T) {
+	a := NewTopology(3)
+	a.Set(0, 1, 1)
+	b := a.Clone()
+	b.Set(0, 1, 9)
+	if c, _ := a.Cost(0, 1); c != 1 {
+		t.Fatal("clone mutation leaked to original")
+	}
+}
+
+func TestTopologyNodes(t *testing.T) {
+	topo := NewTopology(10)
+	topo.Set(3, 7, 1)
+	topo.Set(7, 2, 1)
+	nodes := topo.Nodes()
+	want := []graph.NodeID{2, 3, 7}
+	if len(nodes) != len(want) {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestTopologySPTPrunes(t *testing.T) {
+	topo := NewTopology(4)
+	// Diamond: 0->1 (1), 0->2 (1), 1->3 (1), 2->3 (5). SPT keeps 1->3, drops 2->3.
+	topo.Set(0, 1, 1)
+	topo.Set(0, 2, 1)
+	topo.Set(1, 3, 1)
+	topo.Set(2, 3, 5)
+	res := topo.SPT(0)
+	if res.Dist[3] != 2 {
+		t.Fatalf("dist[3] = %v", res.Dist[3])
+	}
+	if _, ok := topo.Cost(2, 3); ok {
+		t.Fatal("non-tree link survived pruning")
+	}
+	if topo.NumLinks() != 3 {
+		t.Fatalf("tree has %d links, want 3", topo.NumLinks())
+	}
+}
+
+func TestTopologyEqual(t *testing.T) {
+	a := NewTopology(3)
+	a.Set(0, 1, 1)
+	b := NewTopology(3)
+	if a.Equal(b) {
+		t.Fatal("unequal tables reported equal")
+	}
+	b.Set(0, 1, 1)
+	if !a.Equal(b) {
+		t.Fatal("equal tables reported unequal")
+	}
+	b.Set(0, 1, 2)
+	if a.Equal(b) {
+		t.Fatal("cost mismatch reported equal")
+	}
+}
+
+func TestTopologyClear(t *testing.T) {
+	topo := NewTopology(3)
+	topo.Set(0, 1, 1)
+	topo.Clear()
+	if topo.NumLinks() != 0 {
+		t.Fatal("Clear left links behind")
+	}
+}
+
+func TestTopologyEntries(t *testing.T) {
+	topo := NewTopology(3)
+	topo.Set(1, 2, 4)
+	topo.Set(0, 1, 3)
+	es := topo.Entries()
+	if len(es) != 2 || es[0].Head != 0 || es[1].Head != 1 {
+		t.Fatalf("entries = %v", es)
+	}
+	for _, e := range es {
+		if e.Op != lsu.OpAdd {
+			t.Fatalf("entry op = %v", e.Op)
+		}
+	}
+}

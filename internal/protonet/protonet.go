@@ -1,0 +1,170 @@
+// Package protonet is a lightweight message-passing harness for driving the
+// PDA/MPDA state machines outside the packet simulator. It delivers LSU
+// messages between protocol instances with the only guarantee the paper's
+// link model provides — reliable per-link FIFO order — while interleaving
+// deliveries across links in a seeded random order. Randomized interleaving
+// explores many asynchronous schedules, which is exactly what the loop-free
+// invariant (Theorem 3) must survive; the packet simulator then exercises
+// the same code with realistic timing.
+package protonet
+
+import (
+	"fmt"
+	"sort"
+
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+	"minroute/internal/rng"
+)
+
+// Node is a routing-protocol instance (PDA or MPDA router).
+type Node interface {
+	HandleLSU(m *lsu.Msg)
+	LinkUp(k graph.NodeID, cost float64)
+	LinkCostChange(k graph.NodeID, cost float64)
+	LinkDown(k graph.NodeID)
+}
+
+// Net connects protocol instances over a topology.
+type Net struct {
+	g      *graph.Graph
+	nodes  map[graph.NodeID]Node
+	queues map[[2]graph.NodeID][]*lsu.Msg
+	r      *rng.Source
+	// OnDeliver, when set, runs after every single message delivery; tests
+	// install invariant checks (e.g. instantaneous loop-freedom) here.
+	OnDeliver func()
+	delivered int
+}
+
+// New returns a harness over g with a seeded interleaving order.
+func New(g *graph.Graph, seed uint64) *Net {
+	return &Net{
+		g:      g,
+		nodes:  make(map[graph.NodeID]Node),
+		queues: make(map[[2]graph.NodeID][]*lsu.Msg),
+		r:      rng.New(seed),
+	}
+}
+
+// Attach registers the protocol instance for router id.
+func (n *Net) Attach(id graph.NodeID, node Node) {
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("protonet: node %d attached twice", id))
+	}
+	n.nodes[id] = node
+}
+
+// Sender returns the Sender closure for router from: it enqueues messages
+// on the from→to link.
+func (n *Net) Sender(from graph.NodeID) func(to graph.NodeID, m *lsu.Msg) {
+	return func(to graph.NodeID, m *lsu.Msg) {
+		if _, ok := n.g.Link(from, to); !ok {
+			return // link vanished under the protocol; message is lost
+		}
+		key := [2]graph.NodeID{from, to}
+		n.queues[key] = append(n.queues[key], m)
+	}
+}
+
+// BringUpAll announces every adjacent link to both endpoints with the cost
+// given by costOf, in deterministic node order; delivery interleaving stays
+// random.
+func (n *Net) BringUpAll(costOf func(l *graph.Link) float64) {
+	for _, l := range n.g.Links() {
+		n.nodes[l.From].LinkUp(l.To, costOf(l))
+	}
+}
+
+// Step delivers one message from a randomly chosen non-empty link queue,
+// respecting per-link FIFO order. It reports false when all queues are
+// empty.
+func (n *Net) Step() bool {
+	keys := n.nonEmpty()
+	if len(keys) == 0 {
+		return false
+	}
+	key := keys[n.r.Intn(len(keys))]
+	q := n.queues[key]
+	m := q[0]
+	if len(q) == 1 {
+		delete(n.queues, key)
+	} else {
+		n.queues[key] = q[1:]
+	}
+	n.nodes[key[1]].HandleLSU(m)
+	n.delivered++
+	if n.OnDeliver != nil {
+		n.OnDeliver()
+	}
+	return true
+}
+
+func (n *Net) nonEmpty() [][2]graph.NodeID {
+	keys := make([][2]graph.NodeID, 0, len(n.queues))
+	for k, q := range n.queues {
+		if len(q) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	// Deterministic candidate order so the seeded choice is reproducible.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// Run delivers messages until quiescence, panicking after maxDeliveries as
+// a non-termination guard. It returns the number of messages delivered.
+func (n *Net) Run(maxDeliveries int) int {
+	start := n.delivered
+	for n.Step() {
+		if n.delivered-start > maxDeliveries {
+			panic("protonet: protocol did not quiesce within delivery budget")
+		}
+	}
+	return n.delivered - start
+}
+
+// Delivered returns the total number of messages delivered so far.
+func (n *Net) Delivered() int { return n.delivered }
+
+// Pending returns the number of undelivered messages.
+func (n *Net) Pending() int {
+	total := 0
+	for _, q := range n.queues {
+		total += len(q)
+	}
+	return total
+}
+
+// ChangeCost updates the cost of directed link a→b and notifies a.
+func (n *Net) ChangeCost(a, b graph.NodeID, cost float64) {
+	if _, ok := n.g.Link(a, b); !ok {
+		panic("protonet: ChangeCost on missing link")
+	}
+	n.nodes[a].LinkCostChange(b, cost)
+}
+
+// FailLink removes the duplex link a↔b from the topology, drops any queued
+// messages on it, and notifies both endpoints.
+func (n *Net) FailLink(a, b graph.NodeID) {
+	n.g.RemoveLink(a, b)
+	n.g.RemoveLink(b, a)
+	delete(n.queues, [2]graph.NodeID{a, b})
+	delete(n.queues, [2]graph.NodeID{b, a})
+	n.nodes[a].LinkDown(b)
+	n.nodes[b].LinkDown(a)
+}
+
+// RestoreLink re-adds the duplex link a↔b and notifies both endpoints.
+func (n *Net) RestoreLink(a, b graph.NodeID, capacity, prop, cost float64) {
+	if err := n.g.AddDuplex(a, b, capacity, prop); err != nil {
+		panic("protonet: RestoreLink: " + err.Error())
+	}
+	n.nodes[a].LinkUp(b, cost)
+	n.nodes[b].LinkUp(a, cost)
+}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Figure {
+	f := &Figure{ID: "figX", Title: "test", Columns: []string{"A", "B"}}
+	f.AddRow("f0", 1.0, 2.0)
+	f.AddRow("f1", 3.0, 9.0)
+	return f
+}
+
+func TestColumn(t *testing.T) {
+	f := sample()
+	b := f.Column(1)
+	if len(b) != 2 || b[0] != 2 || b[1] != 9 {
+		t.Fatalf("column = %v", b)
+	}
+}
+
+func TestColumnMean(t *testing.T) {
+	f := sample()
+	if m := f.ColumnMean(0); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+	f.AddRow("f2", math.NaN(), 1)
+	if m := f.ColumnMean(0); m != 2 {
+		t.Fatalf("mean with NaN = %v", m)
+	}
+}
+
+func TestColumnMeanEmpty(t *testing.T) {
+	f := &Figure{Columns: []string{"A"}}
+	if !math.IsNaN(f.ColumnMean(0)) {
+		t.Fatal("mean of empty column not NaN")
+	}
+}
+
+func TestTableContainsEverything(t *testing.T) {
+	s := sample().Table()
+	for _, want := range []string{"FIGX", "test", "A", "B", "f0", "f1", "mean"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if lines[0] != "flow,A,B" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "f0,1.000000,2.000000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestChart(t *testing.T) {
+	s := sample().Chart(10)
+	if !strings.Contains(s, "#") || !strings.Contains(s, "*") {
+		t.Fatalf("chart missing bars:\n%s", s)
+	}
+	if out := (&Figure{}).Chart(10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+}
+
+func TestRatioAndMaxRatio(t *testing.T) {
+	f := sample()
+	r := f.Ratio(1, 0)
+	if r[0] != 2 || r[1] != 3 {
+		t.Fatalf("ratio = %v", r)
+	}
+	if mr := f.MaxRatio(1, 0); mr != 3 {
+		t.Fatalf("max ratio = %v", mr)
+	}
+}
+
+func TestMaxRatioSkipsNonFinite(t *testing.T) {
+	f := &Figure{Columns: []string{"A", "B"}}
+	f.AddRow("f0", 0.0, 2.0) // ratio = +Inf, skipped
+	f.AddRow("f1", 2.0, 4.0)
+	if mr := f.MaxRatio(1, 0); mr != 2 {
+		t.Fatalf("max ratio = %v", mr)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	f := sample()
+	f.AddRow("inf", math.Inf(1), math.NaN())
+	out := f.SVG(800, 400)
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "FIGX", "f0", "f1", "A", "B", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGDefaultSize(t *testing.T) {
+	out := sample().SVG(0, 0)
+	if !strings.Contains(out, `width="900"`) {
+		t.Fatal("default width not applied")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	f := &Figure{ID: "x", Title: `a<b>&"c`, Columns: []string{"s<1>"}}
+	f.AddRow("r&1", 1.0)
+	out := f.SVG(400, 200)
+	if strings.Contains(out, "a<b>") || strings.Contains(out, "s<1>") {
+		t.Fatal("labels not escaped")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	for in, want := range map[float64]float64{
+		0.3: 0.5, 1.2: 2, 4.9: 5, 7: 10, 42: 50, 99: 100, 0: 1,
+	} {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+}

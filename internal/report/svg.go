@@ -1,0 +1,140 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgPalette holds fill colors for up to six series.
+var svgPalette = []string{"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"}
+
+// SVG renders the figure as a standalone grouped-bar-chart SVG document —
+// rows (flows) along the x-axis, one bar per scheme, a value axis with
+// ticks, and a legend. Width and height are in pixels; non-positive values
+// select 900x420.
+func (f *Figure) SVG(width, height int) string {
+	if width <= 0 {
+		width = 900
+	}
+	if height <= 0 {
+		height = 420
+	}
+	const (
+		marginLeft   = 70
+		marginRight  = 20
+		marginTop    = 48
+		marginBottom = 70
+	)
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+
+	maxVal := 0.0
+	for r := range f.Data {
+		for c := range f.Columns {
+			if v := f.Data[r][c]; !math.IsNaN(v) && !math.IsInf(v, 0) && v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	top := niceCeil(maxVal)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" font-weight="bold">%s — %s</text>`+"\n",
+		marginLeft, xmlEscape(strings.ToUpper(f.ID)), xmlEscape(f.Title))
+
+	// Value axis: 5 ticks with horizontal gridlines.
+	for i := 0; i <= 5; i++ {
+		v := top * float64(i) / 5
+		y := float64(marginTop) + plotH - v/top*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, width-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" fill="#444">%s</text>`+"\n",
+			marginLeft-6, y+4, trimFloat(v))
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" fill="#444" transform="rotate(-90 16 %.1f)">mean delay (ms)</text>`+"\n",
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2)
+
+	// Grouped bars.
+	groups := len(f.Rows)
+	series := len(f.Columns)
+	if groups > 0 && series > 0 {
+		groupW := plotW / float64(groups)
+		barW := groupW * 0.8 / float64(series)
+		for r := range f.Rows {
+			gx := float64(marginLeft) + float64(r)*groupW + groupW*0.1
+			for c := range f.Columns {
+				v := f.Data[r][c]
+				if math.IsNaN(v) || v < 0 {
+					continue
+				}
+				if math.IsInf(v, 1) {
+					v = top
+				}
+				h := math.Min(v/top, 1) * plotH
+				x := gx + float64(c)*barW
+				y := float64(marginTop) + plotH - h
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s / %s: %.3f</title></rect>`+"\n",
+					x, y, barW*0.92, h, svgPalette[c%len(svgPalette)],
+					xmlEscape(f.Rows[r]), xmlEscape(f.Columns[c]), f.Data[r][c])
+			}
+			// Row label, angled to avoid collisions.
+			lx := gx + groupW*0.4
+			ly := float64(marginTop) + plotH + 14
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#333" text-anchor="end" transform="rotate(-35 %.1f %.1f)">%s</text>`+"\n",
+				lx, ly, lx, ly, xmlEscape(f.Rows[r]))
+		}
+	}
+
+	// Legend across the top right.
+	lx := float64(marginLeft)
+	ly := float64(marginTop) - 12
+	for c, col := range f.Columns {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n",
+			lx, ly-9, svgPalette[c%len(svgPalette)])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="#222">%s</text>`+"\n",
+			lx+14, ly, xmlEscape(col))
+		lx += 14 + 7*float64(len(col)) + 18
+	}
+
+	// Axis line.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, marginLeft, float64(marginTop)+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`+"\n",
+		marginLeft, float64(marginTop)+plotH, width-marginRight, float64(marginTop)+plotH)
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// niceCeil rounds up to a 1/2/5 x 10^k boundary for a clean axis maximum.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// trimFloat prints without trailing zeros.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

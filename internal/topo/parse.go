@@ -1,0 +1,174 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"minroute/internal/graph"
+)
+
+// Parse reads a network description — topology plus offered flows — from a
+// simple line-oriented text format, so users can simulate their own
+// networks with cmd/mdrsim and the library without writing Go:
+//
+//	# comments and blank lines are ignored
+//	node a
+//	node b
+//	link a b 10Mbps 0.5ms     # duplex link: capacity, propagation delay
+//	flow a b 2.5Mbps          # offered load a -> b
+//
+// Nodes are declared implicitly by links and flows if omitted. Capacities
+// accept bps/kbps/Mbps/Gbps suffixes; delays accept s/ms/us/ns.
+func Parse(r io.Reader) (*Network, error) {
+	g := graph.New()
+	net := &Network{Graph: g}
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topo: line %d: node wants 1 argument", lineNo)
+			}
+			g.AddNode(fields[1])
+		case "link":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("topo: line %d: link wants <a> <b> <capacity> <delay>", lineNo)
+			}
+			capacity, err := ParseRate(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: %w", lineNo, err)
+			}
+			delay, err := ParseDuration(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: %w", lineNo, err)
+			}
+			a, b := g.AddNode(fields[1]), g.AddNode(fields[2])
+			if err := g.AddDuplex(a, b, capacity, delay); err != nil {
+				return nil, fmt.Errorf("topo: line %d: %w", lineNo, err)
+			}
+		case "flow":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topo: line %d: flow wants <src> <dst> <rate>", lineNo)
+			}
+			rate, err := ParseRate(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: %w", lineNo, err)
+			}
+			src, dst := g.AddNode(fields[1]), g.AddNode(fields[2])
+			if src == dst {
+				return nil, fmt.Errorf("topo: line %d: flow endpoints equal", lineNo)
+			}
+			net.Flows = append(net.Flows, Flow{
+				Name: fields[1] + "->" + fields[2],
+				Src:  src,
+				Dst:  dst,
+				Rate: rate,
+			})
+		default:
+			return nil, fmt.Errorf("topo: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("topo: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// ParseRate parses a bit rate with an optional bps/kbps/Mbps/Gbps suffix
+// (bare numbers are bits per second).
+func ParseRate(s string) (float64, error) {
+	mult := 1.0
+	lower := strings.ToLower(s)
+	for _, u := range []struct {
+		suffix string
+		factor float64
+	}{
+		{"gbps", 1e9}, {"mbps", 1e6}, {"kbps", 1e3}, {"bps", 1},
+	} {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.factor
+			lower = strings.TrimSuffix(lower, u.suffix)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(lower, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q", s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("non-positive rate %q", s)
+	}
+	return v * mult, nil
+}
+
+// ParseDuration parses a time with an s/ms/us/ns suffix (bare numbers are
+// seconds).
+func ParseDuration(s string) (float64, error) {
+	// Dividing by the per-second unit count reproduces the same rounding as
+	// writing the value in seconds directly (e.g. "200us" == 200e-6).
+	perSecond := 1.0
+	lower := strings.ToLower(s)
+	switch {
+	case strings.HasSuffix(lower, "ms"):
+		perSecond, lower = 1e3, strings.TrimSuffix(lower, "ms")
+	case strings.HasSuffix(lower, "us"):
+		perSecond, lower = 1e6, strings.TrimSuffix(lower, "us")
+	case strings.HasSuffix(lower, "ns"):
+		perSecond, lower = 1e9, strings.TrimSuffix(lower, "ns")
+	case strings.HasSuffix(lower, "s"):
+		lower = strings.TrimSuffix(lower, "s")
+	}
+	v, err := strconv.ParseFloat(lower, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return v / perSecond, nil
+}
+
+// Format renders a Network back into the Parse text format.
+func Format(w io.Writer, net *Network) error {
+	g := net.Graph
+	for _, id := range g.Nodes() {
+		if _, err := fmt.Fprintf(w, "node %s\n", g.Name(id)); err != nil {
+			return err
+		}
+	}
+	seen := make(map[[2]graph.NodeID]bool)
+	for _, l := range g.Links() {
+		rev := [2]graph.NodeID{l.To, l.From}
+		if seen[rev] {
+			continue // duplex pair already emitted
+		}
+		seen[[2]graph.NodeID{l.From, l.To}] = true
+		if _, err := fmt.Fprintf(w, "link %s %s %gbps %gs\n",
+			g.Name(l.From), g.Name(l.To), l.Capacity, l.PropDelay); err != nil {
+			return err
+		}
+	}
+	for _, f := range net.Flows {
+		if _, err := fmt.Fprintf(w, "flow %s %s %gbps\n",
+			g.Name(f.Src), g.Name(f.Dst), f.Rate); err != nil {
+			return err
+		}
+	}
+	return nil
+}

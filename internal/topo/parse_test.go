@@ -1,0 +1,146 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleScenario = `
+# a tiny triangle
+node a
+node b
+link a b 10Mbps 0.5ms
+link b c 5Mbps 200us   # c declared implicitly
+link a c 1Gbps 1ms
+flow a c 2.5Mbps
+flow c b 500kbps
+`
+
+func TestParseScenario(t *testing.T) {
+	net, err := Parse(strings.NewReader(sampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumLinks() != 6 {
+		t.Fatalf("directed links = %d", g.NumLinks())
+	}
+	a, b, c := g.MustLookup("a"), g.MustLookup("b"), g.MustLookup("c")
+	if l, _ := g.Link(a, b); l.Capacity != 10e6 || l.PropDelay != 0.5e-3 {
+		t.Fatalf("a-b link = %+v", l)
+	}
+	if l, _ := g.Link(b, c); l.Capacity != 5e6 || l.PropDelay != 200e-6 {
+		t.Fatalf("b-c link = %+v", l)
+	}
+	if l, _ := g.Link(a, c); l.Capacity != 1e9 {
+		t.Fatalf("a-c link = %+v", l)
+	}
+	if len(net.Flows) != 2 {
+		t.Fatalf("flows = %d", len(net.Flows))
+	}
+	if net.Flows[0].Src != a || net.Flows[0].Dst != c || net.Flows[0].Rate != 2.5e6 {
+		t.Fatalf("flow 0 = %+v", net.Flows[0])
+	}
+	if net.Flows[1].Rate != 500e3 {
+		t.Fatalf("flow 1 rate = %v", net.Flows[1].Rate)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "frob a b",
+		"short link":        "link a b 10Mbps",
+		"bad rate":          "link a b tenMbps 1ms",
+		"bad delay":         "link a b 10Mbps soon",
+		"short node":        "node",
+		"short flow":        "flow a b",
+		"self flow":         "link a b 1Mbps 1ms\nflow a a 1Mbps",
+		"negative rate":     "link a b -5Mbps 1ms",
+		"disconnected":      "node a\nnode b",
+		"duplicate link":    "link a b 1Mbps 1ms\nlink a b 2Mbps 1ms",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseRateUnits(t *testing.T) {
+	for in, want := range map[string]float64{
+		"1500":    1500,
+		"10bps":   10,
+		"3kbps":   3e3,
+		"2.5Mbps": 2.5e6,
+		"1Gbps":   1e9,
+		"2.5MBPS": 2.5e6, // case-insensitive
+	} {
+		got, err := ParseRate(in)
+		if err != nil || got != want {
+			t.Errorf("ParseRate(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "Mbps", "-1Mbps", "0", "1qps"} {
+		if _, err := ParseRate(bad); err == nil {
+			t.Errorf("ParseRate(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseDurationUnits(t *testing.T) {
+	for in, want := range map[string]float64{
+		"2":     2,
+		"1s":    1,
+		"250ms": 0.25,
+		"10us":  1e-5,
+		"500ns": 5e-7,
+		"0ms":   0,
+	} {
+		got, err := ParseDuration(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDuration(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "ms", "-1ms", "fast"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	orig := NET1()
+	var buf bytes.Buffer
+	if err := Format(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Graph.NumNodes() != orig.Graph.NumNodes() || back.Graph.NumLinks() != orig.Graph.NumLinks() {
+		t.Fatalf("round trip changed topology: %d/%d vs %d/%d",
+			back.Graph.NumNodes(), back.Graph.NumLinks(), orig.Graph.NumNodes(), orig.Graph.NumLinks())
+	}
+	if len(back.Flows) != len(orig.Flows) {
+		t.Fatalf("round trip changed flows: %d vs %d", len(back.Flows), len(orig.Flows))
+	}
+	for i := range orig.Flows {
+		if back.Flows[i].Rate != orig.Flows[i].Rate {
+			t.Fatalf("flow %d rate changed", i)
+		}
+	}
+	// Every link's parameters survive.
+	for _, l := range orig.Graph.Links() {
+		bl, ok := back.Graph.Link(
+			back.Graph.MustLookup(orig.Graph.Name(l.From)),
+			back.Graph.MustLookup(orig.Graph.Name(l.To)))
+		if !ok || bl.Capacity != l.Capacity || bl.PropDelay != l.PropDelay {
+			t.Fatalf("link %v not preserved", l)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"minroute/internal/graph"
+)
+
+func TestCAIRNValid(t *testing.T) {
+	n := CAIRN()
+	if err := n.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Graph.NumNodes() < 20 {
+		t.Fatalf("CAIRN has %d nodes, expected a 20+ node research network", n.Graph.NumNodes())
+	}
+	if len(n.Flows) != 11 {
+		t.Fatalf("CAIRN has %d flows, want 11 (paper Section 5)", len(n.Flows))
+	}
+}
+
+func TestCAIRNCapacitiesCapped(t *testing.T) {
+	n := CAIRN()
+	for _, l := range n.Graph.Links() {
+		if l.Capacity > 10*Mb {
+			t.Fatalf("link %v exceeds the paper's 10 Mb/s cap: %v", l, l.Capacity)
+		}
+	}
+}
+
+func TestCAIRNFlowEndpointsExist(t *testing.T) {
+	n := CAIRN()
+	for _, f := range n.Flows {
+		if f.Src == f.Dst {
+			t.Fatalf("flow %s has equal endpoints", f.Name)
+		}
+		if f.Rate < 1*Mb || f.Rate > 4*Mb {
+			t.Fatalf("flow %s rate %v outside the paper's 1-4 Mb/s range", f.Name, f.Rate)
+		}
+	}
+	// The paper's flow pairs are symmetric in several cases; spot-check two.
+	g := n.Graph
+	if n.Flows[0].Src != g.MustLookup("lbl") || n.Flows[0].Dst != g.MustLookup("mci-r") {
+		t.Fatal("first CAIRN flow is not lbl->mci-r")
+	}
+	if n.Flows[10].Src != g.MustLookup("darpa") || n.Flows[10].Dst != g.MustLookup("isi") {
+		t.Fatal("last CAIRN flow is not darpa->isi")
+	}
+}
+
+func TestNET1Properties(t *testing.T) {
+	n := NET1()
+	g := n.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("NET1 has %d nodes, want 10", g.NumNodes())
+	}
+	// Paper: diameter four, degrees between 3 and 5.
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("NET1 diameter = %d, want 4", d)
+	}
+	for _, id := range g.Nodes() {
+		deg := g.Degree(id)
+		if deg < 3 || deg > 5 {
+			t.Fatalf("NET1 node %s degree %d outside [3,5]", g.Name(id), deg)
+		}
+	}
+	if len(n.Flows) != 10 {
+		t.Fatalf("NET1 has %d flows, want 10", len(n.Flows))
+	}
+}
+
+func TestNET1FlowPairsMatchPaper(t *testing.T) {
+	n := NET1()
+	want := [][2]graph.NodeID{{9, 2}, {8, 3}, {7, 0}, {6, 1}, {5, 8}, {4, 1}, {3, 8}, {2, 9}, {1, 6}, {0, 7}}
+	for i, f := range n.Flows {
+		if f.Src != want[i][0] || f.Dst != want[i][1] {
+			t.Fatalf("flow %d = %d->%d, want %d->%d", i, f.Src, f.Dst, want[i][0], want[i][1])
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(5, 1e6, 1e-3)
+	if g.NumNodes() != 5 || g.NumLinks() != 10 {
+		t.Fatalf("ring(5): %d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Diameter(); d != 2 {
+		t.Fatalf("ring(5) diameter = %d, want 2", d)
+	}
+}
+
+func TestRingPanicsSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ring(2) did not panic")
+		}
+	}()
+	Ring(2, 1e6, 0)
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4, 1e6, 1e-3)
+	if g.NumNodes() != 12 {
+		t.Fatalf("grid nodes = %d", g.NumNodes())
+	}
+	// 3*3 vertical + 2*4 horizontal = 17 duplex = 34 directed.
+	if g.NumLinks() != 34 {
+		t.Fatalf("grid links = %d, want 34", g.NumLinks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Diameter(); d != 5 {
+		t.Fatalf("grid(3,4) diameter = %d, want 5", d)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(7, 12, 8, 1e6, 1e7, 1e-3)
+	b := Random(7, 12, 8, 1e6, 1e7, 1e-3)
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("Random not deterministic for equal seeds")
+	}
+	la, lb := a.Links(), b.Links()
+	for i := range la {
+		if la[i].From != lb[i].From || la[i].To != lb[i].To || la[i].Capacity != lb[i].Capacity {
+			t.Fatal("Random link sets differ for equal seeds")
+		}
+	}
+}
+
+func TestRandomAlwaysConnected(t *testing.T) {
+	check := func(seed uint64, n8, extra8 uint8) bool {
+		n := int(n8%20) + 2
+		extra := int(extra8 % 30)
+		g := Random(seed, n, extra, 1e6, 1e7, 1e-3)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleFlows(t *testing.T) {
+	n := NET1()
+	scaled := ScaleFlows(n.Flows, 2)
+	for i := range scaled {
+		if scaled[i].Rate != 2*n.Flows[i].Rate {
+			t.Fatalf("flow %d not scaled", i)
+		}
+	}
+	// Original untouched.
+	if n.Flows[0].Rate == scaled[0].Rate {
+		t.Fatal("ScaleFlows mutated input")
+	}
+}
+
+func TestConnectivityMonotoneLinkCount(t *testing.T) {
+	prev := -1
+	for _, f := range []float64{0, 0.5, 1, 2} {
+		g := Connectivity(5, 12, f, 1e7, 1e-3)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("fraction %v: %v", f, err)
+		}
+		if g.NumLinks() < prev {
+			t.Fatalf("link count decreased at fraction %v", f)
+		}
+		prev = g.NumLinks()
+	}
+	if Connectivity(5, 12, -3, 1e7, 1e-3).NumLinks() != Connectivity(5, 12, 0, 1e7, 1e-3).NumLinks() {
+		t.Fatal("negative fraction not clamped")
+	}
+}

@@ -1,0 +1,146 @@
+// Package trace records the forwarding path of individual packets through
+// the simulated network. The recorder is the ground-truth complement to
+// the control-plane loop audits: lfi checks that the successor sets are
+// acyclic; the tracer checks that actual packets, forwarded under those
+// sets while they changed beneath them, still walked loop-free paths.
+package trace
+
+import (
+	"fmt"
+
+	"minroute/internal/graph"
+)
+
+// Hop is one forwarding step.
+type Hop struct {
+	// Node is the router that handled the packet.
+	Node graph.NodeID
+	// At is the simulation time of the step.
+	At float64
+}
+
+// Path is the recorded journey of one packet.
+type Path struct {
+	Serial    uint64
+	FlowID    int
+	Src, Dst  graph.NodeID
+	Hops      []Hop
+	Delivered bool
+}
+
+// Revisits counts how many hops land on a node the packet already visited.
+func (p *Path) Revisits() int {
+	seen := make(map[graph.NodeID]int, len(p.Hops))
+	n := 0
+	for _, h := range p.Hops {
+		if seen[h.Node] > 0 {
+			n++
+		}
+		seen[h.Node]++
+	}
+	return n
+}
+
+// String renders the path compactly.
+func (p *Path) String() string {
+	s := fmt.Sprintf("pkt %d flow %d [", p.Serial, p.FlowID)
+	for i, h := range p.Hops {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d", h.Node)
+	}
+	if p.Delivered {
+		return s + "] delivered"
+	}
+	return s + "] in flight"
+}
+
+// Recorder keeps the most recent paths in a bounded ring. The zero value
+// is unusable; construct with NewRecorder.
+type Recorder struct {
+	capacity int
+	paths    map[uint64]*Path
+	ring     []uint64
+	next     int
+	recorded uint64
+}
+
+// NewRecorder returns a recorder retaining up to capacity packet paths.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{
+		capacity: capacity,
+		paths:    make(map[uint64]*Path, capacity),
+		ring:     make([]uint64, capacity),
+	}
+}
+
+// Begin starts a record for a new packet.
+func (r *Recorder) Begin(serial uint64, flowID int, src, dst graph.NodeID, at float64) {
+	if old := r.ring[r.next]; old != 0 {
+		delete(r.paths, old)
+	}
+	r.ring[r.next] = serial
+	r.next = (r.next + 1) % r.capacity
+	r.paths[serial] = &Path{
+		Serial: serial,
+		FlowID: flowID,
+		Src:    src,
+		Dst:    dst,
+		Hops:   []Hop{{Node: src, At: at}},
+	}
+	r.recorded++
+}
+
+// Step records that the packet was forwarded to node at the given time.
+// Steps for packets that have aged out of the ring are ignored.
+func (r *Recorder) Step(serial uint64, node graph.NodeID, at float64) {
+	if p, ok := r.paths[serial]; ok {
+		p.Hops = append(p.Hops, Hop{Node: node, At: at})
+	}
+}
+
+// Deliver marks the packet's arrival at its destination. The final hop is
+// appended only if the forwarding steps did not already record it.
+func (r *Recorder) Deliver(serial uint64, at float64) {
+	if p, ok := r.paths[serial]; ok {
+		if len(p.Hops) == 0 || p.Hops[len(p.Hops)-1].Node != p.Dst {
+			p.Hops = append(p.Hops, Hop{Node: p.Dst, At: at})
+		}
+		p.Delivered = true
+	}
+}
+
+// Recorded returns the total number of packets ever begun.
+func (r *Recorder) Recorded() uint64 { return r.recorded }
+
+// Paths returns the retained paths (unspecified order).
+func (r *Recorder) Paths() []*Path {
+	out := make([]*Path, 0, len(r.paths))
+	for _, p := range r.paths {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Audit summarizes loop behaviour over the retained delivered paths: the
+// number of delivered paths, how many contained a node revisit, and the
+// longest path length in hops.
+func (r *Recorder) Audit() (delivered, withRevisit, maxHops int) {
+	for _, p := range r.paths {
+		if !p.Delivered {
+			continue
+		}
+		delivered++
+		if p.Revisits() > 0 {
+			withRevisit++
+		}
+		if h := len(p.Hops) - 1; h > maxHops {
+			maxHops = h
+		}
+	}
+	return delivered, withRevisit, maxHops
+}

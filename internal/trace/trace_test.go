@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"minroute/internal/graph"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(4)
+	r.Begin(1, 0, 10, 12, 0.0)
+	r.Step(1, 11, 0.1)
+	r.Step(1, 12, 0.2)
+	r.Deliver(1, 0.3)
+	paths := r.Paths()
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	p := paths[0]
+	if !p.Delivered || len(p.Hops) != 3 {
+		t.Fatalf("path = %+v", p)
+	}
+	if p.Hops[0].Node != 10 || p.Hops[2].Node != 12 {
+		t.Fatalf("hops = %v", p.Hops)
+	}
+	if p.Revisits() != 0 {
+		t.Fatalf("revisits = %d", p.Revisits())
+	}
+	if !strings.Contains(p.String(), "delivered") {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestDeliverDoesNotDuplicateFinalHop(t *testing.T) {
+	r := NewRecorder(4)
+	r.Begin(1, 0, 10, 12, 0)
+	r.Step(1, 12, 0.1) // forwarding step already recorded arrival at dst
+	r.Deliver(1, 0.2)
+	p := r.Paths()[0]
+	if len(p.Hops) != 2 {
+		t.Fatalf("hops = %v", p.Hops)
+	}
+}
+
+func TestRevisitsDetected(t *testing.T) {
+	r := NewRecorder(4)
+	r.Begin(2, 0, 1, 4, 0)
+	for _, n := range []graph.NodeID{2, 3, 2, 4} { // revisits node 2
+		r.Step(2, n, 0)
+	}
+	r.Deliver(2, 1)
+	if got := r.Paths()[0].Revisits(); got != 1 {
+		t.Fatalf("revisits = %d, want 1", got)
+	}
+	delivered, withRevisit, maxHops := r.Audit()
+	if delivered != 1 || withRevisit != 1 || maxHops != 4 {
+		t.Fatalf("audit = %d,%d,%d", delivered, withRevisit, maxHops)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(2)
+	for s := uint64(1); s <= 5; s++ {
+		r.Begin(s, 0, 0, 1, 0)
+	}
+	if len(r.Paths()) != 2 {
+		t.Fatalf("retained %d paths, want 2", len(r.Paths()))
+	}
+	if r.Recorded() != 5 {
+		t.Fatalf("recorded = %d", r.Recorded())
+	}
+	// Steps for evicted packets are ignored, not panics.
+	r.Step(1, 3, 0)
+	r.Deliver(1, 0)
+}
+
+func TestNewRecorderDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	for s := uint64(1); s <= 2000; s++ {
+		r.Begin(s, 0, 0, 1, 0)
+	}
+	if len(r.Paths()) != 1024 {
+		t.Fatalf("default capacity = %d", len(r.Paths()))
+	}
+}
+
+func TestInFlightString(t *testing.T) {
+	r := NewRecorder(2)
+	r.Begin(7, 3, 0, 5, 0)
+	if !strings.Contains(r.Paths()[0].String(), "in flight") {
+		t.Fatal("in-flight path not labeled")
+	}
+}

@@ -1,0 +1,122 @@
+// Package traffic generates offered load for the simulator: Poisson
+// sources (the stationary experiments of Section 5.1), on-off bursty
+// sources (the dynamic-traffic experiments), and constant-bit-rate sources
+// (calibration tests). All sources draw from explicit RNG streams so runs
+// are reproducible.
+package traffic
+
+import (
+	"minroute/internal/des"
+	"minroute/internal/rng"
+)
+
+// Emit delivers one generated packet of the given size in bits.
+type Emit func(bits float64)
+
+// Source generates packets once started. Start schedules the first arrival;
+// generation then continues for the lifetime of the engine.
+type Source interface {
+	Start(eng *des.Engine, r *rng.Source, emit Emit)
+}
+
+// Poisson is a stationary source: exponential interarrival times and
+// exponential packet sizes, so a single bottleneck behaves as M/M/1.
+type Poisson struct {
+	// RateBits is the average offered load in bits per second.
+	RateBits float64
+	// MeanPacketBits is the average packet size.
+	MeanPacketBits float64
+}
+
+// Start implements Source.
+func (p Poisson) Start(eng *des.Engine, r *rng.Source, emit Emit) {
+	if p.RateBits <= 0 || p.MeanPacketBits <= 0 {
+		return
+	}
+	meanGap := p.MeanPacketBits / p.RateBits
+	var arrive func()
+	arrive = func() {
+		emit(r.Exp(p.MeanPacketBits))
+		eng.After(r.Exp(meanGap), arrive)
+	}
+	eng.After(r.Exp(meanGap), arrive)
+}
+
+// OnOff is a bursty source alternating exponential ON and OFF periods.
+// During ON it emits Poisson traffic at PeakFactor times the average rate;
+// the duty cycle is set so the long-run average equals RateBits. The
+// paper's dynamic experiments use such sources to show that MP absorbs
+// "short bursts of traffic" that single-path routing cannot.
+type OnOff struct {
+	// RateBits is the long-run average offered load in bits per second.
+	RateBits float64
+	// MeanPacketBits is the average packet size.
+	MeanPacketBits float64
+	// PeakFactor is the ON-period rate divided by RateBits; must be > 1.
+	PeakFactor float64
+	// MeanOn is the average ON-period length in seconds.
+	MeanOn float64
+}
+
+// Start implements Source.
+func (o OnOff) Start(eng *des.Engine, r *rng.Source, emit Emit) {
+	if o.RateBits <= 0 || o.MeanPacketBits <= 0 {
+		return
+	}
+	peak := o.PeakFactor
+	if peak <= 1 {
+		peak = 2
+	}
+	meanOn := o.MeanOn
+	if meanOn <= 0 {
+		meanOn = 0.5
+	}
+	// Duty cycle d satisfies d*peak = 1, so meanOff = meanOn*(peak-1).
+	meanOff := meanOn * (peak - 1)
+	peakGap := o.MeanPacketBits / (o.RateBits * peak)
+
+	var onPhase func(remaining float64)
+	var offPhase func()
+	onPhase = func(remaining float64) {
+		gap := r.Exp(peakGap)
+		if gap >= remaining {
+			eng.After(remaining, offPhase)
+			return
+		}
+		eng.After(gap, func() {
+			emit(r.Exp(o.MeanPacketBits))
+			onPhase(remaining - gap)
+		})
+	}
+	offPhase = func() {
+		eng.After(r.Exp(meanOff), func() { onPhase(r.Exp(meanOn)) })
+	}
+	// Start in a random phase of the cycle.
+	if r.Float64() < 1/peak {
+		onPhase(r.Exp(meanOn))
+	} else {
+		offPhase()
+	}
+}
+
+// CBR emits fixed-size packets at a fixed interval. Deterministic; used for
+// calibration tests.
+type CBR struct {
+	RateBits   float64
+	PacketBits float64
+}
+
+// Start implements Source.
+func (c CBR) Start(eng *des.Engine, r *rng.Source, emit Emit) {
+	if c.RateBits <= 0 || c.PacketBits <= 0 {
+		return
+	}
+	gap := c.PacketBits / c.RateBits
+	var arrive func()
+	arrive = func() {
+		emit(c.PacketBits)
+		eng.After(gap, arrive)
+	}
+	// Random initial phase avoids lockstep between CBR sources.
+	eng.After(r.Float64()*gap, arrive)
+}

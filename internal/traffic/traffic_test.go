@@ -1,0 +1,143 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"minroute/internal/des"
+	"minroute/internal/rng"
+)
+
+// measure runs src for dur seconds and returns (packets, totalBits).
+func measure(t *testing.T, src Source, seed uint64, dur float64) (int, float64) {
+	t.Helper()
+	eng := des.NewEngine(seed)
+	n, bits := 0, 0.0
+	src.Start(eng, rng.New(seed), func(b float64) {
+		n++
+		bits += b
+	})
+	eng.Run(dur)
+	return n, bits
+}
+
+func TestPoissonAverageRate(t *testing.T) {
+	const rate, mean = 2e6, 8000.0
+	n, bits := measure(t, Poisson{RateBits: rate, MeanPacketBits: mean}, 1, 100)
+	gotRate := bits / 100
+	if rel := math.Abs(gotRate-rate) / rate; rel > 0.05 {
+		t.Fatalf("poisson rate = %v, want %v (rel %v)", gotRate, rate, rel)
+	}
+	wantPkts := rate / mean * 100
+	if rel := math.Abs(float64(n)-wantPkts) / wantPkts; rel > 0.05 {
+		t.Fatalf("poisson packets = %d, want ~%v", n, wantPkts)
+	}
+}
+
+func TestPoissonExponentialSizes(t *testing.T) {
+	const mean = 8000.0
+	eng := des.NewEngine(2)
+	var sizes []float64
+	Poisson{RateBits: 1e6, MeanPacketBits: mean}.Start(eng, rng.New(2), func(b float64) {
+		sizes = append(sizes, b)
+	})
+	eng.Run(200)
+	sum, sumSq := 0.0, 0.0
+	for _, s := range sizes {
+		sum += s
+		sumSq += s * s
+	}
+	n := float64(len(sizes))
+	m := sum / n
+	v := sumSq/n - m*m
+	// Exponential: variance = mean^2.
+	if math.Abs(m-mean)/mean > 0.05 {
+		t.Fatalf("mean size = %v", m)
+	}
+	if math.Abs(v-mean*mean)/(mean*mean) > 0.15 {
+		t.Fatalf("size variance = %v, want ~%v", v, mean*mean)
+	}
+}
+
+func TestPoissonZeroRateNoOp(t *testing.T) {
+	if n, _ := measure(t, Poisson{RateBits: 0, MeanPacketBits: 8000}, 3, 10); n != 0 {
+		t.Fatalf("zero-rate source emitted %d packets", n)
+	}
+	if n, _ := measure(t, Poisson{RateBits: 1e6, MeanPacketBits: 0}, 3, 10); n != 0 {
+		t.Fatalf("zero-size source emitted %d packets", n)
+	}
+}
+
+func TestOnOffLongRunAverage(t *testing.T) {
+	const rate = 2e6
+	src := OnOff{RateBits: rate, MeanPacketBits: 8000, PeakFactor: 4, MeanOn: 0.25}
+	_, bits := measure(t, src, 4, 500)
+	gotRate := bits / 500
+	if rel := math.Abs(gotRate-rate) / rate; rel > 0.10 {
+		t.Fatalf("on-off long-run rate = %v, want %v (rel %v)", gotRate, rate, rel)
+	}
+}
+
+func TestOnOffIsBursty(t *testing.T) {
+	// Count packets per 100 ms bin; an on-off source must show bins near
+	// zero and bins near the peak rate.
+	src := OnOff{RateBits: 2e6, MeanPacketBits: 8000, PeakFactor: 4, MeanOn: 0.5}
+	eng := des.NewEngine(5)
+	bins := make([]int, 600)
+	src.Start(eng, rng.New(5), func(b float64) {
+		idx := int(eng.Now() * 10)
+		if idx < len(bins) {
+			bins[idx]++
+		}
+	})
+	eng.Run(60)
+	quiet, busy := 0, 0
+	peakPer100ms := 2e6 * 4 / 8000 / 10 // 100 pkts
+	for _, c := range bins {
+		if c == 0 {
+			quiet++
+		}
+		if float64(c) > 0.5*peakPer100ms {
+			busy++
+		}
+	}
+	if quiet < 50 || busy < 50 {
+		t.Fatalf("not bursty: %d quiet bins, %d busy bins", quiet, busy)
+	}
+}
+
+func TestOnOffDefaults(t *testing.T) {
+	// PeakFactor <= 1 and MeanOn <= 0 fall back to sane defaults.
+	src := OnOff{RateBits: 1e6, MeanPacketBits: 8000, PeakFactor: 0.5, MeanOn: -1}
+	n, _ := measure(t, src, 6, 100)
+	if n == 0 {
+		t.Fatal("defaulted on-off source emitted nothing")
+	}
+}
+
+func TestCBRDeterministicSpacing(t *testing.T) {
+	eng := des.NewEngine(7)
+	var times []float64
+	CBR{RateBits: 8e5, PacketBits: 8000}.Start(eng, rng.New(7), func(b float64) {
+		if b != 8000 {
+			t.Fatalf("CBR size = %v", b)
+		}
+		times = append(times, eng.Now())
+	})
+	eng.Run(1)
+	if len(times) < 50 {
+		t.Fatalf("CBR emitted %d packets in 1s, want ~100", len(times))
+	}
+	gap := 8000.0 / 8e5
+	for i := 2; i < len(times); i++ {
+		if math.Abs((times[i]-times[i-1])-gap) > 1e-9 {
+			t.Fatalf("CBR gap %v at %d, want %v", times[i]-times[i-1], i, gap)
+		}
+	}
+}
+
+func TestCBRZeroRateNoOp(t *testing.T) {
+	if n, _ := measure(t, CBR{RateBits: 0, PacketBits: 8000}, 8, 10); n != 0 {
+		t.Fatal("zero-rate CBR emitted packets")
+	}
+}
