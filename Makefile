@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet test race bench
+
+# The gate used before every commit: static checks plus the full suite under
+# the race detector (the parallel figure harness makes -race meaningful).
+check: vet race
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Hot-path micro-benchmarks (event queue, link pipeline) plus the figure
+# regeneration benchmarks. Compare against BENCH_parallel.json.
+bench:
+	$(GO) test -run xxx -bench 'PushPop|Cancel|PortThroughput|LinkPipeline' -benchmem ./internal/eventq/ ./internal/des/
+	$(GO) test -run xxx -bench Fig -benchtime 1x .

@@ -22,11 +22,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"minroute/internal/core"
 	"minroute/internal/experiments"
+	"minroute/internal/report"
 	"minroute/internal/router"
+	"minroute/internal/simpool"
 	"minroute/internal/topo"
 )
 
@@ -45,8 +49,43 @@ func main() {
 		mode     = flag.String("mode", "mp", "routing mode for -scenario: mp, sp, or ecmp")
 		compare  = flag.Bool("compare", false, "with -scenario: compare OPT, MP, SP and ECMP")
 		svgDir   = flag.String("svg", "", "also write each figure as an SVG chart into this directory")
+
+		workers    = flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	simpool.SetWorkers(*workers)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mdrsim: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mdrsim: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs {
@@ -93,29 +132,56 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, id := range ids {
-		start := time.Now()
-		fig, err := experiments.All[id](set)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mdrsim: %s: %v\n", id, err)
+	// Generate every requested figure concurrently: each figure is a cheap
+	// coordinator goroutine whose individual simulations are bounded by the
+	// process-wide simpool semaphore (-workers). Output is printed in the
+	// requested order once all figures are in, so it is byte-identical to
+	// the serial harness's.
+	type figResult struct {
+		fig  *report.Figure
+		err  error
+		wall time.Duration
+	}
+	results := make([]figResult, len(ids))
+	wallStart := time.Now()
+	g := simpool.Coordinator()
+	for i, id := range ids {
+		i, id := i, id
+		g.Go(func() error {
+			start := time.Now()
+			fig, err := experiments.All[id](set)
+			results[i] = figResult{fig: fig, err: err, wall: time.Since(start)}
+			return err
+		})
+	}
+	g.Wait() // errors surface per-figure below, in presentation order
+
+	for i, id := range ids {
+		res := results[i]
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "mdrsim: %s: %v\n", id, res.err)
 			os.Exit(1)
 		}
 		if *csv {
-			fmt.Print(fig.CSV())
+			fmt.Print(res.fig.CSV())
 		} else {
-			fmt.Print(fig.Table())
+			fmt.Print(res.fig.Table())
 			if *chart {
-				fmt.Print(fig.Chart(60))
+				fmt.Print(res.fig.Chart(60))
 			}
-			fmt.Printf("  (%.1fs wall)\n\n", time.Since(start).Seconds())
+			fmt.Printf("  (%.1fs wall)\n\n", res.wall.Seconds())
 		}
 		if *svgDir != "" {
 			path := filepath.Join(*svgDir, id+".svg")
-			if err := os.WriteFile(path, []byte(fig.SVG(0, 0)), 0o644); err != nil {
+			if err := os.WriteFile(path, []byte(res.fig.SVG(0, 0)), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "mdrsim: write %s: %v\n", path, err)
 				os.Exit(1)
 			}
 		}
+	}
+	if len(ids) > 1 && !*csv {
+		fmt.Printf("total: %d figures in %.1fs wall (%d workers)\n",
+			len(ids), time.Since(wallStart).Seconds(), simpool.Workers())
 	}
 }
 

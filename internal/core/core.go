@@ -117,9 +117,12 @@ func Build(net *topo.Network, opt Options) *Network {
 		to := n.Nodes[l.To]
 		port := des.NewPort(n.Eng, l, opt.Router.QueueBits, func(pkt *des.Packet) {
 			if pkt.IsControl() {
+				// The LSU is fully consumed inside HandleControl; the
+				// packet record goes straight back to the pool.
 				to.HandleControl(pkt)
+				n.Eng.FreePacket(pkt)
 			} else {
-				to.HandleData(pkt)
+				to.HandleData(pkt) // the router recycles data packets
 			}
 		})
 		n.Ports[[2]graph.NodeID{l.From, l.To}] = port
@@ -170,15 +173,16 @@ func Build(net *topo.Network, opt Options) *Network {
 			if n.warmupDone {
 				n.SentPackets[x]++
 			}
-			pkt := &des.Packet{
+			pkt := n.Eng.NewPacket()
+			n.serial++
+			*pkt = des.Packet{
+				Serial:  n.serial,
 				FlowID:  x,
 				Src:     f.Src,
 				Dst:     f.Dst,
 				Bits:    bits,
 				Created: n.Eng.Now(),
 			}
-			n.serial++
-			pkt.Serial = n.serial
 			if n.Tracer != nil {
 				n.Tracer.Begin(pkt.Serial, x, f.Src, f.Dst, n.Eng.Now())
 			}
@@ -210,14 +214,18 @@ func (n *Network) lsuSender(id graph.NodeID) mpda.Sender {
 		n.ControlMessages++
 		bits := float64(len(buf)*8 + framingBits)
 		n.ControlBits += bits
-		port.Send(&des.Packet{
+		pkt := n.Eng.NewPacket()
+		*pkt = des.Packet{
 			FlowID:  -1,
 			Src:     id,
 			Dst:     to,
 			Bits:    bits,
 			Created: n.Eng.Now(),
 			Control: buf,
-		})
+		}
+		if !port.Send(pkt) {
+			n.Eng.FreePacket(pkt)
+		}
 	}
 }
 

@@ -23,11 +23,15 @@ import (
 )
 
 // Engine advances simulated time and dispatches events. Create with
-// NewEngine; not safe for concurrent use.
+// NewEngine; not safe for concurrent use. The engine owns the event and
+// packet free lists: both are safe precisely because one engine is always
+// driven by one goroutine (concurrency lives across simulations, never
+// within one — see DESIGN.md "Concurrency model").
 type Engine struct {
-	q   eventq.Queue
-	now float64
-	rng *rng.Source
+	q       eventq.Queue
+	now     float64
+	rng     *rng.Source
+	packets PacketPool
 }
 
 // NewEngine returns an engine with its clock at zero and a root RNG seeded
@@ -45,7 +49,7 @@ func (e *Engine) RNG() *rng.Source { return e.rng }
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics: it
 // is always a simulation bug.
-func (e *Engine) Schedule(at float64, fn func()) *eventq.Event {
+func (e *Engine) Schedule(at float64, fn func()) eventq.Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("des: scheduling into the past (%.9f < %.9f)", at, e.now))
 	}
@@ -53,7 +57,7 @@ func (e *Engine) Schedule(at float64, fn func()) *eventq.Event {
 }
 
 // After runs fn d seconds from now.
-func (e *Engine) After(d float64, fn func()) *eventq.Event {
+func (e *Engine) After(d float64, fn func()) eventq.Handle {
 	if d < 0 {
 		panic("des: negative delay")
 	}
@@ -61,10 +65,11 @@ func (e *Engine) After(d float64, fn func()) *eventq.Event {
 }
 
 // Cancel revokes a pending event.
-func (e *Engine) Cancel(ev *eventq.Event) { e.q.Cancel(ev) }
+func (e *Engine) Cancel(h eventq.Handle) { e.q.Cancel(h) }
 
 // Step executes the next event, advancing the clock. It reports false when
-// no events remain.
+// no events remain. Fired event records are recycled into the queue's free
+// list, so the schedule-fire cycle is allocation-free at steady state.
 func (e *Engine) Step() bool {
 	ev := e.q.Pop()
 	if ev == nil {
@@ -72,8 +77,18 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.Time()
 	ev.Fire()
+	e.q.Recycle(ev)
 	return true
 }
+
+// NewPacket takes a packet from the engine's free list (or allocates one).
+// The caller must overwrite every field; recycled packets keep stale data.
+func (e *Engine) NewPacket() *Packet { return e.packets.Get() }
+
+// FreePacket returns a packet whose lifetime has ended to the free list.
+// Callers must not retain the pointer afterwards. Passing packets that were
+// not obtained from NewPacket is allowed (they join the pool).
+func (e *Engine) FreePacket(p *Packet) { e.packets.Put(p) }
 
 // Run executes events until the clock would pass until, leaving later
 // events pending and the clock at until.

@@ -25,3 +25,34 @@ type Packet struct {
 
 // IsControl reports whether the packet belongs to the control band.
 func (p *Packet) IsControl() bool { return p.Control != nil }
+
+// PacketPool is a free list of packet records. A simulation churns through
+// one packet per arrival; recycling them removes the dominant allocation of
+// the DES hot path. The pool is not safe for concurrent use — each Engine
+// owns one, and an engine is always driven by a single goroutine.
+type PacketPool struct {
+	free []*Packet
+}
+
+// Get returns a packet record. The caller must overwrite every field (e.g.
+// with `*pkt = Packet{...}`): recycled records keep stale data by design,
+// so the reset cost is paid only for the fields actually used.
+func (pp *PacketPool) Get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		return p
+	}
+	return new(Packet)
+}
+
+// Put recycles a packet whose lifetime has ended. The caller must not keep
+// the pointer. Control payloads are released so the pool never pins them.
+func (pp *PacketPool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	p.Control = nil
+	pp.free = append(pp.free, p)
+}

@@ -29,6 +29,17 @@ type Port struct {
 	busy      bool
 	down      bool
 
+	// The transmission and propagation completions are pre-bound closures
+	// (txDone/propDone) so the per-packet hot path schedules events without
+	// allocating. Only one packet transmits at a time (txIt/txService), and
+	// the propagation pipe delivers in FIFO order because every packet on a
+	// port shares the same Prop delay and the event queue is stable.
+	txIt      portItem
+	txService float64
+	txDone    func()
+	pipe      fifo
+	propDone  func()
+
 	// DataMeter counts transmitted data packets; routers read-and-reset it
 	// at measurement boundaries to estimate the link flow f_ik.
 	DataMeter linkcost.Meter
@@ -52,24 +63,43 @@ type portItem struct {
 	enq float64
 }
 
+// fifo is a head-indexed queue that reuses its backing array: draining and
+// refilling — the common cycle of a lightly loaded port — never reallocates.
 type fifo struct {
 	items []portItem
+	head  int
 }
 
 func (f *fifo) push(it portItem) { f.items = append(f.items, it) }
-func (f *fifo) empty() bool      { return len(f.items) == 0 }
+func (f *fifo) empty() bool      { return f.head >= len(f.items) }
+func (f *fifo) len() int         { return len(f.items) - f.head }
 func (f *fifo) pop() portItem {
-	it := f.items[0]
-	// Reslice; occasionally compact to avoid unbounded backing growth.
-	f.items = f.items[1:]
-	if len(f.items) == 0 {
-		f.items = nil
-	} else if cap(f.items) > 4*len(f.items) && cap(f.items) > 64 {
-		f.items = append([]portItem(nil), f.items...)
+	it := f.items[f.head]
+	f.items[f.head] = portItem{} // release the packet reference
+	f.head++
+	if f.head == len(f.items) {
+		// Empty: rewind into the same backing array.
+		f.items = f.items[:0]
+		f.head = 0
+	} else if f.head > 64 && f.head > len(f.items)/2 {
+		// Compact in place so the dead prefix cannot grow without bound.
+		n := copy(f.items, f.items[f.head:])
+		for i := n; i < len(f.items); i++ {
+			f.items[i] = portItem{}
+		}
+		f.items = f.items[:n]
+		f.head = 0
 	}
 	return it
 }
-func (f *fifo) clear() { f.items = nil }
+
+func (f *fifo) clear() {
+	for i := f.head; i < len(f.items); i++ {
+		f.items[i] = portItem{}
+	}
+	f.items = f.items[:0]
+	f.head = 0
+}
 
 // NewPort builds the sending side of link l. queueBits limits the data band
 // (control is unbounded and lossless); deliver is invoked at the receiver
@@ -81,7 +111,7 @@ func NewPort(eng *Engine, l *graph.Link, queueBits float64, deliver func(*Packet
 	if queueBits <= 0 {
 		queueBits = DefaultQueueBits
 	}
-	return &Port{
+	p := &Port{
 		From:      l.From,
 		To:        l.To,
 		Capacity:  l.Capacity,
@@ -90,11 +120,17 @@ func NewPort(eng *Engine, l *graph.Link, queueBits float64, deliver func(*Packet
 		deliver:   deliver,
 		limitBits: queueBits,
 	}
+	p.txDone = p.finishTransmission
+	p.propDone = p.deliverNext
+	return p
 }
 
 // Send enqueues pkt for transmission. It reports false when the packet was
 // dropped (data-band overflow or link down). Control packets are never
 // dropped while the link is up.
+//
+// Ownership: on true the port owns pkt until delivery (or loss); on false
+// ownership stays with the caller, who may recycle it via Engine.FreePacket.
 func (p *Port) Send(pkt *Packet) bool {
 	if p.down {
 		p.DroppedPackets++
@@ -132,14 +168,18 @@ func (p *Port) startNext() {
 		return
 	}
 	p.busy = true
-	service := it.pkt.Bits / p.Capacity
-	p.eng.After(service, func() { p.finishTransmission(it, service) })
+	p.txIt = it
+	p.txService = it.pkt.Bits / p.Capacity
+	p.eng.After(p.txService, p.txDone)
 }
 
-func (p *Port) finishTransmission(it portItem, service float64) {
+func (p *Port) finishTransmission() {
+	it := p.txIt
+	p.txIt = portItem{} // drop the reference; the pipe owns it from here
 	if p.down {
 		// The link failed mid-transmission; the packet is lost and the
 		// transmitter stays idle until the link recovers.
+		p.eng.FreePacket(it.pkt)
 		p.busy = false
 		return
 	}
@@ -151,15 +191,25 @@ func (p *Port) finishTransmission(it portItem, service float64) {
 		p.DataBits += pkt.Bits
 		p.DataMeter.Add(pkt.Bits)
 		if p.Estimator != nil {
-			p.Estimator.Observe(p.eng.Now()-it.enq, service)
+			p.Estimator.Observe(p.eng.Now()-it.enq, p.txService)
 		}
 	}
-	p.eng.After(p.Prop, func() {
-		if !p.down {
-			p.deliver(pkt)
-		}
-	})
+	p.pipe.push(portItem{pkt: pkt})
+	p.eng.After(p.Prop, p.propDone)
 	p.startNext()
+}
+
+// deliverNext completes the propagation of the oldest in-flight packet.
+// Packets that were in the pipe when the link failed are lost at arrival
+// time (the down check happens when the propagation event fires, exactly as
+// the previous per-packet closure did).
+func (p *Port) deliverNext() {
+	it := p.pipe.pop()
+	if p.down {
+		p.eng.FreePacket(it.pkt)
+		return
+	}
+	p.deliver(it.pkt)
 }
 
 // SetDown takes the link down (queued packets are lost) or brings it back
@@ -174,11 +224,13 @@ func (p *Port) SetDown(down bool) {
 			it := p.ctrl.pop()
 			p.DroppedPackets++
 			p.DroppedBits += it.pkt.Bits
+			p.eng.FreePacket(it.pkt)
 		}
 		for !p.data.empty() {
 			it := p.data.pop()
 			p.DroppedPackets++
 			p.DroppedBits += it.pkt.Bits
+			p.eng.FreePacket(it.pkt)
 		}
 		p.ctrl.clear()
 		p.data.clear()
@@ -195,7 +247,7 @@ func (p *Port) QueuedDataBits() float64 { return p.dataBits }
 
 // QueuedPackets returns the number of queued packets in both bands,
 // excluding the packet in transmission.
-func (p *Port) QueuedPackets() int { return len(p.ctrl.items) + len(p.data.items) }
+func (p *Port) QueuedPackets() int { return p.ctrl.len() + p.data.len() }
 
 // Busy reports whether a transmission is in progress.
 func (p *Port) Busy() bool { return p.busy }

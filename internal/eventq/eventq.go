@@ -3,22 +3,56 @@
 // events scheduled for the same instant. Stability matters for protocol
 // correctness — MPDA assumes messages on a link are delivered in the order
 // sent, and equal-time events must not be reordered by the heap.
+//
+// The queue owns a free list of Event records: the simulator pushes and pops
+// millions of events per run, and recycling them keeps the hot path
+// allocation-free at steady state. Recycling is safe because the engine is
+// single-threaded; stale Handles are defused by a per-event generation
+// counter, so holding a handle past its event's lifetime is always harmless.
 package eventq
 
-// Event is a callback scheduled at an absolute simulation time.
+// Event is a callback scheduled at an absolute simulation time. Events are
+// owned and recycled by their Queue; external code interacts with them
+// through Handles and the *Event returned by Pop (valid until Recycle).
 type Event struct {
 	time float64
 	seq  uint64
 	fn   func()
 	// index into the heap, -1 once popped or canceled.
 	index int
+	// gen increments every time the record is recycled; Handles carry the
+	// generation they were issued for, which makes stale handles inert.
+	gen uint64
 }
 
 // Time returns the absolute time the event fires at.
 func (e *Event) Time() float64 { return e.time }
 
-// Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+// Fire invokes the event's callback.
+func (e *Event) Fire() { e.fn() }
+
+// Handle refers to one scheduled event. It is a small value type (copying is
+// cheap and allocation-free) and stays valid forever: once the event fires,
+// is canceled, or its record is recycled for a new event, the handle simply
+// reports not-scheduled and Cancel through it becomes a no-op.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// Scheduled reports whether the handle's event is still pending.
+func (h Handle) Scheduled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0 && h.ev.fn != nil
+}
+
+// Time returns the absolute fire time of the handle's event, or 0 when the
+// handle is no longer scheduled.
+func (h Handle) Time() float64 {
+	if !h.Scheduled() {
+		return 0
+	}
+	return h.ev.time
+}
 
 // Queue is a min-heap of events ordered by (time, insertion sequence).
 // The zero value is ready for use. Queue is not safe for concurrent use:
@@ -26,6 +60,7 @@ func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
 type Queue struct {
 	heap []*Event
 	seq  uint64
+	free []*Event
 }
 
 // Len reports the number of pending events.
@@ -33,50 +68,60 @@ func (q *Queue) Len() int { return len(q.heap) }
 
 // Push schedules fn at absolute time t and returns a handle that can cancel
 // it. It panics on a nil fn (always a programming error).
-func (q *Queue) Push(t float64, fn func()) *Event {
+func (q *Queue) Push(t float64, fn func()) Handle {
 	if fn == nil {
 		panic("eventq: Push with nil fn")
 	}
-	e := &Event{time: t, seq: q.seq, fn: fn, index: len(q.heap)}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.time, e.seq, e.fn, e.index = t, q.seq, fn, len(q.heap)
+	} else {
+		e = &Event{time: t, seq: q.seq, fn: fn, index: len(q.heap)}
+	}
 	q.seq++
 	q.heap = append(q.heap, e)
 	q.up(e.index)
+	return Handle{ev: e, gen: e.gen}
+}
+
+// removeTop detaches and returns the root of the heap, restoring the heap
+// property. It is the single heap-removal primitive shared by Pop and Peek.
+func (q *Queue) removeTop() *Event {
+	e := q.heap[0]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	e.index = -1
 	return e
 }
 
-// Pop removes and returns the earliest event. It returns nil when empty.
+// Pop removes and returns the earliest live event, lazily discarding
+// canceled ones. It returns nil when empty. The returned event is valid
+// until it is recycled (the engine recycles it after Fire).
 func (q *Queue) Pop() *Event {
-	for {
-		if len(q.heap) == 0 {
-			return nil
-		}
-		e := q.heap[0]
-		last := len(q.heap) - 1
-		q.swap(0, last)
-		q.heap = q.heap[:last]
-		if last > 0 {
-			q.down(0)
-		}
-		e.index = -1
-		if e.fn == nil { // canceled
+	for len(q.heap) > 0 {
+		e := q.removeTop()
+		if e.fn == nil { // canceled: reclaim the record immediately
+			q.Recycle(e)
 			continue
 		}
 		return e
 	}
+	return nil
 }
 
-// Peek returns the earliest pending event without removing it.
+// Peek returns the earliest pending event without removing it, draining any
+// canceled events off the top through the same removal path Pop uses.
 func (q *Queue) Peek() *Event {
 	for len(q.heap) > 0 && q.heap[0].fn == nil {
-		// Discard the canceled top without touching live events.
-		e := q.heap[0]
-		last := len(q.heap) - 1
-		q.swap(0, last)
-		q.heap = q.heap[:last]
-		if last > 0 {
-			q.down(0)
-		}
-		e.index = -1
+		q.Recycle(q.removeTop())
 	}
 	if len(q.heap) == 0 {
 		return nil
@@ -84,19 +129,27 @@ func (q *Queue) Peek() *Event {
 	return q.heap[0]
 }
 
-// Cancel prevents a pending event from firing. Canceling an already-fired
-// or already-canceled event is a no-op. Cancellation is O(1); the slot is
-// reclaimed lazily on Pop.
-func (q *Queue) Cancel(e *Event) {
-	if e == nil {
+// Cancel prevents a pending event from firing. Canceling an already-fired,
+// already-canceled, or recycled event is a no-op. Cancellation is O(1); the
+// slot is reclaimed lazily on Pop/Peek.
+func (q *Queue) Cancel(h Handle) {
+	if h.ev == nil || h.ev.gen != h.gen {
 		return
 	}
-	e.fn = nil
+	h.ev.fn = nil
 }
 
-// Run pops and executes the canceled-filtered event stream.
-// Fire invokes the event's callback.
-func (e *Event) Fire() { e.fn() }
+// Recycle returns a popped event record to the free list. Only events
+// obtained from Pop (after firing) may be recycled; recycling bumps the
+// generation so outstanding Handles to the old lifetime go inert.
+func (q *Queue) Recycle(e *Event) {
+	if e == nil || e.index >= 0 {
+		return
+	}
+	e.gen++
+	e.fn = nil
+	q.free = append(q.free, e)
+}
 
 func (q *Queue) less(i, j int) bool {
 	a, b := q.heap[i], q.heap[j]

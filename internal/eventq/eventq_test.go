@@ -82,10 +82,65 @@ func TestCancel(t *testing.T) {
 	}
 }
 
-func TestCancelNil(t *testing.T) {
+func TestCancelZeroHandle(t *testing.T) {
 	var q Queue
-	q.Cancel(nil) // must not panic
+	q.Cancel(Handle{}) // must not panic
+	if (Handle{}).Scheduled() {
+		t.Fatal("zero Handle reports scheduled")
+	}
 }
+
+func TestRecycleReusesRecords(t *testing.T) {
+	var q Queue
+	h := q.Push(1, func() {})
+	e := q.Pop()
+	if e == nil || !sameEvent(h, e) {
+		t.Fatal("Pop did not return the pushed event")
+	}
+	q.Recycle(e)
+	h2 := q.Push(2, func() {})
+	if !sameEvent(h2, e) {
+		t.Fatal("Push after Recycle did not reuse the freed record")
+	}
+	if h.Scheduled() {
+		t.Fatal("stale handle reports scheduled after its record was reused")
+	}
+	if !h2.Scheduled() {
+		t.Fatal("fresh handle not scheduled")
+	}
+}
+
+func TestStaleHandleCancelIsInert(t *testing.T) {
+	var q Queue
+	h := q.Push(1, func() {})
+	q.Recycle(q.Pop())
+	fired := false
+	h2 := q.Push(2, func() { fired = true }) // reuses the record behind h
+	q.Cancel(h)                              // stale: must not kill the new event
+	if !h2.Scheduled() {
+		t.Fatal("stale Cancel defused a live event")
+	}
+	if e := q.Pop(); e != nil {
+		e.Fire()
+	}
+	if !fired {
+		t.Fatal("live event did not fire after stale Cancel")
+	}
+}
+
+func TestRecycleScheduledIsNoOp(t *testing.T) {
+	var q Queue
+	h := q.Push(1, func() {})
+	q.Recycle(h.ev) // still in the heap: must be refused
+	if !h.Scheduled() {
+		t.Fatal("Recycle of a scheduled event was not refused")
+	}
+	if got := drainTimes(&q); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("drain = %v, want [1]", got)
+	}
+}
+
+func sameEvent(h Handle, e *Event) bool { return h.ev == e }
 
 func TestPeekSkipsCanceled(t *testing.T) {
 	var q Queue
@@ -188,15 +243,59 @@ func TestPropertyInterleavedPushPop(t *testing.T) {
 	}
 }
 
+// BenchmarkPushPop mirrors the engine's steady state: pop, fire, recycle,
+// push. With the free list this runs allocation-free.
 func BenchmarkPushPop(b *testing.B) {
 	r := rng.New(1)
 	var q Queue
 	for i := 0; i < 1000; i++ {
 		q.Push(r.Float64(), func() {})
 	}
+	fn := func() {}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := q.Pop()
-		q.Push(e.Time()+r.Float64(), func() {})
+		t := e.Time()
+		q.Recycle(e)
+		q.Push(t+r.Float64(), fn)
+	}
+}
+
+// BenchmarkPushPopNoRecycle measures the cost when popped events are not
+// returned to the free list (one allocation per Push, as before the diet).
+func BenchmarkPushPopNoRecycle(b *testing.B) {
+	r := rng.New(1)
+	var q Queue
+	for i := 0; i < 1000; i++ {
+		q.Push(r.Float64(), func() {})
+	}
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.Pop()
+		q.Push(e.Time()+r.Float64(), fn)
+	}
+}
+
+// BenchmarkCancel measures the cancel-heavy timer pattern: push two, cancel
+// one, pop past the corpse.
+func BenchmarkCancel(b *testing.B) {
+	r := rng.New(1)
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 1000; i++ {
+		q.Push(r.Float64(), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.Pop()
+		t := e.Time()
+		q.Recycle(e)
+		h := q.Push(t+r.Float64(), fn)
+		q.Cancel(h)
+		q.Push(t+r.Float64(), fn)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"minroute/internal/core"
 	"minroute/internal/report"
 	"minroute/internal/router"
+	"minroute/internal/simpool"
 	"minroute/internal/topo"
 )
 
@@ -23,20 +24,22 @@ type variant struct {
 	mutate func(*router.Config)
 }
 
-// runVariant simulates one configured variant, once per seed, returning
-// per-flow mean delays averaged across runs.
+// runVariant simulates one configured variant, once per seed in parallel,
+// returning per-flow mean delays averaged across runs.
 func runVariant(build func() *topo.Network, v variant, set Settings, scale float64) ([]float64, error) {
-	var acc []float64
-	for r := 0; r < set.runs(); r++ {
+	return runSeeds(set, func(run Settings) ([]float64, error) {
 		net := build()
 		if scale != 1 {
-			net.Flows = topo.ScaleFlows(net.Flows, scale)
+			// Never mutate the built network in place: build() may hand out
+			// a shared instance (CustomComparison), and sibling seeds read
+			// it concurrently.
+			net = &topo.Network{Graph: net.Graph, Flows: topo.ScaleFlows(net.Flows, scale)}
 		}
 		opt := core.DefaultOptions()
 		opt.Router.Mode = v.mode
-		opt.Seed = set.Seed + uint64(r)*1000
-		opt.Warmup = set.Warmup
-		opt.Duration = set.Duration
+		opt.Seed = run.Seed
+		opt.Warmup = run.Warmup
+		opt.Duration = run.Duration
 		if v.mode == router.ModeSP || v.mode == router.ModeECMP {
 			opt.Router.Ts = opt.Router.Tl
 			opt.Router.CostMeasureWindow = 5
@@ -49,22 +52,29 @@ func runVariant(build func() *topo.Network, v variant, set Settings, scale float
 		if err := n.CheckLoopFree(); err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", v.label, err)
 		}
-		acc = accumulate(acc, rep.MeanDelayMs)
-	}
-	return scaleSlice(acc, 1/float64(set.runs())), nil
+		return rep.MeanDelayMs, nil
+	})
 }
 
-// variantFigure assembles a per-flow figure over the given variants.
+// variantFigure assembles a per-flow figure over the given variants, each
+// variant a coordinator task fanning its seeds onto the worker pool.
 func variantFigure(id, title string, build func() *topo.Network, vs []variant, set Settings) (*report.Figure, error) {
 	fig := &report.Figure{ID: id, Title: title}
-	var cols [][]float64
+	cols := make([][]float64, len(vs))
+	g := simpool.Coordinator()
+	for i, v := range vs {
+		i, v := i, v
+		g.Go(func() error {
+			delays, err := runVariant(build, v, set, 1)
+			cols[i] = delays
+			return err
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
 	for _, v := range vs {
-		delays, err := runVariant(build, v, set, 1)
-		if err != nil {
-			return nil, err
-		}
 		fig.Columns = append(fig.Columns, v.label)
-		cols = append(cols, delays)
 	}
 	net := build()
 	for x, f := range net.Flows {
@@ -194,32 +204,41 @@ func init() {
 // can be made to vary according to congestion at the router".
 func AblationAdaptive(set Settings) (*report.Figure, error) {
 	fig := &report.Figure{ID: "abl-adapt", Title: "Static vs adaptive timers in NET1 (bursty sources)"}
-	var cols [][]float64
-	for _, v := range []variant{
+	variants := []variant{
 		{label: "MP-static", mode: router.ModeMP},
 		{label: "MP-adaptive", mode: router.ModeMP, mutate: func(c *router.Config) { c.AdaptiveTimers = true }},
-	} {
-		var acc []float64
-		for r := 0; r < set.runs(); r++ {
-			net := topoNET1()
-			opt := core.DefaultOptions()
-			opt.Router.Mode = v.mode
-			opt.Seed = set.Seed + uint64(r)*1000
-			opt.Warmup = set.Warmup
-			opt.Duration = set.Duration
-			opt.Source = burstySource
-			if v.mutate != nil {
-				v.mutate(&opt.Router)
-			}
-			n := core.Build(net, opt)
-			rep := n.Run()
-			if err := n.CheckLoopFree(); err != nil {
-				return nil, fmt.Errorf("experiments: %s: %w", v.label, err)
-			}
-			acc = accumulate(acc, rep.MeanDelayMs)
-		}
+	}
+	cols := make([][]float64, len(variants))
+	g := simpool.Coordinator()
+	for i, v := range variants {
+		i, v := i, v
+		g.Go(func() error {
+			delays, err := runSeeds(set, func(run Settings) ([]float64, error) {
+				opt := core.DefaultOptions()
+				opt.Router.Mode = v.mode
+				opt.Seed = run.Seed
+				opt.Warmup = run.Warmup
+				opt.Duration = run.Duration
+				opt.Source = burstySource
+				if v.mutate != nil {
+					v.mutate(&opt.Router)
+				}
+				n := core.Build(topoNET1(), opt)
+				rep := n.Run()
+				if err := n.CheckLoopFree(); err != nil {
+					return nil, fmt.Errorf("experiments: %s: %w", v.label, err)
+				}
+				return rep.MeanDelayMs, nil
+			})
+			cols[i] = delays
+			return err
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	for _, v := range variants {
 		fig.Columns = append(fig.Columns, v.label)
-		cols = append(cols, scaleSlice(acc, 1/float64(set.runs())))
 	}
 	net := topoNET1()
 	for x, f := range net.Flows {

@@ -17,6 +17,7 @@ import (
 	"minroute/internal/gallager"
 	"minroute/internal/report"
 	"minroute/internal/router"
+	"minroute/internal/simpool"
 	"minroute/internal/topo"
 	"minroute/internal/traffic"
 )
@@ -77,24 +78,53 @@ func (s scheme) options(set Settings, src func(f topo.Flow) traffic.Source) core
 }
 
 // runScheme simulates one scheme on fresh copies of the network, once per
-// seed, and returns the per-flow mean delays averaged across runs.
+// seed, and returns the per-flow mean delays averaged across runs. The
+// per-seed simulations run concurrently on the simpool worker pool; each
+// simulation stays single-threaded and seeded exactly as in the serial
+// harness, and the results are reduced in seed order, so the figure is
+// bit-identical regardless of the worker count.
 func runScheme(build func() *topo.Network, s scheme, set Settings, src func(f topo.Flow) traffic.Source) ([]float64, error) {
 	if s.mode == router.ModeStatic {
 		return nil, fmt.Errorf("experiments: static scheme must use runOPT")
 	}
-	var acc []float64
-	for r := 0; r < set.runs(); r++ {
-		run := set
-		run.Seed = set.Seed + uint64(r)*1000
-		net := build()
-		n := core.Build(net, s.options(run, src))
+	return runSeeds(set, func(run Settings) ([]float64, error) {
+		n := core.Build(build(), s.options(run, src))
 		rep := n.Run()
 		if err := n.CheckLoopFree(); err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", s.label, err)
 		}
-		acc = accumulate(acc, rep.MeanDelayMs)
+		return rep.MeanDelayMs, nil
+	})
+}
+
+// runSeeds fans one simulation per seed out onto the worker pool and
+// averages the per-flow results in seed order. sim receives the Settings
+// with its run's seed already installed.
+func runSeeds(set Settings, sim func(run Settings) ([]float64, error)) ([]float64, error) {
+	runs := set.runs()
+	results := make([][]float64, runs)
+	g := simpool.NewGroup()
+	for r := 0; r < runs; r++ {
+		r := r
+		g.Go(func() error {
+			run := set
+			run.Seed = set.Seed + uint64(r)*1000
+			delays, err := sim(run)
+			if err != nil {
+				return err
+			}
+			results[r] = delays
+			return nil
+		})
 	}
-	return scaleSlice(acc, 1/float64(set.runs())), nil
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	var acc []float64
+	for _, res := range results {
+		acc = accumulate(acc, res)
+	}
+	return scaleSlice(acc, 1/float64(runs)), nil
 }
 
 // accumulate adds b into a element-wise, allocating on first use.
@@ -120,35 +150,57 @@ func scaleSlice(a []float64, f float64) []float64 {
 // simulator used for MP and SP — once per seed — so all schemes are
 // observed identically.
 func runOPT(build func() *topo.Network, set Settings, src func(f topo.Flow) traffic.Source) ([]float64, error) {
-	sol, err := gallager.Solve(build().Graph, build().Flows, gallager.Options{MeanPacketBits: 8000})
+	solveNet := build()
+	sol, err := gallager.Solve(solveNet.Graph, solveNet.Flows, gallager.Options{MeanPacketBits: 8000})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: OPT solve: %w", err)
 	}
-	var acc []float64
-	for r := 0; r < set.runs(); r++ {
-		run := set
-		run.Seed = set.Seed + uint64(r)*1000
-		s := scheme{label: "OPT", mode: router.ModeStatic, tl: 0, ts: 0}
-		net := build()
-		n := core.Build(net, s.options(run, src))
+	s := scheme{label: "OPT", mode: router.ModeStatic, tl: 0, ts: 0}
+	return runSeeds(set, func(run Settings) ([]float64, error) {
+		n := core.Build(build(), s.options(run, src))
 		n.InstallStatic(sol.Phi)
-		acc = accumulate(acc, n.Run().MeanDelayMs)
-	}
-	return scaleSlice(acc, 1/float64(set.runs())), nil
+		return n.Run().MeanDelayMs, nil
+	})
 }
 
 // compare runs OPT (optionally) plus the listed schemes and assembles the
-// figure, adding envelope columns where the paper plots them.
+// figure, adding envelope columns where the paper plots them. Every scheme
+// is a coordinator task fanning its seeds onto the worker pool, so all of a
+// figure's simulations share one bounded pool; the figure itself is
+// assembled in scheme order from indexed slots and is byte-identical to the
+// serial harness's output.
 func compare(id, title string, build func() *topo.Network, withOPT bool, envelope float64,
 	schemes []scheme, set Settings, src func(f topo.Flow) traffic.Source) (*report.Figure, error) {
 
 	fig := &report.Figure{ID: id, Title: title}
+	optCols := 0
+	if withOPT {
+		optCols = 1
+	}
+	results := make([][]float64, optCols+len(schemes))
+	g := simpool.Coordinator()
+	if withOPT {
+		g.Go(func() error {
+			delays, err := runOPT(build, set, src)
+			results[0] = delays
+			return err
+		})
+	}
+	for i, s := range schemes {
+		i, s := i, s
+		g.Go(func() error {
+			delays, err := runScheme(build, s, set, src)
+			results[optCols+i] = delays
+			return err
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+
 	var columns [][]float64
 	if withOPT {
-		delays, err := runOPT(build, set, src)
-		if err != nil {
-			return nil, err
-		}
+		delays := results[0]
 		fig.Columns = append(fig.Columns, "OPT")
 		columns = append(columns, delays)
 		if envelope > 0 {
@@ -160,13 +212,9 @@ func compare(id, title string, build func() *topo.Network, withOPT bool, envelop
 			columns = append(columns, env)
 		}
 	}
-	for _, s := range schemes {
-		delays, err := runScheme(build, s, set, src)
-		if err != nil {
-			return nil, err
-		}
+	for i, s := range schemes {
 		fig.Columns = append(fig.Columns, s.label)
-		columns = append(columns, delays)
+		columns = append(columns, results[optCols+i])
 	}
 	net := build()
 	for x, f := range net.Flows {

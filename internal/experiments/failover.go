@@ -6,6 +6,7 @@ import (
 	"minroute/internal/core"
 	"minroute/internal/report"
 	"minroute/internal/router"
+	"minroute/internal/simpool"
 	"minroute/internal/topo"
 )
 
@@ -23,19 +24,29 @@ func Failover(set Settings) (*report.Figure, error) {
 	phases := []string{"baseline", "failed", "recovered"}
 	cells := make(map[string][]float64) // phase -> per-scheme means
 
-	for _, mode := range []router.Mode{router.ModeMP, router.ModeSP} {
-		var acc [3]float64
-		for r := 0; r < set.runs(); r++ {
-			vals, err := failoverRun(mode, set, set.Seed+uint64(r)*1000)
-			if err != nil {
-				return nil, err
-			}
-			for i := range vals {
-				acc[i] += vals[i]
-			}
-		}
+	modes := []router.Mode{router.ModeMP, router.ModeSP}
+	cols := make([][]float64, len(modes))
+	g := simpool.Coordinator()
+	for i, mode := range modes {
+		i, mode := i, mode
+		g.Go(func() error {
+			avg, err := runSeeds(set, func(run Settings) ([]float64, error) {
+				vals, err := failoverRun(mode, run, run.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return vals[:], nil
+			})
+			cols[i] = avg
+			return err
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	for _, col := range cols {
 		for i, phase := range phases {
-			cells[phase] = append(cells[phase], acc[i]/float64(set.runs()))
+			cells[phase] = append(cells[phase], col[i])
 		}
 	}
 	for _, phase := range phases {

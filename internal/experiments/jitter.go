@@ -6,6 +6,7 @@ import (
 	"minroute/internal/core"
 	"minroute/internal/report"
 	"minroute/internal/router"
+	"minroute/internal/simpool"
 	"minroute/internal/topo"
 )
 
@@ -19,28 +20,35 @@ func Jitter(set Settings) (*report.Figure, error) {
 		Title:   "Per-flow delay standard deviation in NET1 (ms)",
 		Columns: []string{"MP-TL-10-TS-2", "SP-TL-10"},
 	}
-	var cols [][]float64
-	for _, mode := range []router.Mode{router.ModeMP, router.ModeSP} {
-		var acc []float64
-		for r := 0; r < set.runs(); r++ {
-			net := topo.NET1()
-			opt := core.DefaultOptions()
-			opt.Router.Mode = mode
-			opt.Seed = set.Seed + uint64(r)*1000
-			opt.Warmup = set.Warmup
-			opt.Duration = set.Duration
-			if mode == router.ModeSP {
-				opt.Router.Ts = opt.Router.Tl
-				opt.Router.CostMeasureWindow = 5
-			}
-			n := core.Build(net, opt)
-			rep := n.Run()
-			if err := n.CheckLoopFree(); err != nil {
-				return nil, fmt.Errorf("experiments: jitter: %w", err)
-			}
-			acc = accumulate(acc, rep.StdDevMs)
-		}
-		cols = append(cols, scaleSlice(acc, 1/float64(set.runs())))
+	modes := []router.Mode{router.ModeMP, router.ModeSP}
+	cols := make([][]float64, len(modes))
+	g := simpool.Coordinator()
+	for i, mode := range modes {
+		i, mode := i, mode
+		g.Go(func() error {
+			delays, err := runSeeds(set, func(run Settings) ([]float64, error) {
+				opt := core.DefaultOptions()
+				opt.Router.Mode = mode
+				opt.Seed = run.Seed
+				opt.Warmup = run.Warmup
+				opt.Duration = run.Duration
+				if mode == router.ModeSP {
+					opt.Router.Ts = opt.Router.Tl
+					opt.Router.CostMeasureWindow = 5
+				}
+				n := core.Build(topo.NET1(), opt)
+				rep := n.Run()
+				if err := n.CheckLoopFree(); err != nil {
+					return nil, fmt.Errorf("experiments: jitter: %w", err)
+				}
+				return rep.StdDevMs, nil
+			})
+			cols[i] = delays
+			return err
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	net := topo.NET1()
 	for x, f := range net.Flows {

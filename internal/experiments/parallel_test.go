@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"minroute/internal/simpool"
+)
+
+// detSettings is deliberately short: determinism does not need steady state,
+// only identical seeds, and the figure is regenerated four times below.
+var detSettings = Settings{Warmup: 10, Duration: 5, Seed: 1, Runs: 2}
+
+// TestParallelMatchesSerial asserts the tentpole's core guarantee: the
+// parallel runner produces byte-identical figure tables to the serial path
+// for identical seeds. Fig14 exercises scheme-level fan-out (4 schemes × 2
+// seeds = 8 concurrent simulations); Fig10 adds the OPT/static path.
+func TestParallelMatchesSerial(t *testing.T) {
+	old := simpool.Workers()
+	defer simpool.SetWorkers(old)
+
+	for _, id := range []string{"fig14", "fig10"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			gen := All[id]
+			simpool.SetWorkers(1)
+			serial, err := gen(detSettings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simpool.SetWorkers(8)
+			parallel, err := gen(detSettings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := serial.CSV(), parallel.CSV(); s != p {
+				t.Fatalf("parallel figure differs from serial:\n--- workers=1\n%s\n--- workers=8\n%s", s, p)
+			}
+			if s, p := serial.Table(), parallel.Table(); s != p {
+				t.Fatalf("parallel table differs from serial:\n--- workers=1\n%s\n--- workers=8\n%s", s, p)
+			}
+		})
+	}
+}
+
+// TestParallelRepeatable asserts that two parallel regenerations of the
+// same figure agree with each other (no hidden shared state between the
+// concurrently running simulations).
+func TestParallelRepeatable(t *testing.T) {
+	old := simpool.Workers()
+	defer simpool.SetWorkers(old)
+	simpool.SetWorkers(6)
+
+	a, err := Fig16(detSettings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig16(detSettings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatalf("two parallel runs differ:\n--- run A\n%s\n--- run B\n%s", a.CSV(), b.CSV())
+	}
+}

@@ -522,16 +522,20 @@ func succSignature(succ []graph.NodeID) string {
 	return string(b)
 }
 
-// HandleData forwards (or delivers) a data packet.
+// HandleData forwards (or delivers) a data packet. The node takes ownership:
+// delivered and dropped packets are recycled into the engine's packet pool
+// (observers like OnArrive must not retain the pointer past their return).
 func (n *Node) HandleData(pkt *des.Packet) {
 	if pkt.Dst == n.id {
 		if n.OnArrive != nil {
 			n.OnArrive(pkt)
 		}
+		n.eng.FreePacket(pkt)
 		return
 	}
 	if pkt.Hops >= n.cfg.HopLimit {
 		n.DroppedHopLimit++
+		n.eng.FreePacket(pkt)
 		return
 	}
 	var k graph.NodeID
@@ -542,11 +546,13 @@ func (n *Node) HandleData(pkt *des.Packet) {
 	}
 	if k == graph.None {
 		n.DroppedNoRoute++
+		n.eng.FreePacket(pkt)
 		return
 	}
 	p, ok := n.ports[k]
 	if !ok {
 		n.DroppedNoRoute++
+		n.eng.FreePacket(pkt)
 		return
 	}
 	pkt.Hops++
@@ -555,6 +561,7 @@ func (n *Node) HandleData(pkt *des.Packet) {
 	}
 	if !p.Send(pkt) {
 		n.DroppedQueue++
+		n.eng.FreePacket(pkt)
 		return
 	}
 	n.ForwardedPackets++

@@ -1,0 +1,119 @@
+// Package simpool bounds the concurrency of the experiment harness. The
+// paper's evaluation is embarrassingly parallel — every figure is built
+// from independent, deterministic packet simulations (one per scheme ×
+// seed) — so the harness fans simulations out onto goroutines while a
+// process-wide semaphore keeps at most Workers() simulations running at
+// once, regardless of how many figures or schemes fan out concurrently.
+//
+// Two kinds of groups exist:
+//
+//   - NewGroup: tasks hold a worker slot while they run. Use for leaf work
+//     (one task = one simulation).
+//   - Coordinator: tasks run unbounded. Use for cheap orchestration layers
+//     (one task per figure or per scheme) whose own subtasks are bounded
+//     leaf groups — coordinators must never hold a slot while waiting on
+//     children, or nested fan-out could deadlock the semaphore.
+//
+// Determinism: groups only run tasks; callers index results by submission
+// order, so the assembled output is independent of goroutine scheduling.
+// Wait returns the error of the lowest-numbered failing task ("first error
+// wins" by submission order, not wall clock), which keeps error reporting
+// reproducible too.
+package simpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	mu  sync.Mutex
+	sem chan struct{}
+)
+
+// Workers reports the current simulation concurrency bound.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return cap(currentLocked())
+}
+
+// SetWorkers bounds the number of simulations running concurrently across
+// the whole process. n <= 0 resets to runtime.GOMAXPROCS(0). Call it before
+// launching work: groups already in flight keep the bound they started with.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sem = make(chan struct{}, n)
+}
+
+// currentLocked returns the live semaphore, creating it on first use.
+func currentLocked() chan struct{} {
+	if sem == nil {
+		sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	return sem
+}
+
+// Group runs tasks concurrently and collects the first error by submission
+// order. The zero value is not valid; use NewGroup or Coordinator. A group
+// must not be reused after Wait returns.
+type Group struct {
+	sem chan struct{} // nil for coordinators
+	wg  sync.WaitGroup
+
+	emu    sync.Mutex
+	err    error
+	errIdx int
+	next   int
+}
+
+// NewGroup returns a group whose tasks each occupy one process-wide worker
+// slot for their full duration. Do not call Wait on another bounded task's
+// goroutine — fan out coordination through Coordinator groups instead.
+func NewGroup() *Group {
+	mu.Lock()
+	defer mu.Unlock()
+	return &Group{sem: currentLocked(), errIdx: -1}
+}
+
+// Coordinator returns an unbounded group for orchestration goroutines that
+// only assemble results and fan out bounded leaf work.
+func Coordinator() *Group {
+	return &Group{errIdx: -1}
+}
+
+// Go starts fn on its own goroutine. Bounded groups acquire a worker slot
+// before running fn and release it after, so a submitted task may be queued
+// behind the semaphore arbitrarily long.
+func (g *Group) Go(fn func() error) {
+	g.emu.Lock()
+	idx := g.next
+	g.next++
+	g.emu.Unlock()
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if g.sem != nil {
+			g.sem <- struct{}{}
+			defer func() { <-g.sem }()
+		}
+		if err := fn(); err != nil {
+			g.emu.Lock()
+			if g.errIdx < 0 || idx < g.errIdx {
+				g.err, g.errIdx = err, idx
+			}
+			g.emu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every submitted task finished and returns the error of
+// the lowest-numbered failing task, or nil.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
