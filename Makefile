@@ -1,13 +1,18 @@
 GO ?= go
 
-.PHONY: check vet test race bench
+.PHONY: check vet lint test race bench
 
 # The gate used before every commit: static checks plus the full suite under
 # the race detector (the parallel figure harness makes -race meaningful).
-check: vet race
+check: vet lint race
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific determinism and ownership checks (see DESIGN.md §9).
+# Machine-readable findings: go run ./cmd/mdrcheck -json ./...
+lint:
+	$(GO) run ./cmd/mdrcheck ./...
 
 test:
 	$(GO) test ./...

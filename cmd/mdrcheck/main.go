@@ -1,0 +1,110 @@
+// Command mdrcheck runs the repository's determinism and ownership lint
+// suite (internal/lint) over Go packages. It is part of the commit gate:
+// `make lint` runs it over ./... and any finding fails the build.
+//
+// Usage:
+//
+//	mdrcheck [-json] [-checks maporder,norand,...] [-list] [packages]
+//
+// With no packages, ./... is checked. Exit status: 0 clean, 1 findings,
+// 2 usage or load error (including packages that do not compile).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"minroute/internal/lint"
+)
+
+// jsonDiag is the -json wire form of one finding, stable for CI consumers.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mdrcheck [-json] [-checks list] [packages]\n\nChecks:\n")
+		for _, a := range lint.All {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdrcheck:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	loader, err := lint.NewLoader(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdrcheck:", err)
+		os.Exit(2)
+	}
+
+	var diags []lint.Diag
+	for _, path := range loader.Targets() {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdrcheck:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, lint.RunPackage(pkg, analyzers)...)
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: relPath(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+				Check: d.Check, Message: d.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mdrcheck:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Msg)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// relPath shortens an absolute filename to be relative to the working
+// directory when possible, keeping output stable across checkouts.
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	if rel, err := filepath.Rel(wd, name); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return name
+}

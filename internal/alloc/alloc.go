@@ -49,6 +49,7 @@ func (p Params) Clone() Params {
 // ascending order (deterministic iteration helper).
 func (p Params) Keys() []graph.NodeID {
 	out := make([]graph.NodeID, 0, len(p))
+	//lint:maporder-ok keys are collected and sorted ascending before any use
 	for k := range p {
 		out = append(out, k)
 	}
@@ -266,8 +267,11 @@ func Validate(phi Params, succ []graph.NodeID) error {
 	for _, k := range succ {
 		inSet[k] = true
 	}
+	// Sorted keys: the first reported violation and the FP rounding of the
+	// sum must not depend on map iteration order.
 	sum := 0.0
-	for k, v := range phi {
+	for _, k := range phi.Keys() {
+		v := phi[k]
 		if v < -1e-12 {
 			return fmt.Errorf("alloc: negative fraction %v for successor %d", v, k)
 		}

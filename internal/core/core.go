@@ -291,6 +291,7 @@ func (n *Network) RestoreLink(a, b graph.NodeID) {
 // destination (Theorem 3) — callable at any simulation time.
 func (n *Network) CheckLoopFree() error {
 	views := make(map[graph.NodeID]lfi.RouterView, len(n.Nodes))
+	//lint:maporder-ok distinct-key inserts of a pure accessor's result commute
 	for id, node := range n.Nodes {
 		views[id] = node.Protocol()
 	}

@@ -79,6 +79,7 @@ func Run(v View, src graph.NodeID) *Result {
 				res.Dist[to] = nd
 				res.Parent[to] = u
 				h.push(item{node: to, dist: nd})
+			//lint:floateq-ok exact FP tie only; a tolerant tie here would re-parent across genuinely different path sums
 			case nd == res.Dist[to] && u < res.Parent[to]:
 				// Equal-cost path through a lower-address parent wins;
 				// the distance is unchanged so no re-push is needed.
@@ -151,6 +152,7 @@ func (h *distHeap) len() int { return len(h.items) }
 
 func (h *distHeap) less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
+	//lint:floateq-ok heap comparators need a strict weak order; tolerant equality is not transitive
 	if a.dist != b.dist {
 		return a.dist < b.dist
 	}

@@ -284,6 +284,7 @@ func (r *Router) recompute() bool {
 				bestHops = e.hops + 1
 			}
 		}
+		//lint:floateq-ok change detection: any bit-level distance change must trigger an update
 		if best != r.dist[j] {
 			r.dist[j] = best
 			r.hops[j] = bestHops
@@ -317,6 +318,7 @@ func (r *Router) vectorDiff() []lsu.Entry {
 	var out []lsu.Entry
 	for j := 0; j < r.n; j++ {
 		cur, rep := r.dist[j], r.reported[j]
+		//lint:floateq-ok change detection against the verbatim last-reported value, not arithmetic equality
 		if cur == rep {
 			continue
 		}
@@ -348,6 +350,7 @@ func (r *Router) fullVector() []lsu.Entry {
 
 func (r *Router) neighbors() []graph.NodeID {
 	out := make([]graph.NodeID, 0, len(r.adj))
+	//lint:maporder-ok keys are collected and insertion-sorted below before any use
 	for k := range r.adj {
 		out = append(out, k)
 	}

@@ -29,6 +29,7 @@ type variant struct {
 func runVariant(build func() *topo.Network, v variant, set Settings, scale float64) ([]float64, error) {
 	return runSeeds(set, func(run Settings) ([]float64, error) {
 		net := build()
+		//lint:floateq-ok scale==1 is an exact sentinel chosen by callers, never a computed value
 		if scale != 1 {
 			// Never mutate the built network in place: build() may hand out
 			// a shared instance (CustomComparison), and sibling seeds read
@@ -187,16 +188,22 @@ func mean(v []float64) float64 {
 }
 
 func init() {
-	for id, gen := range map[string]func(Settings) (*report.Figure, error){
-		"abl-ah":    AblationAH,
-		"abl-base":  AblationBaselines,
-		"abl-est":   AblationEstimator,
-		"abl-adapt": AblationAdaptive,
-		"loadsweep": LoadSweep,
+	// An ordered slice, not a map literal: registration order defines IDs,
+	// and iterating a map here would register figures in a different order
+	// every run.
+	for _, g := range []struct {
+		id  string
+		gen func(Settings) (*report.Figure, error)
+	}{
+		{"abl-ah", AblationAH},
+		{"abl-base", AblationBaselines},
+		{"abl-est", AblationEstimator},
+		{"abl-adapt", AblationAdaptive},
+		{"loadsweep", LoadSweep},
 	} {
-		All[id] = gen
+		All[g.id] = g.gen
+		IDs = append(IDs, g.id)
 	}
-	IDs = append(IDs, "abl-ah", "abl-base", "abl-est", "abl-adapt", "loadsweep")
 }
 
 // AblationAdaptive compares static against adaptive Ts/Tl timers under

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"runtime"
+	"testing"
+
+	"minroute/internal/simpool"
+)
+
+// figureHash reduces a generated figure to a single digest over everything
+// we publish (CSV points and the rendered table), so a mismatch anywhere in
+// the output surfaces as a one-line hash diff.
+func figureHash(t *testing.T, id string, s Settings) string {
+	t.Helper()
+	fig, err := All[id](s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(fig.CSV() + "\x00" + fig.Table()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestFigureDeterminism is the regression test behind the maporder/norand
+// lint rules: a quick figure regenerated in the same process — with fresh
+// map layouts (Go randomizes iteration order per map, not per process),
+// different GOMAXPROCS, and different worker counts — must hash
+// identically. Any map-order, wall-clock, or scheduling dependence in the
+// protocol or reporting path shows up here as a hash mismatch.
+func TestFigureDeterminism(t *testing.T) {
+	oldWorkers := simpool.Workers()
+	defer simpool.SetWorkers(oldWorkers)
+	oldProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(oldProcs)
+
+	for _, id := range []string{"abl-est", "fig14"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			runtime.GOMAXPROCS(oldProcs)
+			simpool.SetWorkers(1)
+			base := figureHash(t, id, detSettings)
+
+			for _, cfg := range []struct {
+				procs, workers int
+			}{
+				{1, 1},
+				{max(2, oldProcs), 4},
+			} {
+				runtime.GOMAXPROCS(cfg.procs)
+				simpool.SetWorkers(cfg.workers)
+				if got := figureHash(t, id, detSettings); got != base {
+					t.Errorf("GOMAXPROCS=%d workers=%d: hash %s differs from baseline %s",
+						cfg.procs, cfg.workers, got, base)
+				}
+			}
+		})
+	}
+}

@@ -138,6 +138,7 @@ func solveDest(cfg Config, rt Routing, j graph.NodeID, res *Result) error {
 			if len(frac[i]) == 0 {
 				res.Lost += t[i]
 			} else {
+				//lint:maporder-ok each key's share lands in distinct buckets t[k] and LinkFlow[{i,k}]
 				for k, v := range frac[i] {
 					if v <= 0 {
 						continue
@@ -149,8 +150,11 @@ func solveDest(cfg Config, rt Routing, j graph.NodeID, res *Result) error {
 			}
 		}
 		if i != j {
-			for k, v := range frac[i] {
-				if v > 0 {
+			// Sorted keys: the release order decides the topological
+			// processing order, which in turn fixes the FP summation order
+			// of downstream accumulations.
+			for _, k := range frac[i].Keys() {
+				if frac[i][k] > 0 {
 					indeg[k]--
 					if indeg[k] == 0 {
 						queue = append(queue, k)
@@ -254,7 +258,10 @@ func nodeDelays(cfg Config, rt Routing, j graph.NodeID, linkDelay map[[2]graph.N
 		done++
 		if k != j && pending[k] == 0 && len(frac[k]) > 0 {
 			sum := 0.0
-			for m, v := range frac[k] {
+			// Sorted keys: FP addition does not associate, so the summation
+			// order must not follow map iteration order.
+			for _, m := range frac[k].Keys() {
+				v := frac[k][m]
 				if v <= 0 {
 					continue
 				}

@@ -312,7 +312,10 @@ func (s *solver) marginalDistances(j graph.NodeID, cost map[[2]graph.NodeID]floa
 		done++
 		if k != j && len(s.phi[j][k]) > 0 {
 			sum := 0.0
-			for m, v := range s.phi[j][k] {
+			// Sorted keys: FP addition does not associate, so the summation
+			// order must not follow map iteration order.
+			for _, m := range s.phi[j][k].Keys() {
+				v := s.phi[j][k][m]
 				if v <= 0 {
 					continue
 				}
@@ -354,6 +357,7 @@ func (s *solver) blockedSet(j graph.NodeID, lam []float64, cost map[[2]graph.Nod
 		}
 		state[k] = 1
 		b := false
+		//lint:maporder-ok DFS reachability over a fixed graph; the blocked verdict is visit-order independent
 		for m, v := range s.phi[j][k] {
 			if v <= 0 {
 				continue
@@ -476,6 +480,7 @@ func Equalization(g *graph.Graph, flows []topo.Flow, r *Result, meanPacketBits f
 				continue
 			}
 			lo, hi := math.Inf(1), math.Inf(-1)
+			//lint:maporder-ok min/max accumulation is exact and commutative
 			for k, v := range r.Phi[j][i] {
 				if v <= 1e-9 {
 					continue

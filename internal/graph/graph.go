@@ -179,6 +179,7 @@ func (g *Graph) OutLinks(id NodeID) []*Link {
 // Links returns every directed link, ordered by (from, to).
 func (g *Graph) Links() []*Link {
 	out := make([]*Link, 0, len(g.links))
+	//lint:maporder-ok links are collected and sorted by (from, to) before any use
 	for _, l := range g.links {
 		out = append(out, l)
 	}
@@ -213,9 +214,10 @@ func (g *Graph) Validate() error {
 	if g.NumNodes() == 0 {
 		return fmt.Errorf("graph: empty")
 	}
-	for key := range g.links {
-		if _, ok := g.links[[2]NodeID{key[1], key[0]}]; !ok {
-			return fmt.Errorf("graph: link %s->%s has no reverse", g.Name(key[0]), g.Name(key[1]))
+	// Sorted order: with several asymmetric links, always name the same one.
+	for _, l := range g.Links() {
+		if _, ok := g.links[[2]NodeID{l.To, l.From}]; !ok {
+			return fmt.Errorf("graph: link %s->%s has no reverse", g.Name(l.From), g.Name(l.To))
 		}
 	}
 	if !g.Connected() {

@@ -7,6 +7,7 @@ package lfi
 
 import (
 	"fmt"
+	"sort"
 
 	"minroute/internal/graph"
 )
@@ -89,7 +90,15 @@ func CheckAllDestinations(n int, routers map[graph.NodeID]RouterView) error {
 // Theorem 1 (Eq. 19): if k ∈ S_j at router i, then FD_j^k < FD_j^i. This is
 // the strictly-decreasing potential that makes loops impossible.
 func CheckFDOrdering(n int, routers map[graph.NodeID]RouterView) error {
-	for _, r := range routers {
+	ids := make([]graph.NodeID, 0, len(routers))
+	//lint:maporder-ok keys are collected and sorted ascending before any use
+	for id := range routers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	// Sorted order: with several violations, always report the same one.
+	for _, id := range ids {
+		r := routers[id]
 		for j := 0; j < n; j++ {
 			jid := graph.NodeID(j)
 			for _, k := range r.Successors(jid) {

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive flags a switch over a project enum (a named integer type
+// declared in this module with at least two typed constants, e.g.
+// router.Mode or lsu.Op) that neither covers every constant nor declares a
+// default. Such a switch silently drops newly added modes/ops — the
+// forwarding-plane switch in router.pickNextHop is exactly where a new
+// Mode would otherwise vanish into a zero value.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "flags switches over project enums that miss constants and have no default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(p *Pass) {
+	if !isModulePath(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(p, sw)
+			return true
+		})
+	}
+}
+
+// enumConst is one declared constant of the enum type.
+type enumConst struct {
+	name  string
+	value constant.Value
+}
+
+func checkSwitch(p *Pass, sw *ast.SwitchStmt) {
+	named, ok := types.Unalias(p.Info.TypeOf(sw.Tag)).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !isModulePath(named.Obj().Pkg().Path()) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	consts := enumConstants(named)
+	if len(consts) < 2 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	for _, clause := range sw.Body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			return // default clause: the author chose a catch-all
+		}
+		for _, e := range cc.List {
+			tv, ok := p.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: cannot reason about coverage
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	seen := make(map[string]bool)
+	for _, c := range consts {
+		key := c.value.ExactString()
+		if covered[key] || seen[key] {
+			continue // iota aliases count once
+		}
+		seen[key] = true
+		missing = append(missing, c.name)
+	}
+	if len(missing) > 0 {
+		p.Reportf(sw.Switch, "switch over %s.%s misses %s; add the cases, a default, or //lint:exhaustive-ok <reason>",
+			named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumConstants returns the package-level constants declared with exactly
+// the named type, sorted by value then name.
+func enumConstants(named *types.Named) []enumConst {
+	scope := named.Obj().Pkg().Scope()
+	var out []enumConst
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		out = append(out, enumConst{name: name, value: c.Val()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := out[i].value, out[j].value
+		if constant.Compare(vi, token.LSS, vj) {
+			return true
+		}
+		if constant.Compare(vj, token.LSS, vi) {
+			return false
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

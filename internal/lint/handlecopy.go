@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HandleCopy enforces the ownership model of the pooled DES records.
+// eventq.Event and des.Packet live on free lists with a single owner: the
+// queue recycles Events under a generation counter, and the PacketPool's
+// free chain assumes exactly one live pointer per record. A by-value copy
+// forks the record — the copy's fields (generation, control payload, flow
+// bookkeeping) go stale the moment the original is recycled, which is how
+// use-after-free bugs enter a pool-based design. Outside the two home
+// packages, these records must therefore travel only as pointers:
+//
+//   - no variables, fields, parameters, results, conversions, or element
+//     types of value type eventq.Event / des.Packet;
+//   - no dereference copies (`v := *pkt`); the reset idiom
+//     `*pkt = des.Packet{...}` stays legal because it writes through the
+//     pointer instead of forking the record;
+//   - no embedding of eventq.Handle: promoted Scheduled/Time/Cancel on an
+//     outer struct read like methods of that struct and hide which event's
+//     generation is being consulted.
+var HandleCopy = &Analyzer{
+	Name: "handlecopy",
+	Doc:  "flags by-value use of pool-owned eventq.Event / des.Packet records and eventq.Handle embedding",
+	Run:  runHandleCopy,
+}
+
+// poolStructName returns a short name ("eventq.Event" or "des.Packet") when
+// t is one of the pool-owned record types, else "".
+func poolStructName(t types.Type) string {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "minroute/internal/eventq.Event":
+		return "eventq.Event"
+	case "minroute/internal/des.Packet":
+		return "des.Packet"
+	}
+	return ""
+}
+
+func isHandleType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	return ok && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "minroute/internal/eventq" && n.Obj().Name() == "Handle"
+}
+
+func runHandleCopy(p *Pass) {
+	if !isModulePath(p.Path) ||
+		p.Path == "minroute/internal/eventq" || p.Path == "minroute/internal/des" {
+		return
+	}
+	for _, f := range p.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.StructType:
+				for _, field := range x.Fields.List {
+					if field.Names == nil && isHandleType(p.Info.TypeOf(field.Type)) {
+						p.Reportf(field.Pos(), "embedding eventq.Handle promotes its generation-guarded methods onto the outer struct; use a named field")
+					}
+				}
+			case *ast.CompositeLit:
+				name := poolStructName(p.Info.TypeOf(x))
+				if name == "" || litIsPointerTarget(parents, x) {
+					return true
+				}
+				p.Reportf(x.Pos(), "%s composite literal creates an unpooled by-value record; allocate via the pool (or &%s{...} at init time)", name, name)
+			case *ast.StarExpr:
+				tv, ok := p.Info.Types[x]
+				if !ok || !tv.IsValue() {
+					return true // pointer *type* expression, not a deref
+				}
+				name := poolStructName(tv.Type)
+				if name == "" || isAssignLHS(parents, x) {
+					return true
+				}
+				p.Reportf(x.Pos(), "dereference copies the pool-owned %s record; keep the pointer (writes through it, like *p = %s{...}, are fine)", name, name)
+			case ast.Expr:
+				tv, ok := p.Info.Types[x]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				name := poolStructName(tv.Type)
+				if name == "" || typeExprAllowed(parents, x) {
+					return true
+				}
+				p.Reportf(x.Pos(), "value type %s copies a pool-owned record; use *%s", name, name)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// parentMap records the enclosing node of every node in f.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// typeExprAllowed reports whether a bare pool-struct type expression is in
+// a sanctioned position: under a pointer type (*des.Packet), as the operand
+// of new(...), or as a composite-literal type (judged by the literal rule).
+func typeExprAllowed(parents map[ast.Node]ast.Node, e ast.Expr) bool {
+	switch parent := parents[e].(type) {
+	case *ast.StarExpr:
+		return true
+	case *ast.CompositeLit:
+		return parent.Type == e
+	case *ast.CallExpr:
+		if fun, ok := ast.Unparen(parent.Fun).(*ast.Ident); ok && fun.Name == "new" {
+			return true
+		}
+	case *ast.SelectorExpr, *ast.ParenExpr:
+		return typeExprAllowed(parents, parent.(ast.Expr))
+	}
+	return false
+}
+
+// litIsPointerTarget reports whether the composite literal is immediately
+// taken by address (&T{...}) or written through a pool pointer
+// (*p = T{...}), the two non-forking uses.
+func litIsPointerTarget(parents map[ast.Node]ast.Node, lit *ast.CompositeLit) bool {
+	switch parent := parents[lit].(type) {
+	case *ast.UnaryExpr:
+		return parent.Op.String() == "&"
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if rhs == ast.Expr(lit) && i < len(parent.Lhs) {
+				if _, deref := ast.Unparen(parent.Lhs[i]).(*ast.StarExpr); deref {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isAssignLHS reports whether e appears on the left-hand side of the
+// assignment that encloses it.
+func isAssignLHS(parents map[ast.Node]ast.Node, e ast.Expr) bool {
+	assign, ok := parents[e].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range assign.Lhs {
+		if lhs == e {
+			return true
+		}
+	}
+	return false
+}

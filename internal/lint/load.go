@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path. Fixture packages loaded with CheckDir carry
+	// a synthetic path chosen by the caller so that path-scoped policies
+	// (e.g. "protocol packages only") can be exercised from testdata.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Loader loads and type-checks packages of the enclosing module using only
+// the standard library: package discovery and dependency export data come
+// from `go list -export -deps -json`, syntax from go/parser, and types from
+// go/types with a gc-export-data importer. Nothing outside the target
+// package is re-parsed, so a whole-repo run stays fast.
+type Loader struct {
+	fset    *token.FileSet
+	pkgs    map[string]*listPkg
+	targets []string
+	imp     types.Importer
+}
+
+// NewLoader lists patterns (e.g. "./...") relative to dir and prepares the
+// import resolver. It fails if any listed package does not compile, which is
+// the desired behavior for a commit gate.
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Export,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	l := &Loader{fset: token.NewFileSet(), pkgs: make(map[string]*listPkg)}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		l.pkgs[p.ImportPath] = &p
+		if !p.DepOnly && !p.Standard {
+			l.targets = append(l.targets, p.ImportPath)
+		}
+	}
+	sort.Strings(l.targets)
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l, nil
+}
+
+// lookup resolves an import to the gc export data `go list -export` placed
+// in the build cache.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	p, ok := l.pkgs[path]
+	if !ok || p.Export == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(p.Export)
+}
+
+// Targets returns the import paths matched by the patterns (dependencies
+// excluded), sorted.
+func (l *Loader) Targets() []string {
+	return append([]string(nil), l.targets...)
+}
+
+// Load parses and type-checks one listed package from source. Packages with
+// no non-test Go files (e.g. a module root holding only tests) return nil.
+func (l *Loader) Load(path string) (*Package, error) {
+	p, ok := l.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q was not listed", path)
+	}
+	if len(p.GoFiles) == 0 {
+		return nil, nil
+	}
+	files := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		files[i] = filepath.Join(p.Dir, f)
+	}
+	return l.check(path, files)
+}
+
+// CheckDir parses and type-checks every .go file in dir as a single package
+// under the given synthetic import path. It exists for analyzer fixtures in
+// testdata directories, which the go tool deliberately does not list.
+func (l *Loader) CheckDir(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return l.check(importPath, files)
+}
+
+func (l *Loader) check(path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}

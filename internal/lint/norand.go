@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NoRand forbids ambient entropy — global PRNGs and wall-clock reads — in
+// simulation code. Every stochastic draw must come from an explicitly
+// seeded internal/rng Source and every timestamp from the DES clock;
+// otherwise a run is not a pure function of its seed and the
+// byte-identical-figures guarantee collapses. Exempt: internal/rng itself
+// (it is the sanctioned entropy boundary) and the cmd/ and examples/ entry
+// points, which may time wall-clock progress for the operator.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbids math/rand, crypto/rand, and wall-clock reads in simulation code",
+	Run:  runNoRand,
+}
+
+// norandImports are the packages whose mere import marks ambient entropy.
+var norandImports = map[string]string{
+	"math/rand":    "use an explicitly seeded internal/rng Source",
+	"math/rand/v2": "use an explicitly seeded internal/rng Source",
+	"crypto/rand":  "simulations must be reproducible; use internal/rng",
+}
+
+// norandTimeFuncs are the wall-clock reads and timers banned from
+// simulation code (time.Duration arithmetic and constants remain fine).
+var norandTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runNoRand(p *Pass) {
+	if !isModulePath(p.Path) ||
+		p.Path == "minroute/internal/rng" ||
+		pathWithin(p.Path, "minroute/cmd") ||
+		pathWithin(p.Path, "minroute/examples") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, banned := norandImports[path]; banned {
+				p.Reportf(imp.Pos(), "import of %s is ambient entropy; %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if norandTimeFuncs[fn.Name()] {
+				p.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation time comes from the DES engine", fn.Name())
+			}
+			return true
+		})
+	}
+}

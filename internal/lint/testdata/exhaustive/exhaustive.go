@@ -1,0 +1,62 @@
+// Package fixture exercises the exhaustive analyzer: a switch over a
+// project enum that misses constants and has no default is flagged.
+package fixture
+
+import "fmt"
+
+// Phase is a project enum: a named integer type with >= 2 typed constants.
+type Phase int
+
+const (
+	PhaseIdle Phase = iota
+	PhaseActive
+	PhaseDone
+	// PhaseFinal aliases PhaseDone's value; aliases count once.
+	PhaseFinal = PhaseDone
+)
+
+func missingCase(p Phase) string {
+	switch p { // want `misses PhaseDone`
+	case PhaseIdle:
+		return "idle"
+	case PhaseActive:
+		return "active"
+	}
+	return ""
+}
+
+func covered(p Phase) string {
+	switch p {
+	case PhaseIdle, PhaseActive:
+		return "running"
+	case PhaseDone:
+		return "done"
+	}
+	return ""
+}
+
+func defaulted(p Phase) string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	default:
+		return fmt.Sprint(int(p))
+	}
+}
+
+func nonEnum(n int) string {
+	switch n { // plain ints are not an enum
+	case 1:
+		return "one"
+	}
+	return ""
+}
+
+func suppressed(p Phase) bool {
+	//lint:exhaustive-ok fixture: only the idle transition matters here
+	switch p {
+	case PhaseIdle:
+		return true
+	}
+	return false
+}

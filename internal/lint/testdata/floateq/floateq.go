@@ -1,0 +1,33 @@
+// Package fixture exercises the floateq analyzer: raw equality between
+// floats is flagged; zero sentinels, the NaN probe, and integer equality
+// are not.
+package fixture
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point ==`
+}
+
+func ne(a, b float32) bool {
+	return a != b // want `floating-point !=`
+}
+
+func threshold(a float64) bool {
+	return a == 0.25 // want `floating-point ==`
+}
+
+func zeroSentinel(a float64) bool {
+	return a == 0 // exact zero is assigned, never computed
+}
+
+func nanProbe(a float64) bool {
+	return a != a // the portable IsNaN
+}
+
+func intsFine(a, b int) bool {
+	return a == b
+}
+
+func suppressed(a float64) bool {
+	//lint:floateq-ok fixture: comparing against a value copied verbatim
+	return a == 1.5
+}

@@ -1,0 +1,52 @@
+// Package fixture exercises the handlecopy analyzer: by-value uses of the
+// pool-owned eventq.Event / des.Packet records and eventq.Handle embedding
+// are flagged; pointer plumbing and the *p reset idiom are not.
+package fixture
+
+import (
+	"minroute/internal/des"
+	"minroute/internal/eventq"
+)
+
+type holder struct {
+	eventq.Handle // want `embedding eventq.Handle`
+
+	named eventq.Handle // a named Handle field is the intended pattern
+	pkt   *des.Packet
+	buf   []des.Packet // want `value type des.Packet`
+}
+
+func copyOut(p *des.Packet) {
+	shadow := *p // want `dereference copies`
+	_ = shadow
+}
+
+func reset(p *des.Packet) {
+	*p = des.Packet{FlowID: -1} // writing through the pointer is the documented idiom
+}
+
+func byValueParam(p des.Packet) float64 { // want `value type des.Packet`
+	return p.Bits
+}
+
+func fresh() *des.Packet {
+	if alwaysTrue() {
+		return &des.Packet{} // address-of literal: no value copy escapes
+	}
+	return new(des.Packet)
+}
+
+func convert(v any) des.Packet { // want `value type des.Packet`
+	return v.(des.Packet) // want `value type des.Packet`
+}
+
+func handleByValue(h eventq.Handle) bool {
+	return h.Scheduled() // Handle itself is a cheap, always-safe value type
+}
+
+func alwaysTrue() bool { return true }
+
+func suppressed(p *des.Packet) des.Packet { // want `value type des.Packet`
+	//lint:handlecopy-ok fixture: snapshot for a post-mortem dump
+	return *p
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises the norand analyzer: ambient-entropy imports
+// and wall-clock reads are flagged; time.Duration arithmetic is not.
+package fixture
+
+import (
+	"math/rand" // want `ambient entropy`
+	"time"
+)
+
+func draw() int {
+	return rand.Int()
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall clock`
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `wall clock`
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want `wall clock`
+}
+
+func window() time.Duration {
+	return 3 * time.Second // durations are values, not clock reads
+}
+
+func sanctioned() int64 {
+	//lint:norand-ok fixture: pretend this is operator-facing progress output
+	return time.Now().UnixNano()
+}

@@ -51,6 +51,7 @@ func Render(g *graph.Graph, opt Options) string {
 	const margin = 50
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	//lint:maporder-ok min/max accumulation is exact and commutative
 	for _, p := range pos {
 		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
 		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])

@@ -63,6 +63,7 @@ func (t *Tables) NumNodes() int { return t.n }
 // Neighbors returns the up adjacent neighbors in ascending order.
 func (t *Tables) Neighbors() []graph.NodeID {
 	out := make([]graph.NodeID, 0, len(t.adj))
+	//lint:maporder-ok keys are collected and sorted ascending before any use
 	for k := range t.adj {
 		out = append(out, k)
 	}
@@ -157,7 +158,16 @@ func (t *Tables) RunMTU() []lsu.Entry {
 			nodes[j] = true
 		}
 	}
+	// Ascending node order: the paper resolves conflicting link reports
+	// "ties to the lowest address", and the merge below must visit nodes in
+	// the same order every run for T to be reproducible.
+	ids := make([]graph.NodeID, 0, len(nodes))
+	//lint:maporder-ok keys are collected and sorted ascending before any use
 	for j := range nodes {
+		ids = append(ids, j)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, j := range ids {
 		if j == t.id {
 			continue // local links are handled in step 5
 		}
@@ -180,8 +190,8 @@ func (t *Tables) RunMTU() []lsu.Entry {
 	}
 
 	// Step 5: adjacent links override anything reported by neighbors.
-	for k, cost := range t.adj {
-		newT.Set(t.id, k, cost)
+	for _, k := range nbrs {
+		newT.Set(t.id, k, t.adj[k])
 	}
 
 	// Steps 6-7: prune to the shortest-path tree and refresh distances.

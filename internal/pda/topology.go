@@ -41,6 +41,7 @@ func (t *Topology) VisitOut(u graph.NodeID, visit func(graph.NodeID, float64)) {
 	}
 	// Deterministic iteration order: ascending tail ID.
 	tails := make([]graph.NodeID, 0, len(row))
+	//lint:maporder-ok keys are collected and sorted ascending before any use
 	for tail := range row {
 		tails = append(tails, tail)
 	}
@@ -98,6 +99,7 @@ func (t *Topology) Clear() {
 // Clone deep-copies the table.
 func (t *Topology) Clone() *Topology {
 	c := NewTopology(t.n)
+	//lint:maporder-ok distinct-key deep copy; every row lands in its own entry
 	for head, row := range t.out {
 		nr := make(map[graph.NodeID]float64, len(row))
 		for tail, cost := range row {
@@ -125,6 +127,7 @@ func (t *Topology) Diff(old *Topology) []lsu.Entry {
 	visitSorted(t, func(h, tl graph.NodeID, cost float64) {
 		if oc, ok := old.Cost(h, tl); !ok {
 			out = append(out, lsu.Entry{Op: lsu.OpAdd, Head: h, Tail: tl, Cost: cost})
+			//lint:floateq-ok change detection: any bit-level cost change must be flooded
 		} else if oc != cost {
 			out = append(out, lsu.Entry{Op: lsu.OpChange, Head: h, Tail: tl, Cost: cost})
 		}
@@ -150,6 +153,7 @@ func (t *Topology) Entries() []lsu.Entry {
 // Nodes returns the IDs mentioned by any link, ascending.
 func (t *Topology) Nodes() []graph.NodeID {
 	seen := make(map[graph.NodeID]bool)
+	//lint:maporder-ok set union via idempotent inserts
 	for head, row := range t.out {
 		seen[head] = true
 		for tail := range row {
@@ -157,6 +161,7 @@ func (t *Topology) Nodes() []graph.NodeID {
 		}
 	}
 	out := make([]graph.NodeID, 0, len(seen))
+	//lint:maporder-ok keys are collected and sorted ascending before any use
 	for id := range seen {
 		out = append(out, id)
 	}
@@ -169,8 +174,11 @@ func (t *Topology) Equal(o *Topology) bool {
 	if t.NumLinks() != o.NumLinks() {
 		return false
 	}
+	//lint:maporder-ok existence check; the boolean verdict is visit-order independent
 	for head, row := range t.out {
+		//lint:maporder-ok existence check; the boolean verdict is visit-order independent
 		for tail, cost := range row {
+			//lint:floateq-ok equality of verbatim stored costs, not arithmetic results
 			if oc, ok := o.Cost(head, tail); !ok || oc != cost {
 				return false
 			}
@@ -190,6 +198,7 @@ func (t *Topology) String() string {
 
 func visitSorted(t *Topology, fn func(h, tl graph.NodeID, cost float64)) {
 	heads := make([]graph.NodeID, 0, len(t.out))
+	//lint:maporder-ok keys are collected and sorted ascending before any use
 	for h := range t.out {
 		heads = append(heads, h)
 	}
@@ -197,6 +206,7 @@ func visitSorted(t *Topology, fn func(h, tl graph.NodeID, cost float64)) {
 	for _, h := range heads {
 		row := t.out[h]
 		tails := make([]graph.NodeID, 0, len(row))
+		//lint:maporder-ok keys are collected and sorted ascending before any use
 		for tl := range row {
 			tails = append(tails, tl)
 		}

@@ -102,6 +102,7 @@ func (n *Net) Step() bool {
 
 func (n *Net) nonEmpty() [][2]graph.NodeID {
 	keys := make([][2]graph.NodeID, 0, len(n.queues))
+	//lint:maporder-ok keys are collected and sorted below before the seeded choice
 	for k, q := range n.queues {
 		if len(q) > 0 {
 			keys = append(keys, k)

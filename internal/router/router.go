@@ -433,6 +433,7 @@ func (n *Node) tlTick() {
 			n.longCost[k].Update(linkcost.MM1Marginal(lambda, mu, p.Prop))
 		}
 		c := quantizeCost(n.longCost[k].Value())
+		//lint:floateq-ok change detection between quantized costs; quantization makes equality exact
 		if cur, ok := n.proto.Tables().AdjCost(k); !ok || cur != c {
 			if ok && cur > 0 {
 				if rel := math.Abs(c-cur) / cur; rel > churn {

@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"minroute/internal/graph"
 )
@@ -117,12 +118,15 @@ func (r *Recorder) Deliver(serial uint64, at float64) {
 // Recorded returns the total number of packets ever begun.
 func (r *Recorder) Recorded() uint64 { return r.recorded }
 
-// Paths returns the retained paths (unspecified order).
+// Paths returns the retained paths in ascending Serial order, so reports
+// built from a trace render identically run-to-run.
 func (r *Recorder) Paths() []*Path {
 	out := make([]*Path, 0, len(r.paths))
+	//lint:maporder-ok paths are collected and sorted by Serial before any use
 	for _, p := range r.paths {
 		out = append(out, p)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Serial < out[j].Serial })
 	return out
 }
 
@@ -130,6 +134,7 @@ func (r *Recorder) Paths() []*Path {
 // number of delivered paths, how many contained a node revisit, and the
 // longest path length in hops.
 func (r *Recorder) Audit() (delivered, withRevisit, maxHops int) {
+	//lint:maporder-ok counting and an integer max are visit-order independent
 	for _, p := range r.paths {
 		if !p.Delivered {
 			continue
