@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet lint test race bench
+.PHONY: check vet lint test race fuzz chaos bench
 
-# The gate used before every commit: static checks plus the full suite under
-# the race detector (the parallel figure harness makes -race meaningful).
-check: vet lint race
+# The gate used before every commit: static checks, the full suite under the
+# race detector (the parallel figure harness makes -race meaningful), and a
+# short coverage-guided fuzz of the chaos schedule decoder + oracles.
+check: vet lint race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +20,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Ten seconds of coverage-guided fuzzing over random chaos schedules with
+# every invariant oracle armed; the checked-in corpus replays regardless.
+fuzz:
+	$(GO) test -run FuzzChaosSchedule -fuzz FuzzChaosSchedule -fuzztime 10s ./internal/chaos
+
+# Longer randomized sweep: 200 seed-derived scenarios through both runners.
+chaos:
+	$(GO) run ./cmd/mdrfuzz -n 200 -des
 
 # Hot-path micro-benchmarks (event queue, link pipeline) plus the figure
 # regeneration benchmarks. Compare against BENCH_parallel.json.

@@ -1,0 +1,153 @@
+// Command mdrfuzz hunts for invariant violations with randomized chaos
+// scenarios: seed-derived fault schedules over the paper's topologies run
+// against the protocol-level harness (and optionally the packet simulator)
+// with every oracle armed. A violating scenario is shrunk to a minimal
+// reproducer and written as JSON for deterministic replay with
+// `mdrsim -chaos <file>`.
+//
+// Usage:
+//
+//	mdrfuzz -n 200                    # 200 scenarios from seeds 1..200
+//	mdrfuzz -n 50 -seed 1000 -des     # seeds 1000..1049, both runners
+//	mdrfuzz -n 500 -out repro.json    # write the shrunk reproducer here
+//	mdrfuzz -corpus dir               # also emit fuzz-corpus seed inputs
+//
+// Exit status 1 when any violation was found, 0 on a clean sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"minroute/internal/chaos"
+	"minroute/internal/simpool"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 200, "number of scenarios to run")
+		seed    = flag.Uint64("seed", 1, "first scenario seed (seeds seed..seed+n-1)")
+		des     = flag.Bool("des", false, "also run each scenario in the packet simulator")
+		out     = flag.String("out", "mdrfuzz-repro.json", "path for the shrunk reproducer of the first violation")
+		corpus  = flag.String("corpus", "", "write each scenario as a Go fuzz corpus input into this directory")
+		workers = flag.Int("workers", 0, "max scenarios running concurrently (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "print every scenario result")
+	)
+	flag.Parse()
+	simpool.SetWorkers(*workers)
+
+	type outcome struct {
+		seed   uint64
+		runner string
+		res    *chaos.Result
+		err    error
+	}
+	results := make([]outcome, 0, 2*(*n))
+	var mu sync.Mutex
+	g := simpool.Coordinator()
+	for i := 0; i < *n; i++ {
+		s := *seed + uint64(i)
+		g.Go(func() error {
+			sc := chaos.Generate(s)
+			res, err := chaos.RunProto(sc)
+			mu.Lock()
+			results = append(results, outcome{s, "proto", res, err})
+			mu.Unlock()
+			if *des {
+				res, err = chaos.RunDES(sc)
+				mu.Lock()
+				results = append(results, outcome{s, "des", res, err})
+				mu.Unlock()
+			}
+			return nil
+		})
+	}
+	g.Wait()
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].seed != results[j].seed {
+			return results[i].seed < results[j].seed
+		}
+		return results[i].runner < results[j].runner
+	})
+
+	if *corpus != "" {
+		if err := writeCorpus(*corpus, *seed, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrfuzz: corpus: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	counts := make(map[string]int64)
+	var events int64
+	failures := 0
+	var firstBad uint64
+	for _, o := range results {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "mdrfuzz: seed %d (%s): %v\n", o.seed, o.runner, o.err)
+			os.Exit(1)
+		}
+		events += o.res.Events
+		for _, c := range o.res.Log.Counts() {
+			counts[c.Check] += c.Count
+		}
+		if o.res.Failed() {
+			if failures == 0 {
+				firstBad = o.seed
+			}
+			failures++
+			fmt.Printf("seed %d (%s): VIOLATION %s\n", o.seed, o.runner, o.res.Log.Violations[0])
+		} else if *verbose {
+			fmt.Printf("seed %d (%s): ok, %d events, hash %.12s\n", o.seed, o.runner, o.res.Events, o.res.TraceHash)
+		}
+	}
+
+	names := make([]string, 0, len(counts))
+	//lint:maporder-ok keys are sorted before printing
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%d scenarios, %d events\n", *n, events)
+	for _, name := range names {
+		fmt.Printf("  oracle %-22s ran %d times\n", name, counts[name])
+	}
+
+	if failures == 0 {
+		fmt.Println("no violations")
+		return
+	}
+	fmt.Printf("%d violating runs; shrinking seed %d\n", failures, firstBad)
+	min := chaos.Shrink(chaos.Generate(firstBad), func(c *chaos.Scenario) bool {
+		res, err := chaos.RunProto(c)
+		return err == nil && res.Failed()
+	})
+	if err := min.Save(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "mdrfuzz: save reproducer: %v\n", err)
+	} else {
+		fmt.Printf("minimal reproducer (%d actions) written to %s — replay with: mdrsim -chaos %s\n",
+			len(min.Actions), *out, *out)
+	}
+	os.Exit(1)
+}
+
+// writeCorpus emits each generated scenario as a `go test fuzz v1` input so
+// interesting schedules can seed FuzzChaosSchedule.
+func writeCorpus(dir string, seed uint64, n int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		s := seed + uint64(i)
+		data := chaos.Encode(chaos.Generate(s))
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		path := filepath.Join(dir, fmt.Sprintf("gen-%d", s))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

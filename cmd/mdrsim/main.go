@@ -26,6 +26,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"minroute/internal/chaos"
 	"minroute/internal/core"
 	"minroute/internal/experiments"
 	"minroute/internal/report"
@@ -49,6 +50,8 @@ func main() {
 		mode     = flag.String("mode", "mp", "routing mode for -scenario: mp, sp, or ecmp")
 		compare  = flag.Bool("compare", false, "with -scenario: compare OPT, MP, SP and ECMP")
 		svgDir   = flag.String("svg", "", "also write each figure as an SVG chart into this directory")
+
+		chaosArg = flag.String("chaos", "", "replay a chaos scenario: a registry name (see -chaos list) or a JSON file")
 
 		workers    = flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -101,6 +104,14 @@ func main() {
 	set.Seed = *seed
 	if *runs > 0 {
 		set.Runs = *runs
+	}
+
+	if *chaosArg != "" {
+		if err := runChaos(*chaosArg); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *scenario != "" {
@@ -183,6 +194,52 @@ func main() {
 		fmt.Printf("total: %d figures in %.1fs wall (%d workers)\n",
 			len(ids), time.Since(wallStart).Seconds(), simpool.Workers())
 	}
+}
+
+// runChaos replays a chaos scenario — by registry name or from a JSON file —
+// through both runners with every invariant oracle armed, and reports the
+// per-oracle counts and trace hashes. `mdrsim -chaos list` prints the
+// registry. A violation makes the replay fail.
+func runChaos(arg string) error {
+	if arg == "list" {
+		for _, name := range experiments.ChaosNames() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	s, err := experiments.ChaosScenario(arg)
+	if err != nil {
+		if _, statErr := os.Stat(arg); statErr != nil {
+			return err // neither a registry name nor a readable file
+		}
+		if s, err = chaos.Load(arg); err != nil {
+			return err
+		}
+	}
+	type runner struct {
+		name string
+		fn   func(*chaos.Scenario) (*chaos.Result, error)
+	}
+	failed := false
+	for _, r := range []runner{{"proto", chaos.RunProto}, {"des", chaos.RunDES}} {
+		res, err := r.fn(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Printf("%s %s: %d events, trace sha256 %s\n", s.Name, r.name, res.Events, res.TraceHash)
+		for _, c := range res.Log.Counts() {
+			fmt.Printf("  oracle %-22s ran %d times\n", c.Check, c.Count)
+		}
+		for _, v := range res.Log.Violations {
+			failed = true
+			fmt.Printf("  VIOLATION %s\n", v)
+		}
+	}
+	if failed {
+		return fmt.Errorf("chaos scenario %s violated invariants", s.Name)
+	}
+	fmt.Println("all invariants held")
+	return nil
 }
 
 // runScenario simulates one custom network at the given settings.

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureMain runs main with stdout redirected and returns what it printed;
+// a log.Fatalf inside the example fails the whole package, which is the
+// intended smoke-test behavior.
+func captureMain(t *testing.T) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf, _ := io.ReadAll(r)
+		done <- string(buf)
+	}()
+	main()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestFailoverRuns(t *testing.T) {
+	out := captureMain(t)
+	for _, want := range []string{
+		"loop-freedom audit after warmup:",
+		"loop-freedom audit right after failure:",
+		"loop-freedom audit after reconvergence:",
+		"loop-freedom audit after recovery:",
+		"the failure cost capacity, never correctness",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureMain runs main with stdout redirected to a pipe and returns what it
+// printed. A failure inside the example exits the test binary (the examples
+// use log.Fatalf), which go test reports as the package failing — exactly
+// what a smoke test wants.
+func captureMain(t *testing.T) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf, _ := io.ReadAll(r)
+		done <- string(buf)
+	}()
+	main()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestQuickstartRuns(t *testing.T) {
+	out := captureMain(t)
+	for _, want := range []string{"MP (multipath minimum-delay approximation) on NET1:",
+		"loss rate: 0.00000", "loop-freedom audit: OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minroute/internal/alloc"
+	"minroute/internal/core"
+	"minroute/internal/graph"
+	"minroute/internal/lfi"
+	"minroute/internal/oracle"
+	"minroute/internal/router"
+)
+
+// desConfig is the router configuration chaos runs use: the paper's MP mode
+// with shorter horizons (Tl=4, Ts=1) so allocation steps and long-term
+// route changes actually occur inside scenario-length (≈10 s) runs.
+func desConfig() router.Config {
+	cfg := router.Defaults()
+	cfg.Tl = 4
+	cfg.Ts = 1
+	return cfg
+}
+
+// RunDES executes the scenario in the packet simulator: real traffic, real
+// queues, actions scheduled at their At coordinates, and three always-on
+// oracles wired into the event loop — traffic conservation after every
+// event, the φ-simplex invariant after every IH/AH step, and loop-freedom
+// of the live successor graph after every event that changed an allocation.
+// Convergence is not checked here: under flowing traffic the link costs
+// never quiesce, so Theorem 4's premise never holds (the protocol-level
+// runner checks it at true quiescence instead).
+func RunDES(s *Scenario) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tn, err := s.Network()
+	if err != nil {
+		return nil, err
+	}
+	dur := s.Duration
+	if dur <= 0 {
+		dur = 10
+	}
+	n := core.Build(tn, core.Options{
+		Router:   desConfig(),
+		Seed:     s.Seed,
+		Warmup:   0,
+		Duration: dur,
+	})
+
+	log := oracle.NewLog()
+	var trace strings.Builder
+	fmt.Fprintf(&trace, "scenario %s topo=%s seed=%d des dur=%g\n", s.Name, s.Topo, s.Seed, dur)
+
+	// φ-simplex after every IH/AH step, and a dirty mark that triggers the
+	// loop-freedom audit once the surrounding event finishes.
+	dirty := false
+	for _, id := range tn.Graph.Nodes() {
+		node := n.Nodes[id]
+		node.OnAlloc = func(j graph.NodeID, phi alloc.Params, succ []graph.NodeID) {
+			dirty = true
+			log.Record(oracle.CheckSimplexName)
+			if err := oracle.Simplex(phi, succ); err != nil {
+				log.Violate(oracle.CheckSimplexName, err.Error(), n.Eng.EventsFired(), n.Eng.Now())
+			}
+		}
+	}
+
+	checkLoopFree := func() {
+		log.Record(oracle.CheckLoopFreeName)
+		views := make(map[graph.NodeID]lfi.RouterView, len(n.Nodes))
+		//lint:maporder-ok distinct-key inserts of live router views commute
+		for id, node := range n.Nodes {
+			if !node.Down() {
+				views[id] = node.Protocol()
+			}
+		}
+		if err := oracle.LoopFree(tn.Graph.NumNodes(), views); err != nil {
+			log.Violate(oracle.CheckLoopFreeName, err.Error(), n.Eng.EventsFired(), n.Eng.Now())
+		}
+	}
+	checkConservation := func() {
+		log.Record(oracle.CheckConservationName)
+		if err := oracle.Conservation(ledger(n)); err != nil {
+			log.Violate(oracle.CheckConservationName, err.Error(), n.Eng.EventsFired(), n.Eng.Now())
+		}
+	}
+	n.Eng.OnEvent = func() {
+		checkConservation()
+		if dirty {
+			dirty = false
+			checkLoopFree()
+		}
+	}
+
+	// Fault schedule. Explicitly failed links must survive a node restart
+	// (core.RestartNode brings every adjacent port up), so the state is
+	// reconciled after each apply.
+	failed := make(map[[2]graph.NodeID]bool)
+	baseCap := make(map[[2]graph.NodeID]float64)
+	for _, l := range tn.Graph.Links() {
+		baseCap[[2]graph.NodeID{l.From, l.To}] = l.Capacity
+	}
+	acts := append([]Action(nil), s.Actions...)
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].At < acts[j].At })
+	for _, act := range acts {
+		act := act
+		if act.At > dur {
+			fmt.Fprintf(&trace, "skip %s at=%g beyond duration\n", act, act.At)
+			continue
+		}
+		n.Eng.Schedule(act.At, func() {
+			fmt.Fprintf(&trace, "apply %s t=%.6f event=%d\n", act, n.Eng.Now(), n.Eng.EventsFired())
+			applyDES(n, act, failed, baseCap)
+		})
+	}
+
+	n.Start()
+	n.BeginMeasurement()
+	n.Eng.Run(dur)
+
+	// Final sweep: the loop-freedom audit regardless of the dirty mark, and
+	// the conservation ledger one last time.
+	checkLoopFree()
+	checkConservation()
+
+	writeDESReport(&trace, n)
+	res := &Result{Log: log, Events: n.Eng.EventsFired()}
+	res.Trace, res.TraceHash = finishTrace(&trace, log)
+	return res, nil
+}
+
+func applyDES(n *core.Network, act Action, failed map[[2]graph.NodeID]bool, baseCap map[[2]graph.NodeID]float64) {
+	down := func(v graph.NodeID) bool { return n.Nodes[v].Down() }
+	switch act.Kind {
+	case KindFail:
+		n.FailLink(act.A, act.B)
+		failed[linkKey(act.A, act.B)] = true
+	case KindRestore:
+		failed[linkKey(act.A, act.B)] = false
+		if !down(act.A) && !down(act.B) {
+			n.RestoreLink(act.A, act.B)
+		}
+	case KindCost:
+		// In the packet simulator a cost spike is a capacity drop: the
+		// protocol sees it through its own measured link costs.
+		for _, pair := range [][2]graph.NodeID{{act.A, act.B}, {act.B, act.A}} {
+			if p, ok := n.Ports[pair]; ok {
+				p.Capacity = baseCap[pair] / act.Factor
+			}
+		}
+	case KindCrash:
+		n.CrashNode(act.Node)
+	case KindRestart:
+		if !down(act.Node) {
+			return
+		}
+		n.RestartNode(act.Node)
+		for _, k := range n.Graph.Neighbors(act.Node) {
+			if failed[linkKey(act.Node, k)] {
+				n.FailLink(act.Node, k)
+			}
+		}
+	case KindPerturb:
+		// No-op: the simulator's control band is lossless by construction,
+		// implementing the paper's reliable-delivery assumption. The
+		// protocol-level runner exercises perturbation instead.
+	}
+}
+
+// ledger takes the instantaneous packet census of the network.
+func ledger(n *core.Network) oracle.Ledger {
+	var led oracle.Ledger
+	for x := range n.Flows {
+		led.Offered += n.SentPackets[x]
+		led.Delivered += n.Stats[x].Count()
+	}
+	for _, id := range n.Graph.Nodes() {
+		node := n.Nodes[id]
+		led.RouterDrops += node.DroppedNoRoute + node.DroppedHopLimit + node.DroppedQueue + node.DroppedDown
+	}
+	for _, l := range n.Graph.Links() {
+		p := n.Ports[[2]graph.NodeID{l.From, l.To}]
+		led.PortLost += p.LostDataPackets
+		led.InFlight += int64(p.InFlightDataPackets())
+	}
+	return led
+}
+
+func writeDESReport(trace *strings.Builder, n *core.Network) {
+	rep := n.Report()
+	for x := range rep.FlowNames {
+		fmt.Fprintf(trace, "flow %s delivered %d offered %d mean %.6f\n",
+			rep.FlowNames[x], rep.Delivered[x], rep.Offered[x], rep.MeanDelayMs[x])
+	}
+	fmt.Fprintf(trace, "drops noroute=%d hoplimit=%d queue=%d control=%d events=%d\n",
+		rep.DropsNoRoute, rep.DropsHopLimit, rep.DropsQueue, rep.ControlMessages, n.Eng.EventsFired())
+}

@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixturesReplayByteIdentically replays every checked-in reproducer
+// fixture and compares the trace hash against its golden .hash file. The
+// fixtures are shrunk scenarios that once exposed real bugs (see the .json
+// comments via their names); a hash drift means the replay is no longer
+// deterministic or protocol behavior changed — either way, look closely.
+//
+// Regenerate goldens after an intentional behavioral change with:
+//
+//	CHAOS_UPDATE=1 go test -run TestFixturesReplay ./internal/chaos
+func TestFixturesReplayByteIdentically(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no fixtures under testdata/")
+	}
+	for _, path := range matches {
+		s, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		res, err := RunProto(s)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if res.Failed() {
+			t.Errorf("%s: fixture violates invariants on the fixed tree: %v", path, res.Log.Violations)
+			continue
+		}
+		hashPath := strings.TrimSuffix(path, ".json") + ".hash"
+		if os.Getenv("CHAOS_UPDATE") != "" {
+			if err := os.WriteFile(hashPath, []byte(res.TraceHash+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(hashPath)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with CHAOS_UPDATE=1 to create): %v", path, err)
+		}
+		if got := res.TraceHash; got != strings.TrimSpace(string(want)) {
+			t.Errorf("%s: trace hash %s != golden %s", path, got, strings.TrimSpace(string(want)))
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package chaos
+
+import "testing"
+
+// FuzzChaosSchedule is the native fuzz target: the byte grammar decodes the
+// input into a scenario, the protocol-level runner executes it with every
+// oracle armed, and any violation fails the target. The checked-in corpus
+// under testdata/fuzz seeds the mutator with one representative of each
+// action kind; `make check` runs a short -fuzztime smoke over it.
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add([]byte(nil))
+	// One seed per action kind on each topology of the grammar, plus a
+	// longer mixed schedule; Encode-produced inputs land on the same grid.
+	for topoByte := 0; topoByte < len(codecTopos); topoByte++ {
+		for kind := 0; kind < len(codecKinds); kind++ {
+			f.Add([]byte{byte(topoByte), 11, 22, byte(kind), 5, 0, 20, 9})
+		}
+	}
+	f.Add([]byte{0, 1, 2,
+		0, 0, 0, 10, 0, // fail
+		5, 0, 0, 12, 3, // perturb
+		2, 1, 0, 15, 7, // cost
+		3, 4, 0, 20, 0, // crash
+		4, 4, 0, 30, 0, // restart
+		1, 0, 0, 35, 0, // restore
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := FromBytes(data)
+		res, err := RunProto(s)
+		if err != nil {
+			t.Fatalf("scenario from %v failed to run: %v", data, err)
+		}
+		if res.Failed() {
+			t.Fatalf("invariant violation:\n%v\nscenario: %+v", res.Log.Violations, s)
+		}
+	})
+}

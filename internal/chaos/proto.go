@@ -1,0 +1,288 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"minroute/internal/graph"
+	"minroute/internal/lfi"
+	"minroute/internal/mpda"
+	"minroute/internal/oracle"
+	"minroute/internal/protonet"
+)
+
+// protoBudget bounds delivery attempts per scenario; exceeding it is a
+// quiescence violation, not a crash.
+const protoBudget = 8_000_000
+
+// Result is the outcome of one chaos run.
+type Result struct {
+	// Log holds per-oracle execution counts and any violations.
+	Log *oracle.Log
+	// Trace is the deterministic run transcript; TraceHash is its SHA-256.
+	// Two runs of the same scenario must produce identical hashes.
+	Trace     string
+	TraceHash string
+	// Events counts protonet delivery attempts or DES events fired.
+	Events int64
+}
+
+// Failed reports whether any oracle fired.
+func (r *Result) Failed() bool { return r.Log.Failed() }
+
+func finishTrace(b *strings.Builder, log *oracle.Log) (string, string) {
+	for _, c := range log.Counts() {
+		fmt.Fprintf(b, "check %s ran %d\n", c.Check, c.Count)
+	}
+	for _, v := range log.Violations {
+		fmt.Fprintf(b, "VIOLATION %s\n", v)
+	}
+	trace := b.String()
+	sum := sha256.Sum256([]byte(trace))
+	return trace, hex.EncodeToString(sum[:])
+}
+
+// protoCost is the protocol-level link cost (the mpda test idiom:
+// propagation delay plus a small per-hop charge).
+func protoCost(l *graph.Link) float64 { return l.PropDelay + 1e-4 }
+
+type linkParams struct {
+	capacity, prop float64
+}
+
+func linkKey(a, b graph.NodeID) [2]graph.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]graph.NodeID{a, b}
+}
+
+// protoState tracks the effective fault state so that any action sequence —
+// including the scrambled ones the shrinker and fuzzer produce — is valid:
+// a link is up iff it is not explicitly failed and neither endpoint is
+// crashed, and every apply is reconciled against that rule.
+type protoState struct {
+	net     *protonet.Net
+	g       *graph.Graph
+	routers map[graph.NodeID]*mpda.Router
+	views   map[graph.NodeID]lfi.RouterView
+	base    map[[2]graph.NodeID]linkParams
+	cost    map[[2]graph.NodeID]float64
+	failed  map[[2]graph.NodeID]bool
+	crashed map[graph.NodeID]bool
+	numNode int
+}
+
+func (st *protoState) costOf(a, b graph.NodeID) float64 { return st.cost[linkKey(a, b)] }
+
+func (st *protoState) apply(act Action) {
+	switch act.Kind {
+	case KindFail:
+		key := linkKey(act.A, act.B)
+		if _, up := st.g.Link(act.A, act.B); up {
+			st.net.FailLink(act.A, act.B)
+		}
+		st.failed[key] = true
+	case KindRestore:
+		key := linkKey(act.A, act.B)
+		st.failed[key] = false
+		st.restoreIfDue(key)
+	case KindCost:
+		key := linkKey(act.A, act.B)
+		st.cost[key] = (st.base[key].prop + 1e-4) * act.Factor
+		if _, up := st.g.Link(act.A, act.B); up {
+			st.net.ChangeCost(act.A, act.B, st.cost[key])
+			st.net.ChangeCost(act.B, act.A, st.cost[key])
+		}
+	case KindCrash:
+		v := act.Node
+		if st.crashed[v] {
+			return
+		}
+		st.crashed[v] = true
+		delete(st.views, v)
+		nbrs := append([]graph.NodeID(nil), st.g.Neighbors(v)...)
+		for _, k := range nbrs {
+			st.net.FailLink(v, k)
+		}
+	case KindRestart:
+		v := act.Node
+		if !st.crashed[v] {
+			return
+		}
+		st.crashed[v] = false
+		st.net.Detach(v)
+		r := mpda.NewRouter(v, st.numNode, st.net.Sender(v))
+		st.routers[v] = r
+		st.views[v] = r
+		st.net.Attach(v, r)
+		//lint:maporder-ok per-key reconciliation of independent links commutes
+		for key := range st.base {
+			if key[0] == v || key[1] == v {
+				st.restoreIfDue(key)
+			}
+		}
+	case KindPerturb:
+		st.net.SetPerturb(protonet.Perturb{LossProb: act.Loss, DupProb: act.Dup})
+	}
+}
+
+// restoreIfDue brings key back up when the effective state says it should
+// be: not explicitly failed, neither endpoint crashed, not already present.
+func (st *protoState) restoreIfDue(key [2]graph.NodeID) {
+	if st.failed[key] || st.crashed[key[0]] || st.crashed[key[1]] {
+		return
+	}
+	if _, up := st.g.Link(key[0], key[1]); up {
+		return
+	}
+	p := st.base[key]
+	st.net.RestoreLink(key[0], key[1], p.capacity, p.prop, st.cost[key])
+}
+
+// RunProto executes the scenario against the protocol-level harness: one
+// MPDA router per node on a protonet, the loop-freedom and FD-ordering
+// oracles armed after every delivery, actions applied at their Steps
+// coordinates, and — after the network quiesces — the quiescence and
+// Theorem 4 convergence oracles checked against Dijkstra ground truth on
+// the surviving topology.
+func RunProto(s *Scenario) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tn, err := s.Network()
+	if err != nil {
+		return nil, err
+	}
+	g := tn.Graph
+	st := &protoState{
+		net:     protonet.New(g, s.Seed),
+		g:       g,
+		routers: make(map[graph.NodeID]*mpda.Router),
+		views:   make(map[graph.NodeID]lfi.RouterView),
+		base:    make(map[[2]graph.NodeID]linkParams),
+		cost:    make(map[[2]graph.NodeID]float64),
+		failed:  make(map[[2]graph.NodeID]bool),
+		crashed: make(map[graph.NodeID]bool),
+		numNode: g.NumNodes(),
+	}
+	for _, l := range g.Links() {
+		if l.From < l.To {
+			key := linkKey(l.From, l.To)
+			st.base[key] = linkParams{capacity: l.Capacity, prop: l.PropDelay}
+			st.cost[key] = protoCost(l)
+		}
+	}
+	for _, id := range g.Nodes() {
+		r := mpda.NewRouter(id, st.numNode, st.net.Sender(id))
+		st.routers[id] = r
+		st.views[id] = r
+		st.net.Attach(id, r)
+	}
+
+	log := oracle.NewLog()
+	suite := oracle.NewSuite(log)
+	suite.Add(oracle.CheckLoopFreeName, func() error {
+		return oracle.LoopFree(st.numNode, st.views)
+	})
+	st.net.OnDeliver = func() {
+		suite.RunAll(int64(st.net.Attempts()), 0)
+	}
+
+	var trace strings.Builder
+	fmt.Fprintf(&trace, "scenario %s topo=%s seed=%d proto\n", s.Name, s.Topo, s.Seed)
+	st.net.BringUpAll(func(l *graph.Link) float64 { return st.costOf(l.From, l.To) })
+
+	quiesced := runProtoSchedule(st, s, &trace, log)
+
+	if quiesced {
+		activeViews := make(map[graph.NodeID]oracle.ActiveView, len(st.routers))
+		protoViews := make(map[graph.NodeID]oracle.ProtocolView, len(st.routers))
+		//lint:maporder-ok distinct-key inserts of live router views commute
+		for id, r := range st.routers {
+			if st.crashed[id] {
+				continue
+			}
+			activeViews[id] = r
+			protoViews[id] = r
+		}
+		ev := int64(st.net.Attempts())
+		log.Record(oracle.CheckQuiescenceName)
+		if err := oracle.Quiescent(activeViews, st.net.Pending()); err != nil {
+			log.Violate(oracle.CheckQuiescenceName, err.Error(), ev, 0)
+		}
+		log.Record(oracle.CheckConvergenceName)
+		if err := oracle.Convergence(g, func(l *graph.Link) float64 { return st.costOf(l.From, l.To) }, protoViews); err != nil {
+			log.Violate(oracle.CheckConvergenceName, err.Error(), ev, 0)
+		}
+	}
+
+	writeProtoTables(&trace, st)
+	fmt.Fprintf(&trace, "attempts %d delivered %d\n", st.net.Attempts(), st.net.Delivered())
+	res := &Result{Log: log, Events: int64(st.net.Attempts())}
+	res.Trace, res.TraceHash = finishTrace(&trace, log)
+	return res, nil
+}
+
+// runProtoSchedule drives deliveries with actions interleaved at their
+// Steps coordinates. It reports whether the run quiesced within budget (a
+// budget overrun is recorded as a quiescence violation).
+func runProtoSchedule(st *protoState, s *Scenario, trace *strings.Builder, log *oracle.Log) bool {
+	steps := func(target int) bool {
+		for st.net.Attempts() < target {
+			if !st.net.Step() {
+				return true // quiescent before target; keep schedule moving
+			}
+			if st.net.Attempts() > protoBudget {
+				log.Violate(oracle.CheckQuiescenceName,
+					"protocol did not quiesce within delivery budget", int64(st.net.Attempts()), 0)
+				return false
+			}
+		}
+		return true
+	}
+	for _, act := range s.Actions {
+		if !steps(st.net.Attempts() + act.Steps) {
+			return false
+		}
+		fmt.Fprintf(trace, "apply %s at attempts=%d delivered=%d\n", act, st.net.Attempts(), st.net.Delivered())
+		st.apply(act)
+	}
+	for st.net.Step() {
+		if st.net.Attempts() > protoBudget {
+			log.Violate(oracle.CheckQuiescenceName,
+				"protocol did not quiesce within delivery budget", int64(st.net.Attempts()), 0)
+			return false
+		}
+	}
+	return true
+}
+
+// writeProtoTables appends every live router's distance vector to the
+// trace, making the hash sensitive to the full converged state.
+func writeProtoTables(trace *strings.Builder, st *protoState) {
+	ids := make([]graph.NodeID, 0, len(st.routers))
+	//lint:maporder-ok keys are collected and sorted before writing
+	for id := range st.routers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if st.crashed[id] {
+			fmt.Fprintf(trace, "router %d crashed\n", id)
+			continue
+		}
+		r := st.routers[id]
+		fmt.Fprintf(trace, "router %d D=[", id)
+		for j := 0; j < st.numNode; j++ {
+			if j > 0 {
+				trace.WriteByte(' ')
+			}
+			fmt.Fprintf(trace, "%.9g", r.Dist(graph.NodeID(j)))
+		}
+		trace.WriteString("]\n")
+	}
+}

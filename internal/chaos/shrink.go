@@ -1,0 +1,43 @@
+package chaos
+
+// Shrink reduces a violating scenario to a locally minimal reproducer with
+// the classic ddmin loop over the action list: remove chunks of shrinking
+// granularity, keeping any reduction for which failing still reports true.
+// The returned scenario cannot lose any single action and still fail.
+func Shrink(s *Scenario, failing func(*Scenario) bool) *Scenario {
+	cur := cloneWith(s, s.Actions)
+	chunk := len(cur.Actions) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		reduced := false
+		for start := 0; start+chunk <= len(cur.Actions); {
+			trial := make([]Action, 0, len(cur.Actions)-chunk)
+			trial = append(trial, cur.Actions[:start]...)
+			trial = append(trial, cur.Actions[start+chunk:]...)
+			cand := cloneWith(cur, trial)
+			if len(cand.Actions) > 0 || len(cur.Actions) == chunk {
+				if failing(cand) {
+					cur = cand
+					reduced = true
+					continue // same start now indexes the next chunk
+				}
+			}
+			start += chunk
+		}
+		if reduced {
+			continue // retry at the same granularity
+		}
+		if chunk == 1 {
+			return cur
+		}
+		chunk /= 2
+	}
+}
+
+func cloneWith(s *Scenario, actions []Action) *Scenario {
+	c := *s
+	c.Actions = append([]Action(nil), actions...)
+	return &c
+}

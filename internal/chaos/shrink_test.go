@@ -1,0 +1,85 @@
+package chaos
+
+import "testing"
+
+func costAction(factor float64) Action {
+	return Action{Kind: KindCost, Steps: 1, A: 0, B: 1, Factor: factor}
+}
+
+// TestShrinkFindsMinimalSubset: ddmin over a synthetic predicate that fails
+// iff the schedule still contains both marked actions must strip every other
+// action, wherever the pair sits in the list.
+func TestShrinkFindsMinimalSubset(t *testing.T) {
+	needed := func(a Action) bool { return a.Kind == KindCost && a.Factor == 7 }
+	failing := func(s *Scenario) bool {
+		count := 0
+		for _, a := range s.Actions {
+			if needed(a) {
+				count++
+			}
+		}
+		return count >= 2
+	}
+	for _, positions := range [][2]int{{0, 9}, {3, 4}, {8, 9}} {
+		var actions []Action
+		for i := 0; i < 10; i++ {
+			if i == positions[0] || i == positions[1] {
+				actions = append(actions, costAction(7))
+			} else {
+				actions = append(actions, costAction(2))
+			}
+		}
+		s := &Scenario{Name: "shrink", Topo: TopoNET1, Duration: 1, Actions: actions}
+		min := Shrink(s, failing)
+		if len(min.Actions) != 2 || !needed(min.Actions[0]) || !needed(min.Actions[1]) {
+			t.Fatalf("pair at %v: shrunk to %v, want exactly the two marked actions",
+				positions, min.Actions)
+		}
+		if len(s.Actions) != 10 {
+			t.Fatal("Shrink mutated its input")
+		}
+	}
+}
+
+// TestShrinkKeepsSingleAction: a predicate that always fails shrinks to one
+// action, never to an empty schedule that no longer reproduces anything.
+func TestShrinkToOneAction(t *testing.T) {
+	var actions []Action
+	for i := 0; i < 7; i++ {
+		actions = append(actions, costAction(float64(i+2)))
+	}
+	s := &Scenario{Name: "always", Topo: TopoNET1, Duration: 1, Actions: actions}
+	min := Shrink(s, func(c *Scenario) bool { return len(c.Actions) >= 1 })
+	if len(min.Actions) != 1 {
+		t.Fatalf("shrunk to %d actions, want 1", len(min.Actions))
+	}
+}
+
+// TestShrinkAgainstRunProto exercises Shrink end to end with real runs: the
+// predicate replays each candidate through RunProto (every candidate the
+// shrinker proposes must therefore be executable) and reports whether a fail
+// action survives — a stand-in for "the violation still reproduces".
+func TestShrinkAgainstRunProto(t *testing.T) {
+	s := Generate(9)
+	failing := func(c *Scenario) bool {
+		if _, err := RunProto(c); err != nil {
+			return false
+		}
+		for _, a := range c.Actions {
+			if a.Kind == KindFail {
+				return true
+			}
+		}
+		return false
+	}
+	if !failing(s) {
+		t.Skip("seed 9 has no fail action")
+	}
+	min := Shrink(s, failing)
+	if len(min.Actions) != 1 || min.Actions[0].Kind != KindFail {
+		t.Fatalf("shrunk to %v, want a single fail action", min.Actions)
+	}
+	if min.Topo != s.Topo || min.Seed != s.Seed {
+		t.Fatal("Shrink changed scenario identity fields")
+	}
+}

@@ -257,12 +257,61 @@ func (n *Network) Run() *Report {
 		n.Start()
 	}
 	n.Eng.Run(n.opt.Warmup)
+	n.BeginMeasurement()
+	n.Eng.Run(n.opt.Warmup + n.opt.Duration)
+	return n.Report()
+}
+
+// BeginMeasurement resets the per-flow statistics and starts counting
+// offered packets from the current instant. Network.Run calls it at the end
+// of warmup; harnesses that drive the engine directly (e.g. the chaos
+// runner) call it themselves — typically right after Start, so the
+// conservation oracle sees every packet of the run.
+func (n *Network) BeginMeasurement() {
 	for _, s := range n.Stats {
 		s.Reset()
 	}
 	n.warmupDone = true
-	n.Eng.Run(n.opt.Warmup + n.opt.Duration)
-	return n.Report()
+}
+
+// CrashNode takes router v down hard at the current simulation time: its
+// ports stop carrying traffic in both directions, every neighbor sees the
+// adjacent link fail, and the router itself loses all protocol state (see
+// router.Crash). In-flight packets on the adjacent links are lost.
+func (n *Network) CrashNode(v graph.NodeID) {
+	node, ok := n.Nodes[v]
+	if !ok || node.Down() {
+		return
+	}
+	node.Crash()
+	for _, k := range n.Graph.Neighbors(v) {
+		for _, pair := range [][2]graph.NodeID{{v, k}, {k, v}} {
+			if p, ok := n.Ports[pair]; ok {
+				p.SetDown(true)
+			}
+		}
+		n.Nodes[k].LinkFailed(v)
+	}
+}
+
+// RestartNode boots a crashed router from scratch and brings its adjacent
+// links back up on both sides.
+func (n *Network) RestartNode(v graph.NodeID) {
+	node, ok := n.Nodes[v]
+	if !ok || !node.Down() {
+		return
+	}
+	for _, k := range n.Graph.Neighbors(v) {
+		for _, pair := range [][2]graph.NodeID{{v, k}, {k, v}} {
+			if p, ok := n.Ports[pair]; ok {
+				p.SetDown(false)
+			}
+		}
+	}
+	node.Restart()
+	for _, k := range n.Graph.Neighbors(v) {
+		n.Nodes[k].LinkRecovered(v)
+	}
 }
 
 // FailLink takes the duplex link a↔b down at the current simulation time.
@@ -293,6 +342,11 @@ func (n *Network) CheckLoopFree() error {
 	views := make(map[graph.NodeID]lfi.RouterView, len(n.Nodes))
 	//lint:maporder-ok distinct-key inserts of a pure accessor's result commute
 	for id, node := range n.Nodes {
+		if node.Down() {
+			// A crashed router forwards nothing; its abandoned successor
+			// sets are not part of the live routing graph.
+			continue
+		}
 		views[id] = node.Protocol()
 	}
 	return lfi.CheckAllDestinations(n.Graph.NumNodes(), views)

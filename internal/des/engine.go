@@ -32,6 +32,13 @@ type Engine struct {
 	now     float64
 	rng     *rng.Source
 	packets PacketPool
+	fired   int64
+
+	// OnEvent, when set, runs after every fired event with the clock at the
+	// event's time — the oracle tap point: invariant checkers (loop-freedom,
+	// conservation) hook here to audit the network at event granularity.
+	// The hook must not schedule events or advance the engine.
+	OnEvent func()
 }
 
 // NewEngine returns an engine with its clock at zero and a root RNG seeded
@@ -78,8 +85,16 @@ func (e *Engine) Step() bool {
 	e.now = ev.Time()
 	ev.Fire()
 	e.q.Recycle(ev)
+	e.fired++
+	if e.OnEvent != nil {
+		e.OnEvent()
+	}
 	return true
 }
+
+// EventsFired reports how many events have fired since the engine was
+// created. Oracles report it alongside violations to locate them in a run.
+func (e *Engine) EventsFired() int64 { return e.fired }
 
 // NewPacket takes a packet from the engine's free list (or allocates one).
 // The caller must overwrite every field; recycled packets keep stale data.

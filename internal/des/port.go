@@ -56,6 +56,12 @@ type Port struct {
 	DataBits       float64
 	DroppedPackets int64
 	DroppedBits    float64
+	// LostDataPackets counts data packets the port had accepted ownership of
+	// but lost to a link failure (queued at SetDown, mid-transmission, or
+	// propagating when the failure hit). Send rejections are not counted here
+	// — ownership stays with the caller, who does its own accounting. The
+	// conservation oracle sums this to balance the network's packet ledger.
+	LostDataPackets int64
 }
 
 type portItem struct {
@@ -179,6 +185,9 @@ func (p *Port) finishTransmission() {
 	if p.down {
 		// The link failed mid-transmission; the packet is lost and the
 		// transmitter stays idle until the link recovers.
+		if !it.pkt.IsControl() {
+			p.LostDataPackets++
+		}
 		p.eng.FreePacket(it.pkt)
 		p.busy = false
 		return
@@ -206,6 +215,9 @@ func (p *Port) finishTransmission() {
 func (p *Port) deliverNext() {
 	it := p.pipe.pop()
 	if p.down {
+		if !it.pkt.IsControl() {
+			p.LostDataPackets++
+		}
 		p.eng.FreePacket(it.pkt)
 		return
 	}
@@ -230,6 +242,7 @@ func (p *Port) SetDown(down bool) {
 			it := p.data.pop()
 			p.DroppedPackets++
 			p.DroppedBits += it.pkt.Bits
+			p.LostDataPackets++
 			p.eng.FreePacket(it.pkt)
 		}
 		p.ctrl.clear()
@@ -251,3 +264,20 @@ func (p *Port) QueuedPackets() int { return p.ctrl.len() + p.data.len() }
 
 // Busy reports whether a transmission is in progress.
 func (p *Port) Busy() bool { return p.busy }
+
+// InFlightDataPackets counts the data packets the port currently owns:
+// queued in the data band, in transmission, and propagating in the pipe.
+// The conservation oracle uses it to balance offered traffic against
+// delivered, dropped, and still-travelling packets at any instant.
+func (p *Port) InFlightDataPackets() int {
+	n := p.data.len()
+	if p.txIt.pkt != nil && !p.txIt.pkt.IsControl() {
+		n++
+	}
+	for i := p.pipe.head; i < len(p.pipe.items); i++ {
+		if !p.pipe.items[i].pkt.IsControl() {
+			n++
+		}
+	}
+	return n
+}

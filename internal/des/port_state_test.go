@@ -1,0 +1,201 @@
+package des
+
+import "testing"
+
+func TestEngineOnEventHookAndEventsFired(t *testing.T) {
+	e := NewEngine(1)
+	hooks := 0
+	e.OnEvent = func() {
+		hooks++
+		if e.EventsFired() != int64(hooks) {
+			t.Fatalf("EventsFired = %d inside hook %d", e.EventsFired(), hooks)
+		}
+	}
+	e.After(1, func() {})
+	e.After(2, func() {})
+	e.Run(10)
+	if hooks != 2 || e.EventsFired() != 2 {
+		t.Fatalf("hooks = %d, EventsFired = %d, want 2 each", hooks, e.EventsFired())
+	}
+}
+
+func TestNewPortNilDeliverPanics(t *testing.T) {
+	e := NewEngine(1)
+	l := mkLink(t, 1e6, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPort with nil deliver did not panic")
+		}
+	}()
+	NewPort(e, l, 0, nil)
+}
+
+// TestPortStateAccessors walks one congested port through its lifecycle and
+// checks the instantaneous state the conservation oracle reads: queue depth,
+// transmitter occupancy, and the in-flight packet census.
+func TestPortStateAccessors(t *testing.T) {
+	e := NewEngine(1)
+	l := mkLink(t, 1e3, 0.5) // slow link, long pipe: everything stays visible
+	p := NewPort(e, l, 1e9, func(pkt *Packet) {})
+	if p.Busy() || p.QueuedPackets() != 0 || p.QueuedDataBits() != 0 || p.InFlightDataPackets() != 0 {
+		t.Fatal("fresh port not idle")
+	}
+	p.Send(&Packet{Bits: 1000})                  // enters service
+	p.Send(&Packet{Bits: 600})                   // queued data
+	p.Send(&Packet{Bits: 200, Control: "hello"}) // queued control
+	if !p.Busy() {
+		t.Fatal("port with a packet in service not busy")
+	}
+	if p.QueuedPackets() != 2 {
+		t.Fatalf("QueuedPackets = %d, want 2 (one data, one control)", p.QueuedPackets())
+	}
+	if p.QueuedDataBits() != 600 {
+		t.Fatalf("QueuedDataBits = %v, want 600", p.QueuedDataBits())
+	}
+	// In flight: one transmitting + one queued data (control excluded).
+	if got := p.InFlightDataPackets(); got != 2 {
+		t.Fatalf("InFlightDataPackets = %d, want 2", got)
+	}
+	// After the first transmission completes the packet propagates; the
+	// control packet preempts the queued data one into service.
+	e.Run(1000.0/1e3 + 0.01)
+	if got := p.InFlightDataPackets(); got != 2 {
+		t.Fatalf("InFlightDataPackets with one in pipe = %d, want 2", got)
+	}
+	e.Run(100)
+	if p.Busy() || p.QueuedPackets() != 0 || p.InFlightDataPackets() != 0 {
+		t.Fatal("drained port not idle")
+	}
+}
+
+// TestLinkDownLosesPropagatingData fails the link while a data packet is in
+// the propagation pipe: the packet must be lost at arrival time and counted
+// in LostDataPackets, not delivered.
+func TestLinkDownLosesPropagatingData(t *testing.T) {
+	e := NewEngine(1)
+	l := mkLink(t, 1e6, 0.1)
+	delivered := 0
+	p := NewPort(e, l, 1e9, func(pkt *Packet) { delivered++ })
+	p.Send(&Packet{Bits: 1000})
+	e.Run(0.01) // transmission done (1 ms), packet propagating
+	if p.SentPackets != 1 {
+		t.Fatalf("SentPackets = %d, want 1 (transmission complete)", p.SentPackets)
+	}
+	p.SetDown(true)
+	e.Run(1)
+	if delivered != 0 {
+		t.Fatal("packet delivered through a link that failed mid-propagation")
+	}
+	if p.LostDataPackets != 1 {
+		t.Fatalf("LostDataPackets = %d, want 1", p.LostDataPackets)
+	}
+}
+
+// TestLinkDownLosesPropagatingControl is the same failure with a control
+// packet in the pipe: it is lost too (the reliable-delivery assumption only
+// holds for operational links) but never counted as lost data.
+func TestLinkDownLosesPropagatingControl(t *testing.T) {
+	e := NewEngine(1)
+	l := mkLink(t, 1e6, 0.1)
+	delivered := 0
+	p := NewPort(e, l, 1e9, func(pkt *Packet) { delivered++ })
+	p.Send(&Packet{Bits: 1000, Control: "lsu"})
+	e.Run(0.01)
+	p.SetDown(true)
+	e.Run(1)
+	if delivered != 0 || p.LostDataPackets != 0 {
+		t.Fatalf("delivered = %d, LostDataPackets = %d; want 0, 0", delivered, p.LostDataPackets)
+	}
+}
+
+// TestLinkDownLosesMidTransmissionControl fails the link while a control
+// packet is in the transmitter: the packet is lost without touching the
+// data-loss counter, and the transmitter stays idle until recovery.
+func TestLinkDownLosesMidTransmissionControl(t *testing.T) {
+	e := NewEngine(1)
+	l := mkLink(t, 1e3, 0)
+	delivered := 0
+	p := NewPort(e, l, 1e9, func(pkt *Packet) { delivered++ })
+	p.Send(&Packet{Bits: 1000, Control: "lsu"})
+	e.Run(0.1) // mid-transmission (service takes 1 s)
+	p.SetDown(true)
+	e.Run(10)
+	if delivered != 0 || p.LostDataPackets != 0 {
+		t.Fatalf("delivered = %d, LostDataPackets = %d; want 0, 0", delivered, p.LostDataPackets)
+	}
+	if p.Busy() {
+		t.Fatal("transmitter busy after losing its packet to the failure")
+	}
+}
+
+// TestSetDownDrainsControlBand queues control packets behind a slow
+// transmission and fails the link: the control band must be flushed with the
+// drops accounted, and none of them counted as lost data.
+func TestSetDownDrainsControlBand(t *testing.T) {
+	e := NewEngine(1)
+	l := mkLink(t, 1e3, 0)
+	p := NewPort(e, l, 1e9, func(pkt *Packet) {})
+	p.Send(&Packet{Bits: 5000})                 // occupies the transmitter for 5 s
+	p.Send(&Packet{Bits: 300, Control: "lsu"})  // queued control
+	p.Send(&Packet{Bits: 300, Control: "lsu2"}) // queued control
+	p.Send(&Packet{Bits: 700})                  // queued data
+	e.Run(0.1)
+	p.SetDown(true)
+	if p.DroppedPackets != 3 {
+		t.Fatalf("DroppedPackets = %d, want 3 (two control + one data)", p.DroppedPackets)
+	}
+	if p.DroppedBits != 300+300+700 {
+		t.Fatalf("DroppedBits = %v, want 1300", p.DroppedBits)
+	}
+	if p.LostDataPackets != 1 {
+		t.Fatalf("LostDataPackets = %d, want 1 (queued data only)", p.LostDataPackets)
+	}
+	if p.QueuedDataBits() != 0 || p.QueuedPackets() != 0 {
+		t.Fatal("queues not empty after SetDown")
+	}
+	// Redundant transitions are no-ops.
+	p.SetDown(true)
+	p.SetDown(false)
+	p.SetDown(false)
+	if p.Down() {
+		t.Fatal("port still down after recovery")
+	}
+}
+
+func TestFifoLenPopClear(t *testing.T) {
+	var f fifo
+	if f.len() != 0 || !f.empty() {
+		t.Fatal("fresh fifo not empty")
+	}
+	pkts := make([]Packet, 200)
+	for i := range pkts {
+		pkts[i].FlowID = i
+		f.push(portItem{pkt: &pkts[i]})
+	}
+	if f.len() != 200 {
+		t.Fatalf("len = %d, want 200", f.len())
+	}
+	// Pop past the compaction threshold (head > 64 and head > len/2) so the
+	// in-place copy branch runs, then verify order survives it.
+	for i := 0; i < 150; i++ {
+		if got := f.pop(); got.pkt.FlowID != i {
+			t.Fatalf("pop %d returned flow %d", i, got.pkt.FlowID)
+		}
+	}
+	if f.len() != 50 {
+		t.Fatalf("len after 150 pops = %d, want 50", f.len())
+	}
+	if f.head > 64 {
+		t.Fatalf("head = %d, compaction never ran", f.head)
+	}
+	f.clear()
+	if f.len() != 0 || !f.empty() {
+		t.Fatal("fifo not empty after clear")
+	}
+	// Draining to exactly empty rewinds into the same backing array.
+	f.push(portItem{pkt: &pkts[0]})
+	f.pop()
+	if f.head != 0 || len(f.items) != 0 {
+		t.Fatalf("drained fifo not rewound: head=%d len=%d", f.head, len(f.items))
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"minroute/internal/chaos"
+	"minroute/internal/graph"
+)
+
+// ChaosScenarios is the registry of named chaos schedules runnable with
+// `mdrsim -chaos <name>`: curated faults on the paper's topologies, each
+// executed under the full oracle suite. They double as smoke coverage for
+// the chaos harness itself — every action kind appears in at least one.
+var ChaosScenarios = map[string]func() *chaos.Scenario{
+	"link-flap": func() *chaos.Scenario {
+		return &chaos.Scenario{
+			Name: "link-flap", Topo: chaos.TopoNET1, Seed: 11, Duration: 8,
+			Actions: []chaos.Action{
+				{Kind: chaos.KindFail, Steps: 120, At: 1, A: 0, B: 1},
+				{Kind: chaos.KindRestore, Steps: 150, At: 2.5, A: 0, B: 1},
+				{Kind: chaos.KindFail, Steps: 80, At: 4, A: 0, B: 1},
+				{Kind: chaos.KindRestore, Steps: 120, At: 5.5, A: 0, B: 1},
+			},
+		}
+	},
+	"congestion-spike": func() *chaos.Scenario {
+		return &chaos.Scenario{
+			Name: "congestion-spike", Topo: chaos.TopoCAIRN, Seed: 12, Duration: 8,
+			Actions: []chaos.Action{
+				{Kind: chaos.KindCost, Steps: 200, At: 2, A: 0, B: 6, Factor: 8},
+				{Kind: chaos.KindCost, Steps: 200, At: 4, A: 0, B: 6, Factor: 1},
+			},
+		}
+	},
+	"crash-restart": func() *chaos.Scenario {
+		return &chaos.Scenario{
+			Name: "crash-restart", Topo: chaos.TopoNET1, Seed: 13, Duration: 9,
+			Actions: []chaos.Action{
+				{Kind: chaos.KindCrash, Steps: 150, At: 2, Node: 4},
+				{Kind: chaos.KindRestart, Steps: 300, At: 5, Node: 4},
+			},
+		}
+	},
+	"partition-heal": func() *chaos.Scenario {
+		s := &chaos.Scenario{
+			Name: "partition-heal", Topo: chaos.TopoRing, TopoN: 8, Seed: 14, Duration: 9, Flows: 4,
+		}
+		net, err := s.Network()
+		if err != nil {
+			panic("experiments: partition-heal topology: " + err.Error())
+		}
+		members := map[graph.NodeID]bool{0: true, 1: true, 2: true, 3: true}
+		cut := chaos.Partition(net.Graph, members, 150, 2)
+		s.Actions = append(s.Actions, cut...)
+		for _, a := range cut {
+			s.Actions = append(s.Actions, chaos.Action{
+				Kind: chaos.KindRestore, Steps: 200, At: 5, A: a.A, B: a.B,
+			})
+		}
+		return s
+	},
+	"lossy-control": func() *chaos.Scenario {
+		return &chaos.Scenario{
+			Name: "lossy-control", Topo: chaos.TopoNET1, Seed: 15, Duration: 8,
+			Actions: []chaos.Action{
+				{Kind: chaos.KindPerturb, Steps: 50, At: 0.5, Loss: 0.3, Dup: 0.15},
+				{Kind: chaos.KindFail, Steps: 120, At: 2, A: 4, B: 5},
+				{Kind: chaos.KindRestore, Steps: 200, At: 4, A: 4, B: 5},
+				{Kind: chaos.KindPerturb, Steps: 50, At: 6},
+			},
+		}
+	},
+}
+
+// ChaosNames lists the registry in stable order.
+func ChaosNames() []string {
+	names := make([]string, 0, len(ChaosScenarios))
+	//lint:maporder-ok keys are sorted before use
+	for name := range ChaosScenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChaosScenario resolves a registry name.
+func ChaosScenario(name string) (*chaos.Scenario, error) {
+	mk, ok := ChaosScenarios[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown chaos scenario %q (have %v)", name, ChaosNames())
+	}
+	return mk(), nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"minroute/internal/chaos"
+)
+
+// TestChaosScenariosRunClean executes every registry scenario through both
+// runners; each must validate, cover its oracles, and report no violations.
+func TestChaosScenariosRunClean(t *testing.T) {
+	kinds := make(map[chaos.Kind]bool)
+	for _, name := range ChaosNames() {
+		s, err := ChaosScenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, a := range s.Actions {
+			kinds[a.Kind] = true
+		}
+		for runner, fn := range map[string]func(*chaos.Scenario) (*chaos.Result, error){
+			"proto": chaos.RunProto, "des": chaos.RunDES,
+		} {
+			res, err := fn(s)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", name, runner, err)
+			}
+			if res.Failed() {
+				t.Fatalf("%s (%s): %v", name, runner, res.Log.Violations)
+			}
+		}
+	}
+	for _, k := range []chaos.Kind{chaos.KindFail, chaos.KindRestore, chaos.KindCost,
+		chaos.KindCrash, chaos.KindRestart, chaos.KindPerturb} {
+		if !kinds[k] {
+			t.Errorf("no registry scenario exercises %q", k)
+		}
+	}
+}
+
+func TestChaosScenarioUnknownName(t *testing.T) {
+	if _, err := ChaosScenario("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}

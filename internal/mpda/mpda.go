@@ -39,8 +39,18 @@ type Router struct {
 
 	// active is true while the router waits for ACKs to its last LSU.
 	active bool
-	// awaiting holds the neighbors whose ACK is outstanding.
-	awaiting map[graph.NodeID]bool
+	// awaiting counts outstanding ACKs per neighbor. Every entry-bearing
+	// LSU sent — floods and the LinkUp full-table sync alike — increments
+	// the neighbor's counter, and every ACK received decrements it; a
+	// neighbor is removed when its counter reaches zero. Counting every
+	// entry-bearing LSU is what makes the bookkeeping exact: the receiver
+	// acknowledges each such LSU, and over a reliable FIFO link ACKs arrive
+	// in the order the LSUs were sent, so a zero counter proves the most
+	// recent flood (and everything before it) has been applied remotely.
+	// Tracking only the flood would let the sync's ACK act as a stale
+	// credit that releases a later ACTIVE phase before the neighbor has
+	// seen the flooded change, breaking the LFI.
+	awaiting map[graph.NodeID]int
 	// fd[j] is the feasible distance FD_j.
 	fd []float64
 	// succ[j] is the successor set S_j, ascending by neighbor ID.
@@ -56,7 +66,7 @@ func NewRouter(id graph.NodeID, n int, send Sender) *Router {
 	r := &Router{
 		t:        pda.NewTables(id, n),
 		send:     send,
-		awaiting: make(map[graph.NodeID]bool),
+		awaiting: make(map[graph.NodeID]int),
 		fd:       make([]float64, n),
 		succ:     make([][]graph.NodeID, n),
 	}
@@ -117,6 +127,7 @@ func (r *Router) BestSuccessor(j graph.NodeID) graph.NodeID {
 func (r *Router) LinkUp(k graph.NodeID, cost float64) {
 	r.t.SetAdjacent(k, cost)
 	if full := r.t.Main().Entries(); len(full) > 0 {
+		r.awaiting[k]++
 		r.send(k, &lsu.Msg{From: r.ID(), Entries: full})
 	}
 	r.process(graph.None)
@@ -146,8 +157,10 @@ func (r *Router) HandleLSU(m *lsu.Msg) {
 		return // stale message across a down link
 	}
 	r.t.ApplyLSU(m.From, m.Entries)
-	if m.Ack {
-		delete(r.awaiting, m.From)
+	if m.Ack && r.awaiting[m.From] > 0 {
+		if r.awaiting[m.From]--; r.awaiting[m.From] == 0 {
+			delete(r.awaiting, m.From)
+		}
 	}
 	ackTo := graph.None
 	if len(m.Entries) > 0 {
@@ -195,7 +208,7 @@ func (r *Router) process(ackTo graph.NodeID) {
 		}
 		r.active = true
 		for _, k := range nbrs {
-			r.awaiting[k] = true
+			r.awaiting[k]++
 			r.send(k, &lsu.Msg{From: r.ID(), Entries: diff, Ack: k == ackTo})
 			if k == ackTo {
 				ackTo = graph.None

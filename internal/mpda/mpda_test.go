@@ -8,6 +8,7 @@ import (
 	"minroute/internal/dijkstra"
 	"minroute/internal/graph"
 	"minroute/internal/lfi"
+	"minroute/internal/lsu"
 	"minroute/internal/numeric"
 	"minroute/internal/protonet"
 	"minroute/internal/topo"
@@ -297,5 +298,55 @@ func TestMPDAIsolatedRouter(t *testing.T) {
 		if len(r.Successors(graph.NodeID(j))) != 0 {
 			t.Fatalf("isolated router has successors for %d", j)
 		}
+	}
+}
+
+// TestMPDAAckPerEntryBearingLSU is the regression test for a stale-ACK bug:
+// the full-table sync LinkUp sends to a new neighbor is acknowledged like any
+// entry-bearing LSU, so it must be counted in the awaiting bookkeeping. When
+// it was not, the sync's ACK acted as a spurious credit that released a later
+// ACTIVE phase before the neighbor had applied the flooded change, letting FD
+// rise early and breaking the loop-free invariant (a chaos run on CAIRN with
+// a link failure mid-convergence produced a persistent two-node loop).
+func TestMPDAAckPerEntryBearingLSU(t *testing.T) {
+	sent := make(map[graph.NodeID]int) // entry-bearing LSUs sent per neighbor
+	r := NewRouter(1, 3, func(to graph.NodeID, m *lsu.Msg) {
+		if len(m.Entries) > 0 {
+			sent[to]++
+		}
+	})
+
+	// First link: empty main table, so no sync; the flood announcing the new
+	// adjacent link starts an ACTIVE phase awaiting 0's ACK.
+	r.LinkUp(0, 1)
+	if !r.Active() {
+		t.Fatal("router should be ACTIVE after flooding the first link")
+	}
+	r.HandleLSU(&lsu.Msg{From: 0, Ack: true})
+	if r.Active() {
+		t.Fatal("router should be PASSIVE after the only outstanding ACK")
+	}
+
+	// Second link: the main table is non-empty now, so LinkUp sends a full
+	// sync to 2 and then floods the new link to both neighbors. Router 2 owes
+	// two ACKs (sync + flood), router 0 owes one.
+	r.LinkUp(2, 1)
+	if !r.Active() {
+		t.Fatal("router should be ACTIVE after flooding the second link")
+	}
+	if sent[2] != 2 {
+		t.Fatalf("neighbor 2 got %d entry-bearing LSUs, want 2 (sync + flood)", sent[2])
+	}
+
+	// One ACK from each neighbor must NOT end the phase: 2's first ACK covers
+	// the sync, not the flood. The buggy version went PASSIVE here.
+	r.HandleLSU(&lsu.Msg{From: 2, Ack: true})
+	r.HandleLSU(&lsu.Msg{From: 0, Ack: true})
+	if !r.Active() {
+		t.Fatal("router left ACTIVE while neighbor 2's flood ACK is outstanding")
+	}
+	r.HandleLSU(&lsu.Msg{From: 2, Ack: true})
+	if r.Active() {
+		t.Fatal("router should be PASSIVE once every entry-bearing LSU is acknowledged")
 	}
 }

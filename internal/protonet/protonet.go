@@ -25,6 +25,37 @@ type Node interface {
 	LinkDown(k graph.NodeID)
 }
 
+// Perturb configures control-plane perturbation of the raw channel beneath
+// the reliable-FIFO abstraction the paper assumes. A lost frame leaves the
+// message at the head of its link queue to be retried on a later scheduling
+// round — exactly the retransmission path of the underlying reliable
+// protocol, with the retry bound making every loss a bounded delay. A
+// duplicated frame arrives at the receiver twice, but the ARQ layer's
+// sequence numbering detects the copy and discards it before the routing
+// process runs: the duplicate consumes a channel attempt, never a protocol
+// event. That is deliberate — MPDA's ACK bookkeeping (like the paper's link
+// model) assumes exactly-once delivery, and a duplicate surfacing above the
+// ARQ layer would mint a spurious ACK credit and break the LFI. Per-link
+// FIFO order is preserved in all cases: the fault layer perturbs timing
+// ("received correctly and in the proper sequence" is what the ARQ layer
+// restores, not what the raw channel provides), so what the protocol
+// observes is only bounded extra delay.
+type Perturb struct {
+	// LossProb is the per-attempt probability that the frame is lost and the
+	// message must be retransmitted later.
+	LossProb float64
+	// DupProb is the per-delivery probability that the frame arrives twice;
+	// the receiver's ARQ layer discards the second copy.
+	DupProb float64
+	// MaxAttempts caps delivery attempts per message (loss count + the final
+	// delivery); <= 0 selects DefaultMaxAttempts. The cap bounds how long a
+	// message can be delayed, so perturbed runs still quiesce.
+	MaxAttempts int
+}
+
+// DefaultMaxAttempts bounds per-message delivery attempts under Perturb.
+const DefaultMaxAttempts = 4
+
 // Net connects protocol instances over a topology.
 type Net struct {
 	g      *graph.Graph
@@ -35,17 +66,27 @@ type Net struct {
 	// install invariant checks (e.g. instantaneous loop-freedom) here.
 	OnDeliver func()
 	delivered int
+	attempts  int
+	perturb   Perturb
+	// headLoss counts how many times the head message of each link queue has
+	// been lost, enforcing Perturb.MaxAttempts.
+	headLoss map[[2]graph.NodeID]int
 }
 
 // New returns a harness over g with a seeded interleaving order.
 func New(g *graph.Graph, seed uint64) *Net {
 	return &Net{
-		g:      g,
-		nodes:  make(map[graph.NodeID]Node),
-		queues: make(map[[2]graph.NodeID][]*lsu.Msg),
-		r:      rng.New(seed),
+		g:        g,
+		nodes:    make(map[graph.NodeID]Node),
+		queues:   make(map[[2]graph.NodeID][]*lsu.Msg),
+		r:        rng.New(seed),
+		headLoss: make(map[[2]graph.NodeID]int),
 	}
 }
+
+// SetPerturb installs (or, with the zero value, removes) control-plane
+// perturbation. Takes effect from the next delivery attempt.
+func (n *Net) SetPerturb(p Perturb) { n.perturb = p }
 
 // Attach registers the protocol instance for router id.
 func (n *Net) Attach(id graph.NodeID, node Node) {
@@ -53,6 +94,20 @@ func (n *Net) Attach(id graph.NodeID, node Node) {
 		panic(fmt.Sprintf("protonet: node %d attached twice", id))
 	}
 	n.nodes[id] = node
+}
+
+// Detach removes the protocol instance for router id, so that a fresh
+// instance can be Attached in its place — the crash/restart lifecycle. The
+// caller is responsible for failing the node's links first; detaching a node
+// that still has live links panics, because its queues would dangle.
+func (n *Net) Detach(id graph.NodeID) {
+	if _, ok := n.nodes[id]; !ok {
+		panic(fmt.Sprintf("protonet: Detach of unattached node %d", id))
+	}
+	if len(n.g.Neighbors(id)) > 0 {
+		panic(fmt.Sprintf("protonet: Detach of node %d with live links", id))
+	}
+	delete(n.nodes, id)
 }
 
 // Sender returns the Sender closure for router from: it enqueues messages
@@ -87,6 +142,21 @@ func (n *Net) Step() bool {
 	key := keys[n.r.Intn(len(keys))]
 	q := n.queues[key]
 	m := q[0]
+	n.attempts++
+	if n.perturb.LossProb > 0 {
+		max := n.perturb.MaxAttempts
+		if max <= 0 {
+			max = DefaultMaxAttempts
+		}
+		if n.headLoss[key]+1 < max && n.r.Float64() < n.perturb.LossProb {
+			// Frame lost. The message stays at the head of its queue and will
+			// be retried on a later round — the ARQ retransmission, seen from
+			// above as a bounded extra delay. FIFO order is untouched.
+			n.headLoss[key]++
+			return true
+		}
+	}
+	delete(n.headLoss, key)
 	if len(q) == 1 {
 		delete(n.queues, key)
 	} else {
@@ -96,6 +166,12 @@ func (n *Net) Step() bool {
 	n.delivered++
 	if n.OnDeliver != nil {
 		n.OnDeliver()
+	}
+	if n.perturb.DupProb > 0 && n.r.Float64() < n.perturb.DupProb {
+		// Duplicate frame: the copy reaches the receiver's ARQ layer, which
+		// recognizes the repeated sequence number and discards it. The channel
+		// spent an attempt but the protocol never sees the copy.
+		n.attempts++
 	}
 	return true
 }
@@ -119,19 +195,26 @@ func (n *Net) nonEmpty() [][2]graph.NodeID {
 }
 
 // Run delivers messages until quiescence, panicking after maxDeliveries as
-// a non-termination guard. It returns the number of messages delivered.
+// a non-termination guard (the bound covers delivery attempts, so perturbed
+// runs cannot spin on retransmissions either). It returns the number of
+// messages delivered.
 func (n *Net) Run(maxDeliveries int) int {
-	start := n.delivered
+	startAttempts := n.attempts
+	startDelivered := n.delivered
 	for n.Step() {
-		if n.delivered-start > maxDeliveries {
+		if n.attempts-startAttempts > maxDeliveries {
 			panic("protonet: protocol did not quiesce within delivery budget")
 		}
 	}
-	return n.delivered - start
+	return n.delivered - startDelivered
 }
 
 // Delivered returns the total number of messages delivered so far.
 func (n *Net) Delivered() int { return n.delivered }
+
+// Attempts returns the total number of delivery attempts, including frames
+// lost by the perturbation layer. Attempts == Delivered when unperturbed.
+func (n *Net) Attempts() int { return n.attempts }
 
 // Pending returns the number of undelivered messages.
 func (n *Net) Pending() int {
@@ -157,6 +240,8 @@ func (n *Net) FailLink(a, b graph.NodeID) {
 	n.g.RemoveLink(b, a)
 	delete(n.queues, [2]graph.NodeID{a, b})
 	delete(n.queues, [2]graph.NodeID{b, a})
+	delete(n.headLoss, [2]graph.NodeID{a, b})
+	delete(n.headLoss, [2]graph.NodeID{b, a})
 	n.nodes[a].LinkDown(b)
 	n.nodes[b].LinkDown(a)
 }

@@ -172,3 +172,104 @@ func TestDeliveredCounterAndOnDeliver(t *testing.T) {
 		t.Fatalf("delivered=%d total=%d hooks=%d", n, net.Delivered(), calls)
 	}
 }
+
+func TestPerturbLossDelaysButDelivers(t *testing.T) {
+	net, recs := ring3(t)
+	net.SetPerturb(Perturb{LossProb: 1}) // every attempt lost until the cap forces delivery
+	for i := 0; i < 3; i++ {
+		net.Sender(0)(1, &lsu.Msg{From: 0, Entries: []lsu.Entry{{Op: lsu.OpAdd, Head: 0, Tail: graph.NodeID(i), Cost: 1}}})
+	}
+	net.Run(100)
+	got := recs[1].received
+	if len(got) != 3 {
+		t.Fatalf("delivered %d messages under total loss, want 3 (eventual delivery)", len(got))
+	}
+	for i, m := range got {
+		if m.Entries[0].Tail != graph.NodeID(i) {
+			t.Fatalf("retransmission broke FIFO: message %d has tail %d", i, m.Entries[0].Tail)
+		}
+	}
+	// Each message burns MaxAttempts-1 losses plus the forced delivery.
+	if want := 3 * DefaultMaxAttempts; net.Attempts() != want {
+		t.Fatalf("attempts = %d, want %d", net.Attempts(), want)
+	}
+}
+
+func TestPerturbDupNeverReachesProtocol(t *testing.T) {
+	net, recs := ring3(t)
+	net.SetPerturb(Perturb{DupProb: 1}) // every frame duplicated on the wire
+	net.Sender(0)(1, &lsu.Msg{From: 0, Ack: true})
+	net.Sender(0)(1, &lsu.Msg{From: 0, Ack: true})
+	hooks := 0
+	net.OnDeliver = func() { hooks++ }
+	net.Run(100)
+	// The ARQ receiver discards the duplicate copies: the protocol sees each
+	// message exactly once, while the channel pays an attempt per copy.
+	if len(recs[1].received) != 2 || net.Delivered() != 2 || hooks != 2 {
+		t.Fatalf("received=%d delivered=%d hooks=%d, want 2 each (exactly-once)",
+			len(recs[1].received), net.Delivered(), hooks)
+	}
+	if net.Attempts() != 4 {
+		t.Fatalf("attempts = %d, want 4 (each frame + its duplicate)", net.Attempts())
+	}
+}
+
+func TestPerturbMaxAttemptsOverride(t *testing.T) {
+	net, recs := ring3(t)
+	net.SetPerturb(Perturb{LossProb: 1, MaxAttempts: 2})
+	net.Sender(0)(1, &lsu.Msg{From: 0, Ack: true})
+	net.Run(100)
+	if len(recs[1].received) != 1 || net.Attempts() != 2 {
+		t.Fatalf("received=%d attempts=%d, want 1 message in 2 attempts", len(recs[1].received), net.Attempts())
+	}
+}
+
+func TestFailLinkResetsLossCounter(t *testing.T) {
+	net, recs := ring3(t)
+	net.SetPerturb(Perturb{LossProb: 1})
+	net.Sender(0)(1, &lsu.Msg{From: 0, Ack: true})
+	net.Step() // one loss accrues on the head message
+	net.FailLink(0, 1)
+	net.RestoreLink(0, 1, 1e6, 1e-3, 1)
+	net.Sender(0)(1, &lsu.Msg{From: 0, Ack: true})
+	before := net.Attempts()
+	net.Run(100)
+	// A fresh message on the restored link gets the full retry budget.
+	if got := net.Attempts() - before; got != DefaultMaxAttempts {
+		t.Fatalf("attempts after restore = %d, want %d", got, DefaultMaxAttempts)
+	}
+	if len(recs[1].received) != 1 {
+		t.Fatalf("received %d messages", len(recs[1].received))
+	}
+}
+
+func TestDetachAllowsReattach(t *testing.T) {
+	net, _ := ring3(t)
+	net.FailLink(0, 1)
+	net.FailLink(0, 2)
+	net.Detach(0)
+	net.Attach(0, newRecorder(0)) // restart: a fresh instance takes the slot
+}
+
+func TestDetachWithLiveLinksPanics(t *testing.T) {
+	net, _ := ring3(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Detach with live links did not panic")
+		}
+	}()
+	net.Detach(0)
+}
+
+func TestDetachUnattachedPanics(t *testing.T) {
+	net, _ := ring3(t)
+	net.FailLink(0, 1)
+	net.FailLink(0, 2)
+	net.Detach(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Detach did not panic")
+		}
+	}()
+	net.Detach(0)
+}

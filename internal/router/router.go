@@ -25,6 +25,7 @@ import (
 
 	"minroute/internal/alloc"
 	"minroute/internal/des"
+	"minroute/internal/eventq"
 	"minroute/internal/graph"
 	"minroute/internal/linkcost"
 	"minroute/internal/lsu"
@@ -139,13 +140,21 @@ func Defaults() Config {
 
 // Node is one simulated router.
 type Node struct {
-	id   graph.NodeID
-	eng  *des.Engine
-	cfg  Config
-	prng *rng.Source
+	id       graph.NodeID
+	eng      *des.Engine
+	cfg      Config
+	prng     *rng.Source
+	numNodes int
+	send     mpda.Sender
 
 	proto *mpda.Router
 	ports map[graph.NodeID]*des.Port
+	// down is true between Crash and Restart: the node forwards nothing,
+	// processes no control traffic, and its timers are disarmed.
+	down bool
+	// Pending timer handles, canceled on Crash so a restarted node never
+	// runs two timer chains.
+	tsTimer, tlTimer, tlSnapTimer eventq.Handle
 	// nbrs lists attached neighbors in ascending order; all periodic work
 	// iterates it (never the port map) so FP effects are deterministic.
 	nbrs []graph.NodeID
@@ -182,12 +191,22 @@ type Node struct {
 	// OnForward, when set, observes every forwarding decision (packet and
 	// chosen next hop) before transmission; the path tracer hooks here.
 	OnForward func(pkt *des.Packet, next graph.NodeID)
+	// OnAlloc, when set, observes every routing-parameter step — each IH
+	// build and each AH adjustment — with the destination, the parameters
+	// just produced, and the successor set they must cover. The φ-simplex
+	// oracle (Property 1: support ⊆ S_j, φ ≥ 0, Σφ = 1) hooks here.
+	OnAlloc func(j graph.NodeID, phi alloc.Params, succ []graph.NodeID)
 
 	// Counters.
 	ForwardedPackets int64
 	DroppedNoRoute   int64
 	DroppedHopLimit  int64
 	DroppedQueue     int64
+	// DroppedDown counts data packets that reached the node while it was
+	// crashed. Control packets a crashed node ignores are not counted: the
+	// conservation ledger balances data traffic only, and control-plane loss
+	// at a dead node is just protocol noise.
+	DroppedDown int64
 }
 
 type portSnap struct {
@@ -207,6 +226,8 @@ func New(eng *des.Engine, id graph.NodeID, numNodes int, cfg Config, sendLSU mpd
 		eng:       eng,
 		cfg:       cfg,
 		prng:      eng.RNG().Split(uint64(id) + 1000),
+		numNodes:  numNodes,
+		send:      sendLSU,
 		proto:     mpda.NewRouter(id, numNodes, sendLSU),
 		ports:     make(map[graph.NodeID]*des.Port),
 		shortCost: make(map[graph.NodeID]float64),
@@ -262,14 +283,58 @@ func (n *Node) Start() {
 	}
 	n.refreshAllocations()
 	if n.cfg.Ts > 0 {
-		n.eng.After(n.cfg.Ts*n.prng.Float64(), n.tsTick)
+		n.tsTimer = n.eng.After(n.cfg.Ts*n.prng.Float64(), n.tsTick)
 	}
 	if n.cfg.Tl > 0 {
 		// "The long-term update periods should be phased randomly at each
 		// router" — first firing lands uniformly inside one Tl period.
-		n.eng.After(n.cfg.Tl*n.prng.Float64(), n.tlTick)
+		n.tlTimer = n.eng.After(n.cfg.Tl*n.prng.Float64(), n.tlTick)
 	}
 }
+
+// Crash takes the node down hard: timers are disarmed and all traffic is
+// dropped until Restart. The protocol state is abandoned where it stands —
+// a restarted router remembers nothing, exactly like a real reboot.
+func (n *Node) Crash() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.eng.Cancel(n.tsTimer)
+	n.eng.Cancel(n.tlTimer)
+	n.eng.Cancel(n.tlSnapTimer)
+}
+
+// Restart boots a crashed node from scratch: a fresh MPDA instance, empty
+// routing parameters, and measurement windows starting now. Adjacent links
+// are announced at their idle costs by the usual Start path; neighbors learn
+// of the resurrection through core.RestartNode (LinkRecovered on their side).
+func (n *Node) Restart() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.proto = mpda.NewRouter(n.id, n.numNodes, n.send)
+	n.phi = make([]alloc.Params, n.numNodes)
+	n.succSig = make([]string, n.numNodes)
+	n.flowlets = make(map[int]*flowletState)
+	n.shortCost = make(map[graph.NodeID]float64)
+	n.longCost = make(map[graph.NodeID]*linkcost.Smoother)
+	// Measurement windows must not straddle the outage: snapshot the port
+	// counters as they stand so the first post-restart window is clean.
+	n.lastTl = n.eng.Now()
+	n.lastTsChurn, n.lastTlChurn = 0, 0
+	for _, k := range n.nbrs {
+		p := n.ports[k]
+		snap := portSnap{packets: p.DataPackets, bits: p.DataBits}
+		n.tsSnap[k] = snap
+		n.tlSnap[k] = snap
+	}
+	n.Start()
+}
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down }
 
 // armTlSnapshot schedules the pre-measurement snapshot when a fixed cost
 // window is configured, so tlTick sees only the trailing window of the
@@ -279,7 +344,7 @@ func (n *Node) armTlSnapshot(period float64) {
 	if w <= 0 || w >= period {
 		return
 	}
-	n.eng.After(period-w, func() {
+	n.tlSnapTimer = n.eng.After(period-w, func() {
 		n.lastTl = n.eng.Now()
 		for _, k := range n.nbrs {
 			p := n.ports[k]
@@ -351,9 +416,12 @@ func (n *Node) tsTick() {
 			} else {
 				alloc.Adjust(n.phi[j], succ, n.shortDist(graph.NodeID(j)))
 			}
+			if n.OnAlloc != nil {
+				n.OnAlloc(graph.NodeID(j), n.phi[j], succ)
+			}
 		}
 	}
-	n.eng.After(n.nextTs(), n.tsTick)
+	n.tsTimer = n.eng.After(n.nextTs(), n.tsTick)
 }
 
 // nextTs returns the interval to the next short-term tick, adapting it to
@@ -446,12 +514,16 @@ func (n *Node) tlTick() {
 	n.lastTlChurn = churn
 	n.refreshAllocations()
 	next := n.nextTl()
-	n.eng.After(next, n.tlTick)
+	n.tlTimer = n.eng.After(next, n.tlTick)
 	n.armTlSnapshot(next)
 }
 
 // HandleControl processes a received control packet (a marshaled LSU).
+// Crashed nodes ignore control traffic entirely.
 func (n *Node) HandleControl(pkt *des.Packet) {
+	if n.down {
+		return
+	}
 	buf, ok := pkt.Control.([]byte)
 	if !ok {
 		return
@@ -466,14 +538,21 @@ func (n *Node) HandleControl(pkt *des.Packet) {
 	n.refreshAllocations()
 }
 
-// LinkFailed tells the protocol an adjacent link went down.
+// LinkFailed tells the protocol an adjacent link went down. Crashed nodes
+// have no protocol to tell.
 func (n *Node) LinkFailed(k graph.NodeID) {
+	if n.down {
+		return
+	}
 	n.proto.LinkDown(k)
 	n.refreshAllocations()
 }
 
 // LinkRecovered tells the protocol an adjacent link came back.
 func (n *Node) LinkRecovered(k graph.NodeID) {
+	if n.down {
+		return
+	}
 	p, ok := n.ports[k]
 	if !ok {
 		return
@@ -506,9 +585,12 @@ func (n *Node) refreshAllocations() {
 		n.succSig[j] = sig
 		if len(succ) == 0 {
 			n.phi[j] = nil
-			continue
+		} else {
+			n.phi[j] = alloc.Initial(succ, n.shortDist(jid))
 		}
-		n.phi[j] = alloc.Initial(succ, n.shortDist(jid))
+		if n.OnAlloc != nil {
+			n.OnAlloc(jid, n.phi[j], succ)
+		}
 	}
 }
 
@@ -527,6 +609,11 @@ func succSignature(succ []graph.NodeID) string {
 // delivered and dropped packets are recycled into the engine's packet pool
 // (observers like OnArrive must not retain the pointer past their return).
 func (n *Node) HandleData(pkt *des.Packet) {
+	if n.down {
+		n.DroppedDown++
+		n.eng.FreePacket(pkt)
+		return
+	}
 	if pkt.Dst == n.id {
 		if n.OnArrive != nil {
 			n.OnArrive(pkt)
@@ -625,6 +712,9 @@ func (n *Node) pickNextHop(j graph.NodeID) graph.NodeID {
 			n.phi[j] = alloc.Initial(succ, n.shortDist(j))
 			n.succSig[j] = succSignature(succ)
 			phi = n.phi[j]
+			if n.OnAlloc != nil {
+				n.OnAlloc(j, phi, succ)
+			}
 			if len(phi) == 0 {
 				return graph.None
 			}
