@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet lint test race fuzz chaos bench
+.PHONY: check vet lint test race fuzz chaos bench telemetry-guard
 
 # The gate used before every commit: static checks, the full suite under the
-# race detector (the parallel figure harness makes -race meaningful), and a
+# race detector (the parallel figure harness makes -race meaningful), the
+# telemetry zero-overhead guard (alloc counts need a non-race run), and a
 # short coverage-guided fuzz of the chaos schedule decoder + oracles.
-check: vet lint race fuzz
+check: vet lint race telemetry-guard fuzz
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +21,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Telemetry-overhead guard: with instrumentation disabled (no probes), the
+# DES packet hot loop and all sink methods must cost zero allocations. Runs
+# without -race because AllocsPerRun is unreliable under the race detector.
+telemetry-guard:
+	$(GO) test -count=1 -run 'TestTelemetryDisabledZeroAlloc|TestDisabledProbesZeroAlloc|TestNilSinksAreSafe' ./internal/des ./internal/telemetry
 
 # Ten seconds of coverage-guided fuzzing over random chaos schedules with
 # every invariant oracle armed; the checked-in corpus replays regardless.

@@ -76,6 +76,20 @@ func BenchmarkFig13_CAIRN_TlSweep(b *testing.B) { benchFigure(b, "fig13") }
 // BenchmarkFig14_NET1_TlSweep regenerates Fig. 14: the Tl sweep in NET1.
 func BenchmarkFig14_NET1_TlSweep(b *testing.B) { benchFigure(b, "fig14") }
 
+// BenchmarkFig14_Telemetry regenerates Fig. 14 with full telemetry capture
+// and artifact export enabled for every simulation — the enabled-path
+// counterpart of BenchmarkFig14_NET1_TlSweep. The delta between the two is
+// the telemetry layer's end-to-end overhead; see BENCH_telemetry.json.
+func BenchmarkFig14_Telemetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		set := experiments.Quick
+		set.TelemetryDir = b.TempDir()
+		if _, err := experiments.Fig14(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig15_CAIRN_Dynamic regenerates the reconstructed dynamic
 // (bursty on-off traffic) experiment on CAIRN.
 func BenchmarkFig15_CAIRN_Dynamic(b *testing.B) { benchFigure(b, "fig15") }

@@ -25,6 +25,7 @@ import (
 
 	"minroute/internal/chaos"
 	"minroute/internal/simpool"
+	"minroute/internal/telemetry"
 )
 
 func main() {
@@ -131,7 +132,35 @@ func main() {
 		fmt.Printf("minimal reproducer (%d actions) written to %s — replay with: mdrsim -chaos %s\n",
 			len(min.Actions), *out, *out)
 	}
+	if err := writeRepoEvents(min, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "mdrfuzz: reproducer telemetry: %v\n", err)
+	}
 	os.Exit(1)
+}
+
+// writeRepoEvents replays the shrunk reproducer once more with telemetry
+// capture and writes its full event timeline next to the JSON as
+// <out>.events.jsonl, so the violating schedule can be inspected (or
+// diffed against a fixed build with mdrtrace) without rerunning anything.
+func writeRepoEvents(min *chaos.Scenario, out string) error {
+	tn, err := min.Network()
+	if err != nil {
+		return err
+	}
+	tel := telemetry.NewCapture(tn.Graph.NumNodes())
+	if _, err := chaos.RunProtoWith(min, tel); err != nil {
+		return err
+	}
+	f, err := os.Create(out + ".events.jsonl")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := telemetry.WriteJSONL(f, tel.Trace.Events()); err != nil {
+		return err
+	}
+	fmt.Printf("reproducer event log written to %s.events.jsonl\n", out)
+	return nil
 }
 
 // writeCorpus emits each generated scenario as a `go test fuzz v1` input so

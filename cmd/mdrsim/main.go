@@ -32,7 +32,9 @@ import (
 	"minroute/internal/report"
 	"minroute/internal/router"
 	"minroute/internal/simpool"
+	"minroute/internal/telemetry"
 	"minroute/internal/topo"
+	"minroute/internal/trace"
 )
 
 func main() {
@@ -52,6 +54,8 @@ func main() {
 		svgDir   = flag.String("svg", "", "also write each figure as an SVG chart into this directory")
 
 		chaosArg = flag.String("chaos", "", "replay a chaos scenario: a registry name (see -chaos list) or a JSON file")
+
+		telemetryDir = flag.String("telemetry", "", "export telemetry artifacts (events JSONL, Chrome trace, metrics) into this directory")
 
 		workers    = flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -97,6 +101,13 @@ func main() {
 		return
 	}
 
+	if *telemetryDir != "" {
+		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrsim: -telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	set := experiments.Full
 	if *quick {
 		set = experiments.Quick
@@ -105,9 +116,10 @@ func main() {
 	if *runs > 0 {
 		set.Runs = *runs
 	}
+	set.TelemetryDir = *telemetryDir
 
 	if *chaosArg != "" {
-		if err := runChaos(*chaosArg); err != nil {
+		if err := runChaos(*chaosArg, *telemetryDir); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -119,7 +131,7 @@ func main() {
 		if *compare {
 			err = compareScenario(*scenario, set, *csv)
 		} else {
-			err = runScenario(*scenario, *mode, set)
+			err = runScenario(*scenario, *mode, set, *telemetryDir)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mdrsim: %v\n", err)
@@ -196,11 +208,23 @@ func main() {
 	}
 }
 
+// warnTraceDrops reports ring-buffer evictions so a truncated event log is
+// never mistaken for a complete one. Nil-safe on both counters.
+func warnTraceDrops(label string, tel *telemetry.Capture, rec *trace.Recorder) {
+	if n := tel.Trace.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "mdrsim: warning: %s: telemetry ring dropped %d events (raise ring capacity for a complete log)\n", label, n)
+	}
+	if rec != nil && rec.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "mdrsim: warning: %s: path recorder evicted %d traces\n", label, rec.Dropped())
+	}
+}
+
 // runChaos replays a chaos scenario — by registry name or from a JSON file —
 // through both runners with every invariant oracle armed, and reports the
 // per-oracle counts and trace hashes. `mdrsim -chaos list` prints the
-// registry. A violation makes the replay fail.
-func runChaos(arg string) error {
+// registry. A violation makes the replay fail. With -telemetry, each
+// runner's full event timeline is exported as <name>_<runner>.*.
+func runChaos(arg, telemetryDir string) error {
 	if arg == "list" {
 		for _, name := range experiments.ChaosNames() {
 			fmt.Println(name)
@@ -216,15 +240,30 @@ func runChaos(arg string) error {
 			return err
 		}
 	}
+	tn, err := s.Network()
+	if err != nil {
+		return err
+	}
 	type runner struct {
 		name string
-		fn   func(*chaos.Scenario) (*chaos.Result, error)
+		fn   func(*chaos.Scenario, *telemetry.Capture) (*chaos.Result, error)
 	}
 	failed := false
-	for _, r := range []runner{{"proto", chaos.RunProto}, {"des", chaos.RunDES}} {
-		res, err := r.fn(s)
+	for _, r := range []runner{{"proto", chaos.RunProtoWith}, {"des", chaos.RunDESWith}} {
+		var tel *telemetry.Capture
+		if telemetryDir != "" {
+			tel = telemetry.NewCapture(tn.Graph.NumNodes())
+		}
+		res, err := r.fn(s, tel)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		if tel != nil {
+			prefix := fmt.Sprintf("%s_%s", s.Name, r.name)
+			if err := tel.Export(telemetryDir, prefix); err != nil {
+				return fmt.Errorf("%s: telemetry export: %w", r.name, err)
+			}
+			warnTraceDrops(prefix, tel, nil)
 		}
 		fmt.Printf("%s %s: %d events, trace sha256 %s\n", s.Name, r.name, res.Events, res.TraceHash)
 		for _, c := range res.Log.Counts() {
@@ -242,8 +281,9 @@ func runChaos(arg string) error {
 	return nil
 }
 
-// runScenario simulates one custom network at the given settings.
-func runScenario(path, mode string, set experiments.Settings) error {
+// runScenario simulates one custom network at the given settings. With
+// -telemetry, the run's artifacts are exported as scenario_<mode>_s<seed>.*.
+func runScenario(path, mode string, set experiments.Settings, telemetryDir string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -268,10 +308,20 @@ func runScenario(path, mode string, set experiments.Settings) error {
 	opt.Seed = set.Seed
 	opt.Warmup = set.Warmup
 	opt.Duration = set.Duration
+	if telemetryDir != "" {
+		opt.Telemetry = telemetry.NewCapture(net.Graph.NumNodes())
+	}
 	sim := core.Build(net, opt)
 	rep := sim.Run()
 	if err := sim.CheckLoopFree(); err != nil {
 		return err
+	}
+	if telemetryDir != "" {
+		prefix := fmt.Sprintf("scenario_%s_s%d", mode, set.Seed)
+		if err := sim.ExportTelemetry(telemetryDir, prefix); err != nil {
+			return fmt.Errorf("telemetry export: %w", err)
+		}
+		warnTraceDrops(prefix, sim.Telemetry(), sim.Tracer)
 	}
 	fmt.Printf("%s on %s (%d nodes, %d links, %d flows):\n",
 		opt.Router.Mode, path, net.Graph.NumNodes(), net.Graph.NumLinks(), len(net.Flows))

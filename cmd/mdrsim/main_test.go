@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"minroute/internal/experiments"
+)
+
+const tinyScenario = `# triangle with one two-path flow
+link a b 10Mbps 0.5ms
+link b c 10Mbps 0.5ms
+link a c 5Mbps 1ms
+flow a c 3Mbps
+`
+
+// TestRunScenarioTelemetryExport exercises the -scenario path with a
+// telemetry directory: the three artifacts must land under the documented
+// scenario_<mode>_s<seed> prefix, and the run must still succeed without
+// telemetry (the flag is strictly additive).
+func TestRunScenarioTelemetryExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	if err := os.WriteFile(path, []byte(tinyScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set := experiments.Settings{Warmup: 2, Duration: 2, Seed: 7}
+
+	telDir := filepath.Join(dir, "tel")
+	if err := os.MkdirAll(telDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenario(path, "mp", set, telDir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"scenario_mp_s7.events.jsonl",
+		"scenario_mp_s7.trace.json",
+		"scenario_mp_s7.metrics.txt",
+	} {
+		st, err := os.Stat(filepath.Join(telDir, name))
+		if err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+
+	if err := runScenario(path, "mp", set, ""); err != nil {
+		t.Fatalf("telemetry-off run: %v", err)
+	}
+}
+
+// TestRunChaosTelemetryExport exercises the -chaos path with telemetry: one
+// export per runner under the <name>_<runner> prefix.
+func TestRunChaosTelemetryExport(t *testing.T) {
+	telDir := t.TempDir()
+	if err := runChaos("link-flap", telDir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"link-flap_proto.events.jsonl",
+		"link-flap_proto.trace.json",
+		"link-flap_proto.metrics.txt",
+		"link-flap_des.events.jsonl",
+		"link-flap_des.trace.json",
+		"link-flap_des.metrics.txt",
+	} {
+		if _, err := os.Stat(filepath.Join(telDir, name)); err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+	}
+}

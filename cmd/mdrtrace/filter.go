@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minroute/internal/graph"
+	"minroute/internal/telemetry"
+)
+
+// filter is the composed event predicate built from the command-line flags.
+// The zero value keeps everything.
+type filter struct {
+	kinds  map[telemetry.Kind]bool // nil = all kinds
+	router graph.NodeID            // -2 = any
+	flow   int32                   // -2 = any
+	since  float64
+	until  float64 // negative = unbounded
+}
+
+// parseFilter validates the flag values and builds the predicate. Kind names
+// must match the telemetry taxonomy exactly; a typo lists the valid names.
+func parseFilter(kinds string, router, flow int, since, until float64) (filter, error) {
+	f := filter{router: graph.NodeID(router), flow: int32(flow), since: since, until: until}
+	if kinds == "" {
+		return f, nil
+	}
+	f.kinds = make(map[telemetry.Kind]bool)
+	for _, name := range strings.Split(kinds, ",") {
+		k, ok := telemetry.KindByName(strings.TrimSpace(name))
+		if !ok {
+			return f, fmt.Errorf("unknown event kind %q (run -kinds for the list)", name)
+		}
+		f.kinds[k] = true
+	}
+	return f, nil
+}
+
+func (f filter) keep(ev telemetry.Event) bool {
+	if f.kinds != nil && !f.kinds[ev.Kind] {
+		return false
+	}
+	if f.router != -2 && ev.Router != f.router {
+		return false
+	}
+	if f.flow != -2 && ev.Flow != f.flow {
+		return false
+	}
+	if ev.T < f.since {
+		return false
+	}
+	if f.until >= 0 && ev.T > f.until {
+		return false
+	}
+	return true
+}
+
+// filterEvents returns the events passing f, preserving order.
+func filterEvents(events []telemetry.Event, f filter) []telemetry.Event {
+	out := make([]telemetry.Event, 0, len(events))
+	for _, ev := range events {
+		if f.keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// summarize renders per-kind and per-router counts plus the covered time
+// span, in deterministic order.
+func summarize(events []telemetry.Event) string {
+	var b strings.Builder
+	if len(events) == 0 {
+		b.WriteString("0 events\n")
+		return b.String()
+	}
+	tMin, tMax := events[0].T, events[0].T
+	kindCount := make(map[telemetry.Kind]int)
+	routerCount := make(map[graph.NodeID]int)
+	for _, ev := range events {
+		if ev.T < tMin {
+			tMin = ev.T
+		}
+		if ev.T > tMax {
+			tMax = ev.T
+		}
+		kindCount[ev.Kind]++
+		routerCount[ev.Router]++
+	}
+	fmt.Fprintf(&b, "%d events over t=[%g, %g]\n", len(events), tMin, tMax)
+	for k := 0; k < telemetry.NumKinds(); k++ {
+		if n := kindCount[telemetry.Kind(k)]; n > 0 {
+			fmt.Fprintf(&b, "  kind %-14s %d\n", telemetry.Kind(k), n)
+		}
+	}
+	routers := make([]graph.NodeID, 0, len(routerCount))
+	//lint:maporder-ok keys are sorted before printing
+	for r := range routerCount {
+		routers = append(routers, r)
+	}
+	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+	for _, r := range routers {
+		label := fmt.Sprintf("router %d", r)
+		if r < 0 {
+			label = "network"
+		}
+		fmt.Fprintf(&b, "  %-19s %d\n", label, routerCount[r])
+	}
+	return b.String()
+}
+
+// diffEvents compares two event streams and reports the first divergence:
+// the index, both events rendered as JSONL, and the length delta. Sequence
+// numbers participate in the comparison deliberately — two logs of the same
+// run must match exactly, emission order included.
+func diffEvents(a, b []telemetry.Event) (string, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			var buf []byte
+			out := fmt.Sprintf("logs diverge at event %d:\n", i)
+			buf = telemetry.AppendJSONL(buf[:0], a[i])
+			out += "  a: " + strings.TrimSuffix(string(buf), "\n") + "\n"
+			buf = telemetry.AppendJSONL(buf[:0], b[i])
+			out += "  b: " + strings.TrimSuffix(string(buf), "\n") + "\n"
+			return out, false
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Sprintf("logs share %d events, then lengths diverge: a has %d, b has %d\n",
+			n, len(a), len(b)), false
+	}
+	return fmt.Sprintf("logs identical: %d events\n", n), true
+}

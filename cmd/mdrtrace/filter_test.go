@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"minroute/internal/graph"
+	"minroute/internal/telemetry"
+)
+
+func ev(t float64, k telemetry.Kind, router graph.NodeID, flow int32) telemetry.Event {
+	e := telemetry.NewEvent(t, k, router)
+	e.Flow = flow
+	return e
+}
+
+func sampleEvents() []telemetry.Event {
+	return []telemetry.Event{
+		ev(0.5, telemetry.KindLSUSend, 0, -1),
+		ev(1.0, telemetry.KindPktEnqueue, 1, 2),
+		ev(1.5, telemetry.KindPktDeliver, 2, 2),
+		ev(2.0, telemetry.KindLSUSend, 1, -1),
+		ev(3.0, telemetry.KindFaultStart, graph.None, -1),
+	}
+}
+
+func TestParseFilterRejectsUnknownKind(t *testing.T) {
+	if _, err := parseFilter("lsu_send,bogus", -2, -2, 0, -1); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestFilterCompose(t *testing.T) {
+	events := sampleEvents()
+	cases := []struct {
+		name         string
+		kinds        string
+		router, flow int
+		since, until float64
+		wantSeqTimes []float64
+	}{
+		{"all", "", -2, -2, 0, -1, []float64{0.5, 1.0, 1.5, 2.0, 3.0}},
+		{"kind", "lsu_send", -2, -2, 0, -1, []float64{0.5, 2.0}},
+		{"kinds", "pkt_enqueue,pkt_deliver", -2, -2, 0, -1, []float64{1.0, 1.5}},
+		{"router", "", 1, -2, 0, -1, []float64{1.0, 2.0}},
+		{"network-scope", "", -1, -2, 0, -1, []float64{3.0}},
+		{"flow", "", -2, 2, 0, -1, []float64{1.0, 1.5}},
+		{"window", "", -2, -2, 1.0, 2.0, []float64{1.0, 1.5, 2.0}},
+		{"compose", "lsu_send", 1, -2, 1.0, -1, []float64{2.0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := parseFilter(tc.kinds, tc.router, tc.flow, tc.since, tc.until)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := filterEvents(events, f)
+			if len(got) != len(tc.wantSeqTimes) {
+				t.Fatalf("got %d events, want %d", len(got), len(tc.wantSeqTimes))
+			}
+			for i, e := range got {
+				if e.T != tc.wantSeqTimes[i] {
+					t.Errorf("event %d at t=%g, want t=%g", i, e.T, tc.wantSeqTimes[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	got := summarize(sampleEvents())
+	for _, want := range []string{
+		"5 events over t=[0.5, 3]",
+		"kind lsu_send       2",
+		"kind pkt_deliver    1",
+		"router 1            2",
+		"network             1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	if got := summarize(nil); got != "0 events\n" {
+		t.Errorf("empty summary = %q", got)
+	}
+}
+
+func TestDiffEvents(t *testing.T) {
+	a := sampleEvents()
+	if report, same := diffEvents(a, sampleEvents()); !same {
+		t.Fatalf("identical logs reported different: %s", report)
+	}
+
+	b := sampleEvents()
+	b[2].Value = 99
+	report, same := diffEvents(a, b)
+	if same {
+		t.Fatal("modified log reported identical")
+	}
+	if !strings.Contains(report, "diverge at event 2") {
+		t.Errorf("diff report missing divergence index: %s", report)
+	}
+	if !strings.Contains(report, `"value":99`) {
+		t.Errorf("diff report missing modified event: %s", report)
+	}
+
+	report, same = diffEvents(a, a[:3])
+	if same || !strings.Contains(report, "a has 5, b has 3") {
+		t.Errorf("length divergence not reported: %s", report)
+	}
+}

@@ -237,6 +237,24 @@ func AdjustDamped(phi Params, succ []graph.NodeID, dist DistFunc, beta float64) 
 	normalize(phi)
 }
 
+// Spread summarizes how evenly routing parameters split traffic as 1 − max
+// φ: 0 means single-path, and values approaching 1 − 1/|S| mean a
+// near-uniform split. It is the scalar the telemetry layer attaches to
+// allocation events.
+func Spread(p Params) float64 {
+	maxPhi := 0.0
+	//lint:maporder-ok max over values is iteration-order independent
+	for _, v := range p {
+		if v > maxPhi {
+			maxPhi = v
+		}
+	}
+	if maxPhi == 0 {
+		return 0
+	}
+	return 1 - maxPhi
+}
+
 // Uniform returns equal fractions over the successor set; used as a
 // baseline in ablation benchmarks.
 func Uniform(succ []graph.NodeID) Params {

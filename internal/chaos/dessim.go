@@ -11,6 +11,7 @@ import (
 	"minroute/internal/lfi"
 	"minroute/internal/oracle"
 	"minroute/internal/router"
+	"minroute/internal/telemetry"
 )
 
 // desConfig is the router configuration chaos runs use: the paper's MP mode
@@ -31,7 +32,12 @@ func desConfig() router.Config {
 // Convergence is not checked here: under flowing traffic the link costs
 // never quiesce, so Theorem 4's premise never holds (the protocol-level
 // runner checks it at true quiescence instead).
-func RunDES(s *Scenario) (*Result, error) {
+func RunDES(s *Scenario) (*Result, error) { return RunDESWith(s, nil) }
+
+// RunDESWith is RunDES with an optional telemetry capture wired through
+// core.Build: the run's full event timeline (control and data planes plus
+// the injected faults) lands in tel for export.
+func RunDESWith(s *Scenario, tel *telemetry.Capture) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,10 +50,11 @@ func RunDES(s *Scenario) (*Result, error) {
 		dur = 10
 	}
 	n := core.Build(tn, core.Options{
-		Router:   desConfig(),
-		Seed:     s.Seed,
-		Warmup:   0,
-		Duration: dur,
+		Router:    desConfig(),
+		Seed:      s.Seed,
+		Warmup:    0,
+		Duration:  dur,
+		Telemetry: tel,
 	})
 
 	log := oracle.NewLog()
@@ -145,7 +152,9 @@ func applyDES(n *core.Network, act Action, failed map[[2]graph.NodeID]bool, base
 		}
 	case KindCost:
 		// In the packet simulator a cost spike is a capacity drop: the
-		// protocol sees it through its own measured link costs.
+		// protocol sees it through its own measured link costs. Core never
+		// originates this fault, so mark it here.
+		n.MarkFault(true, fmt.Sprintf("cost %d-%d x%g", act.A, act.B, act.Factor))
 		for _, pair := range [][2]graph.NodeID{{act.A, act.B}, {act.B, act.A}} {
 			if p, ok := n.Ports[pair]; ok {
 				p.Capacity = baseCap[pair] / act.Factor

@@ -12,6 +12,7 @@ import (
 	"minroute/internal/mpda"
 	"minroute/internal/oracle"
 	"minroute/internal/protonet"
+	"minroute/internal/telemetry"
 )
 
 // protoBudget bounds delivery attempts per scenario; exceeding it is a
@@ -74,6 +75,43 @@ type protoState struct {
 	failed  map[[2]graph.NodeID]bool
 	crashed map[graph.NodeID]bool
 	numNode int
+	// tel, when non-nil, records the run as a telemetry event timeline.
+	// The protocol harness has no simulation clock, so event timestamps are
+	// the delivery-attempt count — still monotone and deterministic.
+	tel *telemetry.Capture
+}
+
+// now is the protocol harness's timebase: delivery attempts so far.
+func (st *protoState) now() float64 { return float64(st.net.Attempts()) }
+
+// installHooks wires MPDA's phase/commit observers for router id into the
+// capture; re-invoked on restart because the router is rebuilt.
+func (st *protoState) installHooks(id graph.NodeID, r *mpda.Router) {
+	if st.tel == nil {
+		return
+	}
+	r.OnPhase = func(active bool) {
+		k := telemetry.KindPhasePassive
+		if active {
+			k = telemetry.KindPhaseActive
+		}
+		st.tel.Trace.Emit(telemetry.NewEvent(st.now(), k, id))
+	}
+	r.OnCommit = func(changed int) {
+		ev := telemetry.NewEvent(st.now(), telemetry.KindTableCommit, id)
+		ev.Value = float64(changed)
+		st.tel.Trace.Emit(ev)
+	}
+}
+
+// emitFault records one injected fault marker in the network-scope ring.
+func (st *protoState) emitFault(k telemetry.Kind, label string) {
+	if st.tel == nil {
+		return
+	}
+	ev := telemetry.NewEvent(st.now(), k, graph.None)
+	ev.Label = label
+	st.tel.Trace.Emit(ev)
 }
 
 func (st *protoState) costOf(a, b graph.NodeID) float64 { return st.cost[linkKey(a, b)] }
@@ -82,15 +120,18 @@ func (st *protoState) apply(act Action) {
 	switch act.Kind {
 	case KindFail:
 		key := linkKey(act.A, act.B)
+		st.emitFault(telemetry.KindFaultStart, fmt.Sprintf("link-fail %d-%d", act.A, act.B))
 		if _, up := st.g.Link(act.A, act.B); up {
 			st.net.FailLink(act.A, act.B)
 		}
 		st.failed[key] = true
 	case KindRestore:
 		key := linkKey(act.A, act.B)
+		st.emitFault(telemetry.KindFaultStop, fmt.Sprintf("link-restore %d-%d", act.A, act.B))
 		st.failed[key] = false
 		st.restoreIfDue(key)
 	case KindCost:
+		st.emitFault(telemetry.KindFaultStart, fmt.Sprintf("cost %d-%d x%g", act.A, act.B, act.Factor))
 		key := linkKey(act.A, act.B)
 		st.cost[key] = (st.base[key].prop + 1e-4) * act.Factor
 		if _, up := st.g.Link(act.A, act.B); up {
@@ -102,6 +143,7 @@ func (st *protoState) apply(act Action) {
 		if st.crashed[v] {
 			return
 		}
+		st.emitFault(telemetry.KindFaultStart, fmt.Sprintf("crash %d", v))
 		st.crashed[v] = true
 		delete(st.views, v)
 		nbrs := append([]graph.NodeID(nil), st.g.Neighbors(v)...)
@@ -113,9 +155,11 @@ func (st *protoState) apply(act Action) {
 		if !st.crashed[v] {
 			return
 		}
+		st.emitFault(telemetry.KindFaultStop, fmt.Sprintf("restart %d", v))
 		st.crashed[v] = false
 		st.net.Detach(v)
 		r := mpda.NewRouter(v, st.numNode, st.net.Sender(v))
+		st.installHooks(v, r)
 		st.routers[v] = r
 		st.views[v] = r
 		st.net.Attach(v, r)
@@ -126,6 +170,7 @@ func (st *protoState) apply(act Action) {
 			}
 		}
 	case KindPerturb:
+		st.emitFault(telemetry.KindFaultStart, fmt.Sprintf("perturb loss=%g dup=%g", act.Loss, act.Dup))
 		st.net.SetPerturb(protonet.Perturb{LossProb: act.Loss, DupProb: act.Dup})
 	}
 }
@@ -149,7 +194,14 @@ func (st *protoState) restoreIfDue(key [2]graph.NodeID) {
 // coordinates, and — after the network quiesces — the quiescence and
 // Theorem 4 convergence oracles checked against Dijkstra ground truth on
 // the surviving topology.
-func RunProto(s *Scenario) (*Result, error) {
+func RunProto(s *Scenario) (*Result, error) { return RunProtoWith(s, nil) }
+
+// RunProtoWith is RunProto with an optional telemetry capture: the run's
+// phase transitions, message deliveries, table commits, and injected faults
+// land in tel's event bus (timestamped by delivery attempt — the harness
+// has no simulation clock). mdrfuzz ships this timeline alongside shrunk
+// reproducers.
+func RunProtoWith(s *Scenario, tel *telemetry.Capture) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -168,6 +220,20 @@ func RunProto(s *Scenario) (*Result, error) {
 		failed:  make(map[[2]graph.NodeID]bool),
 		crashed: make(map[graph.NodeID]bool),
 		numNode: g.NumNodes(),
+		tel:     tel,
+	}
+	if tel != nil {
+		st.net.OnMessage = func(from, to graph.NodeID, entries int, ack bool) {
+			ev := telemetry.NewEvent(st.now(), telemetry.KindLSURecv, to)
+			ev.Peer = from
+			ev.Value = float64(entries)
+			tel.Trace.Emit(ev)
+			if ack {
+				a := telemetry.NewEvent(st.now(), telemetry.KindLSUAck, to)
+				a.Peer = from
+				tel.Trace.Emit(a)
+			}
+		}
 	}
 	for _, l := range g.Links() {
 		if l.From < l.To {
@@ -178,6 +244,7 @@ func RunProto(s *Scenario) (*Result, error) {
 	}
 	for _, id := range g.Nodes() {
 		r := mpda.NewRouter(id, st.numNode, st.net.Sender(id))
+		st.installHooks(id, r)
 		st.routers[id] = r
 		st.views[id] = r
 		st.net.Attach(id, r)

@@ -1,0 +1,62 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"minroute/internal/telemetry"
+)
+
+// TestTelemetryFixtureGolden replays one regression fixture with telemetry
+// capture enabled and compares the merged event log, byte for byte, against
+// a checked-in JSONL golden. This pins down the full event taxonomy for a
+// real chaos run — phase flips, LSU traffic, table commits, and the injected
+// faults — so any drift in event ordering, sequencing, or encoding shows up
+// as a diff rather than a silent change.
+//
+// Regenerate after an intentional behavioral change with:
+//
+//	CHAOS_UPDATE=1 go test -run TestTelemetryFixtureGolden ./internal/chaos
+func TestTelemetryFixtureGolden(t *testing.T) {
+	path := filepath.Join("testdata", "regress-dup-ack-credit.json")
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := s.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.NewCapture(tn.Graph.NumNodes())
+	res, err := RunProtoWith(s, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("fixture violates invariants: %v", res.Log.Violations)
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, tel.Trace.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Trace.Emitted() == 0 {
+		t.Fatal("telemetry capture recorded no events")
+	}
+	golden := filepath.Join("testdata", "regress-dup-ack-credit.events.jsonl")
+	if os.Getenv("CHAOS_UPDATE") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with CHAOS_UPDATE=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("telemetry event log drifted from golden %s (got %d bytes, want %d); rerun with CHAOS_UPDATE=1 if intentional",
+			golden, buf.Len(), len(want))
+	}
+}

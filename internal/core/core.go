@@ -17,6 +17,7 @@ import (
 	"minroute/internal/metrics"
 	"minroute/internal/mpda"
 	"minroute/internal/router"
+	"minroute/internal/telemetry"
 	"minroute/internal/topo"
 	"minroute/internal/trace"
 	"minroute/internal/traffic"
@@ -42,6 +43,10 @@ type Options struct {
 	// TraceCapacity, when positive, records the forwarding path of the most
 	// recent packets (Network.Tracer).
 	TraceCapacity int
+	// Telemetry, when non-nil, instruments the whole network — control and
+	// data planes — into the capture's event bus and metrics registry. Nil
+	// (the default) costs one branch per probe site and nothing else.
+	Telemetry *telemetry.Capture
 }
 
 // DefaultOptions returns the settings of the paper's headline experiments:
@@ -72,7 +77,11 @@ type Network struct {
 	// ControlBits accumulates the wire size of all LSUs sent.
 	ControlBits float64
 	// Tracer records packet paths when Options.TraceCapacity > 0.
-	Tracer     *trace.Recorder
+	Tracer *trace.Recorder
+	// tel and its derived probes are nil unless Options.Telemetry was set.
+	tel        *telemetry.Capture
+	nodeProbes *telemetry.NodeProbes
+	telDelay   *telemetry.Histogram
 	warmupDone bool
 	maxHops    int
 	serial     uint64
@@ -104,11 +113,27 @@ func Build(net *topo.Network, opt Options) *Network {
 	if opt.TraceCapacity > 0 {
 		n.Tracer = trace.NewRecorder(opt.TraceCapacity)
 	}
+	if opt.Telemetry != nil {
+		n.tel = opt.Telemetry
+		reg := n.tel.Metrics
+		n.nodeProbes = &telemetry.NodeProbes{
+			Tracer:    n.tel.Trace,
+			ActiveDur: reg.Histogram("mpda.active.duration"),
+			Converge: &telemetry.ConvergeMeter{
+				Lag:  reg.Histogram("converge.lag"),
+				Last: reg.Gauge("converge.last"),
+			},
+		}
+		n.telDelay = reg.Histogram("pkt.delay")
+	}
 
 	// Nodes first (the LSU sender closure reads the port map lazily, so the
 	// ports can be created afterwards).
 	for _, id := range net.Graph.Nodes() {
 		n.Nodes[id] = router.New(n.Eng, id, numNodes, opt.Router, n.lsuSender(id))
+		if n.nodeProbes != nil {
+			n.Nodes[id].SetTelemetry(n.nodeProbes)
+		}
 	}
 
 	// Ports: one per directed link, delivering to the receiving node.
@@ -125,21 +150,44 @@ func Build(net *topo.Network, opt Options) *Network {
 				to.HandleData(pkt) // the router recycles data packets
 			}
 		})
+		if n.tel != nil {
+			reg := n.tel.Metrics
+			link := fmt.Sprintf("link.%d-%d", l.From, l.To)
+			port.Probe = &telemetry.LinkProbe{
+				Tracer:    n.tel.Trace,
+				From:      l.From,
+				To:        l.To,
+				QueueBits: reg.Histogram(link + ".queue.bits"),
+				TxBits:    reg.Counter(link + ".tx.bits"),
+				LostPkts:  reg.Counter(link + ".lost.pkts"),
+			}
+		}
 		n.Ports[[2]graph.NodeID{l.From, l.To}] = port
 		n.Nodes[l.From].AttachPort(l.To, port)
 	}
 
-	// Delay measurement at each flow destination.
+	// Delay measurement at each flow destination. Each flow seeds its own
+	// reservoir-sampling stream so percentile estimates stay decorrelated.
 	for x := range n.Flows {
-		n.Stats[x] = &metrics.DelayStats{}
+		n.Stats[x] = metrics.NewDelayStats(uint64(x))
 	}
 	for _, id := range net.Graph.Nodes() {
 		node := n.Nodes[id]
+		id := id
 		node.OnArrive = func(pkt *des.Packet) {
 			if pkt.FlowID >= 0 && pkt.FlowID < len(n.Stats) {
-				n.Stats[pkt.FlowID].Add(n.Eng.Now() - pkt.Created)
+				delay := n.Eng.Now() - pkt.Created
+				n.Stats[pkt.FlowID].Add(delay)
 				if pkt.Hops > n.maxHops {
 					n.maxHops = pkt.Hops
+				}
+				if n.tel != nil {
+					n.telDelay.Observe(n.Eng.Now(), delay)
+					ev := telemetry.NewEvent(n.Eng.Now(), telemetry.KindPktDeliver, id)
+					ev.Dst = pkt.Dst
+					ev.Flow = int32(pkt.FlowID)
+					ev.Value = delay
+					n.tel.Trace.Emit(ev)
 				}
 				if n.Tracer != nil && pkt.Serial != 0 {
 					n.Tracer.Deliver(pkt.Serial, n.Eng.Now())
@@ -214,6 +262,12 @@ func (n *Network) lsuSender(id graph.NodeID) mpda.Sender {
 		n.ControlMessages++
 		bits := float64(len(buf)*8 + framingBits)
 		n.ControlBits += bits
+		if n.tel != nil {
+			ev := telemetry.NewEvent(n.Eng.Now(), telemetry.KindLSUSend, id)
+			ev.Peer = to
+			ev.Value = bits
+			n.tel.Trace.Emit(ev)
+		}
 		pkt := n.Eng.NewPacket()
 		*pkt = des.Packet{
 			FlowID:  -1,
@@ -283,6 +337,7 @@ func (n *Network) CrashNode(v graph.NodeID) {
 	if !ok || node.Down() {
 		return
 	}
+	n.emitFault(telemetry.KindFaultStart, fmt.Sprintf("crash %d", v), v, graph.None)
 	node.Crash()
 	for _, k := range n.Graph.Neighbors(v) {
 		for _, pair := range [][2]graph.NodeID{{v, k}, {k, v}} {
@@ -301,6 +356,7 @@ func (n *Network) RestartNode(v graph.NodeID) {
 	if !ok || !node.Down() {
 		return
 	}
+	n.emitFault(telemetry.KindFaultStop, fmt.Sprintf("restart %d", v), v, graph.None)
 	for _, k := range n.Graph.Neighbors(v) {
 		for _, pair := range [][2]graph.NodeID{{v, k}, {k, v}} {
 			if p, ok := n.Ports[pair]; ok {
@@ -316,6 +372,7 @@ func (n *Network) RestartNode(v graph.NodeID) {
 
 // FailLink takes the duplex link a↔b down at the current simulation time.
 func (n *Network) FailLink(a, b graph.NodeID) {
+	n.emitFault(telemetry.KindFaultStart, fmt.Sprintf("link-fail %d-%d", a, b), a, b)
 	for _, pair := range [][2]graph.NodeID{{a, b}, {b, a}} {
 		if p, ok := n.Ports[pair]; ok {
 			p.SetDown(true)
@@ -327,6 +384,7 @@ func (n *Network) FailLink(a, b graph.NodeID) {
 
 // RestoreLink brings the duplex link a↔b back up.
 func (n *Network) RestoreLink(a, b graph.NodeID) {
+	n.emitFault(telemetry.KindFaultStop, fmt.Sprintf("link-restore %d-%d", a, b), a, b)
 	for _, pair := range [][2]graph.NodeID{{a, b}, {b, a}} {
 		if p, ok := n.Ports[pair]; ok {
 			p.SetDown(false)
@@ -334,6 +392,65 @@ func (n *Network) RestoreLink(a, b graph.NodeID) {
 	}
 	n.Nodes[a].LinkRecovered(b)
 	n.Nodes[b].LinkRecovered(a)
+}
+
+// emitFault records a fault marker in the network-scope ring and arms the
+// convergence meter: the next routing-table commit anywhere closes the
+// episode. a and b carry the affected endpoints (graph.None when absent).
+func (n *Network) emitFault(k telemetry.Kind, label string, a, b graph.NodeID) {
+	if n.tel == nil {
+		return
+	}
+	now := n.Eng.Now()
+	n.nodeProbes.Converge.TopoEvent(now)
+	ev := telemetry.NewEvent(now, k, graph.None)
+	ev.Peer = a
+	ev.Dst = b
+	ev.Label = label
+	n.tel.Trace.Emit(ev)
+}
+
+// Telemetry returns the capture attached at Build (nil when telemetry is
+// off). The chaos harness uses it to record fault types core itself does
+// not originate (cost spikes, control perturbation).
+func (n *Network) Telemetry() *telemetry.Capture { return n.tel }
+
+// MarkFault records an externally injected fault marker: start brackets the
+// fault as KindFaultStart/KindFaultStop, and label names it. Faults that
+// change the routing input also arm the convergence meter.
+func (n *Network) MarkFault(start bool, label string) {
+	k := telemetry.KindFaultStop
+	if start {
+		k = telemetry.KindFaultStart
+	}
+	n.emitFault(k, label, graph.None, graph.None)
+}
+
+// syncTelemetry mirrors totals that live outside the registry — control
+// traffic, ring-drop counts — into snapshot counters.
+func (n *Network) syncTelemetry() {
+	if n.tel == nil {
+		return
+	}
+	reg := n.tel.Metrics
+	reg.Counter("control.msgs").Set(float64(n.ControlMessages))
+	reg.Counter("control.bits").Set(n.ControlBits)
+	reg.Counter("telemetry.events.emitted").Set(float64(n.tel.Trace.Emitted()))
+	reg.Counter("telemetry.events.dropped").Set(float64(n.tel.Trace.Dropped()))
+	if n.Tracer != nil {
+		reg.Counter("trace.paths.dropped").Set(float64(n.Tracer.Dropped()))
+	}
+}
+
+// ExportTelemetry writes the run's telemetry artifacts (JSONL event log,
+// Chrome trace, metrics snapshot) into dir under the given name prefix.
+// A no-op returning nil when telemetry is off.
+func (n *Network) ExportTelemetry(dir, prefix string) error {
+	if n.tel == nil {
+		return nil
+	}
+	n.syncTelemetry()
+	return n.tel.Export(dir, prefix)
 }
 
 // CheckLoopFree audits the instantaneous successor graph of every

@@ -3,6 +3,7 @@ package des
 import (
 	"minroute/internal/graph"
 	"minroute/internal/linkcost"
+	"minroute/internal/telemetry"
 )
 
 // DefaultQueueBits is the default output-queue limit: 512 KB of buffering
@@ -46,6 +47,12 @@ type Port struct {
 	// Estimator, when non-nil, receives (sojourn, service) observations for
 	// every transmitted data packet (the PA-style online estimator input).
 	Estimator *linkcost.OnlineEstimator
+
+	// Probe, when non-nil, instruments the data band: enqueue events plus
+	// queue-depth samples, transmitted bits, and failure losses. Nil (the
+	// default) keeps the hot path at one branch per site and zero
+	// allocations — the telemetry-guard benchmark pins that.
+	Probe *telemetry.LinkProbe
 
 	// Counters for validation and reporting. The Data* pair counts only
 	// data-band packets; routers snapshot them to derive windowed flow
@@ -154,6 +161,9 @@ func (p *Port) Send(pkt *Packet) bool {
 		}
 		p.data.push(it)
 		p.dataBits += pkt.Bits
+		if p.Probe != nil {
+			p.Probe.Enqueue(it.enq, int32(pkt.FlowID), pkt.Dst, p.dataBits)
+		}
 	}
 	if !p.busy {
 		p.startNext()
@@ -187,6 +197,9 @@ func (p *Port) finishTransmission() {
 		// transmitter stays idle until the link recovers.
 		if !it.pkt.IsControl() {
 			p.LostDataPackets++
+			if p.Probe != nil {
+				p.Probe.Lost(p.eng.Now(), int32(it.pkt.FlowID), it.pkt.Dst)
+			}
 		}
 		p.eng.FreePacket(it.pkt)
 		p.busy = false
@@ -201,6 +214,9 @@ func (p *Port) finishTransmission() {
 		p.DataMeter.Add(pkt.Bits)
 		if p.Estimator != nil {
 			p.Estimator.Observe(p.eng.Now()-it.enq, p.txService)
+		}
+		if p.Probe != nil {
+			p.Probe.Transmit(p.eng.Now(), pkt.Bits)
 		}
 	}
 	p.pipe.push(portItem{pkt: pkt})
@@ -217,6 +233,9 @@ func (p *Port) deliverNext() {
 	if p.down {
 		if !it.pkt.IsControl() {
 			p.LostDataPackets++
+			if p.Probe != nil {
+				p.Probe.Lost(p.eng.Now(), int32(it.pkt.FlowID), it.pkt.Dst)
+			}
 		}
 		p.eng.FreePacket(it.pkt)
 		return
@@ -243,6 +262,9 @@ func (p *Port) SetDown(down bool) {
 			p.DroppedPackets++
 			p.DroppedBits += it.pkt.Bits
 			p.LostDataPackets++
+			if p.Probe != nil {
+				p.Probe.Lost(p.eng.Now(), int32(it.pkt.FlowID), it.pkt.Dst)
+			}
 			p.eng.FreePacket(it.pkt)
 		}
 		p.ctrl.clear()

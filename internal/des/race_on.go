@@ -1,0 +1,8 @@
+//go:build race
+
+package des
+
+// raceEnabled reports whether the race detector is compiled in. Alloc-count
+// guard tests skip under race: the detector's instrumentation allocates, so
+// an exact 0 allocs/op assertion would flake.
+const raceEnabled = true

@@ -18,6 +18,7 @@ import (
 	"minroute/internal/report"
 	"minroute/internal/router"
 	"minroute/internal/simpool"
+	"minroute/internal/telemetry"
 	"minroute/internal/topo"
 	"minroute/internal/traffic"
 )
@@ -33,6 +34,32 @@ type Settings struct {
 	// a delay metric is chaotic in the loaded regime, so the Tl-sweep
 	// figures in particular benefit from averaging.
 	Runs int
+	// TelemetryDir, when non-empty, exports each simulation's telemetry
+	// artifacts (JSONL event log, Chrome trace, metrics snapshot) into this
+	// directory under the prefix <figid>_<label>_s<seed>. Every artifact is
+	// a deterministic function of the simulation, so the set of files is
+	// byte-identical at any simpool worker count.
+	TelemetryDir string
+	// figID labels telemetry prefixes; compare() installs the figure ID.
+	figID string
+}
+
+// newCapture returns a telemetry capture for one simulation, or nil when
+// telemetry export is disabled.
+func (s Settings) newCapture(tn *topo.Network) *telemetry.Capture {
+	if s.TelemetryDir == "" {
+		return nil
+	}
+	return telemetry.NewCapture(tn.Graph.NumNodes())
+}
+
+// exportTelemetry writes the run's artifacts under TelemetryDir. A nil
+// capture (telemetry disabled) is a no-op inside core.
+func (s Settings) exportTelemetry(n *core.Network, label string) error {
+	if s.TelemetryDir == "" {
+		return nil
+	}
+	return n.ExportTelemetry(s.TelemetryDir, fmt.Sprintf("%s_%s_s%d", s.figID, label, s.Seed))
 }
 
 func (s Settings) runs() int {
@@ -88,10 +115,16 @@ func runScheme(build func() *topo.Network, s scheme, set Settings, src func(f to
 		return nil, fmt.Errorf("experiments: static scheme must use runOPT")
 	}
 	return runSeeds(set, func(run Settings) ([]float64, error) {
-		n := core.Build(build(), s.options(run, src))
+		tn := build()
+		opt := s.options(run, src)
+		opt.Telemetry = run.newCapture(tn)
+		n := core.Build(tn, opt)
 		rep := n.Run()
 		if err := n.CheckLoopFree(); err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", s.label, err)
+		}
+		if err := run.exportTelemetry(n, s.label); err != nil {
+			return nil, fmt.Errorf("experiments: %s: telemetry export: %w", s.label, err)
 		}
 		return rep.MeanDelayMs, nil
 	})
@@ -157,9 +190,16 @@ func runOPT(build func() *topo.Network, set Settings, src func(f topo.Flow) traf
 	}
 	s := scheme{label: "OPT", mode: router.ModeStatic, tl: 0, ts: 0}
 	return runSeeds(set, func(run Settings) ([]float64, error) {
-		n := core.Build(build(), s.options(run, src))
+		tn := build()
+		opt := s.options(run, src)
+		opt.Telemetry = run.newCapture(tn)
+		n := core.Build(tn, opt)
 		n.InstallStatic(sol.Phi)
-		return n.Run().MeanDelayMs, nil
+		rep := n.Run()
+		if err := run.exportTelemetry(n, s.label); err != nil {
+			return nil, fmt.Errorf("experiments: OPT telemetry export: %w", err)
+		}
+		return rep.MeanDelayMs, nil
 	})
 }
 
@@ -172,6 +212,7 @@ func runOPT(build func() *topo.Network, set Settings, src func(f topo.Flow) traf
 func compare(id, title string, build func() *topo.Network, withOPT bool, envelope float64,
 	schemes []scheme, set Settings, src func(f topo.Flow) traffic.Source) (*report.Figure, error) {
 
+	set.figID = id
 	fig := &report.Figure{ID: id, Title: title}
 	optCols := 0
 	if withOPT {

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"minroute/internal/simpool"
+)
+
+// telemetryDirHash runs fig14 with telemetry export into a fresh directory
+// and digests every artifact (name plus content, in sorted name order) into
+// one hash.
+func telemetryDirHash(t *testing.T, workers int) string {
+	t.Helper()
+	simpool.SetWorkers(workers)
+	dir := t.TempDir()
+	set := detSettings
+	set.TelemetryDir = dir
+	if _, err := Fig14(set); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("telemetry export produced no artifacts")
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write([]byte(filepath.Base(name)))
+		h.Write([]byte{0})
+		h.Write(data)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestTelemetryDeterministicAcrossWorkers is the acceptance check for the
+// telemetry layer's determinism contract: the full set of exported
+// artifacts — JSONL event logs, Chrome traces, and metrics snapshots for
+// every scheme and seed of fig14 — must be byte-identical whether the
+// simulations run serially or fan out across eight workers. Telemetry is
+// strictly per-simulation state merged by (sim time, sequence), so worker
+// scheduling must not be observable.
+func TestTelemetryDeterministicAcrossWorkers(t *testing.T) {
+	oldWorkers := simpool.Workers()
+	defer simpool.SetWorkers(oldWorkers)
+
+	base := telemetryDirHash(t, 1)
+	if got := telemetryDirHash(t, 8); got != base {
+		t.Errorf("workers=8 artifact hash %s differs from workers=1 baseline %s", got, base)
+	}
+}
+
+// TestTelemetryArtifactNames pins the export naming scheme: figure ID,
+// scheme label, and seed, with the three per-run artifact suffixes.
+func TestTelemetryArtifactNames(t *testing.T) {
+	dir := t.TempDir()
+	set := detSettings
+	set.Runs = 1
+	set.TelemetryDir = dir
+	if _, err := Fig14(set); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fig14_MP-TL-10-TS-2_s1.events.jsonl",
+		"fig14_MP-TL-10-TS-2_s1.trace.json",
+		"fig14_MP-TL-10-TS-2_s1.metrics.txt",
+		"fig14_SP-TL-10_s1.events.jsonl",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			names, _ := filepath.Glob(filepath.Join(dir, "*"))
+			t.Fatalf("missing artifact %s (have: %s)", want, strings.Join(names, ", "))
+		}
+	}
+}

@@ -47,7 +47,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, sorted by name.
-var All = []*Analyzer{FloatEq, HandleCopy, Exhaustive, MapOrder, NoRand}
+var All = []*Analyzer{FloatEq, HandleCopy, Exhaustive, MapOrder, NoRand, TelemetryAttr}
 
 // ByName returns the analyzers matching the comma-separated list, or All
 // for an empty list.

@@ -112,13 +112,16 @@ func TestNoRandFixture(t *testing.T)     { runFixture(t, "norand", NoRand) }
 func TestFloatEqFixture(t *testing.T)    { runFixture(t, "floateq", FloatEq) }
 func TestHandleCopyFixture(t *testing.T) { runFixture(t, "handlecopy", HandleCopy) }
 func TestExhaustiveFixture(t *testing.T) { runFixture(t, "exhaustive", Exhaustive) }
+func TestTelemetryAttrFixture(t *testing.T) {
+	runFixture(t, "telemetryattr", TelemetryAttr)
+}
 
 // TestFixturesFailWithoutAnalyzer is the other half of the golden
 // contract: with the analyzer disabled, the fixtures' want expectations
 // must go unmatched. Guards against an analyzer that silently reports
 // nothing (and a harness that silently accepts that).
 func TestFixturesFailWithoutAnalyzer(t *testing.T) {
-	for _, name := range []string{"maporder", "norand", "floateq", "handlecopy", "exhaustive"} {
+	for _, name := range []string{"maporder", "norand", "floateq", "handlecopy", "exhaustive", "telemetryattr"} {
 		pkg, err := testLoader(t).CheckDir("minroute/internal/fixture/"+name, filepath.Join("testdata", name))
 		if err != nil {
 			t.Fatal(err)

@@ -19,7 +19,9 @@ type suppressionSet struct {
 	all    []*suppression
 }
 
-var suppressionRE = regexp.MustCompile(`^//\s*lint:([a-z]+)-ok(.*)$`)
+// The check-name group admits hyphenated names (telemetry-attr); greedy
+// matching with backtracking still peels off the trailing "-ok".
+var suppressionRE = regexp.MustCompile(`^//\s*lint:([a-z]+(?:-[a-z]+)*)-ok(.*)$`)
 
 // collectSuppressions scans every comment in the package. An annotation
 // covers the line it sits on and the line directly below it, so both the

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// TelemetryAttr pins telemetry attribute names to the declared taxonomy.
+// The JSONL exporter writes attributes in a fixed canonical order keyed by
+// the AttrKey constants; a string literal minted ad hoc ("Router", "flow_id")
+// would silently produce a key no reader or diff tool recognizes. Any string
+// literal the type checker resolves to telemetry.AttrKey must therefore
+// match one of the constants declared in the telemetry package itself
+// (which is exempt — it is where the taxonomy lives).
+var TelemetryAttr = &Analyzer{
+	Name: "telemetry-attr",
+	Doc:  "string literals typed as telemetry.AttrKey must match a declared attribute constant",
+	Run:  runTelemetryAttr,
+}
+
+const telemetryPkgPath = "minroute/internal/telemetry"
+
+// isAttrKey reports whether t is the named type telemetry.AttrKey.
+func isAttrKey(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "AttrKey" && obj.Pkg() != nil && obj.Pkg().Path() == telemetryPkgPath
+}
+
+// attrKeyConstants collects the string values of every AttrKey constant
+// declared in the imported telemetry package.
+func attrKeyConstants(p *Pass) map[string]bool {
+	var tpkg *types.Package
+	for _, imp := range p.Pkg.Imports() {
+		if imp.Path() == telemetryPkgPath {
+			tpkg = imp
+			break
+		}
+	}
+	if tpkg == nil {
+		return nil
+	}
+	allowed := make(map[string]bool)
+	scope := tpkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !isAttrKey(c.Type()) {
+			continue
+		}
+		allowed[constant.StringVal(c.Val())] = true
+	}
+	return allowed
+}
+
+func runTelemetryAttr(p *Pass) {
+	if !isModulePath(p.Path) || p.Path == telemetryPkgPath {
+		return
+	}
+	allowed := attrKeyConstants(p)
+	if len(allowed) == 0 {
+		return // telemetry not imported (or holds no constants): nothing to check
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			tv, ok := p.Info.Types[ast.Expr(lit)]
+			if !ok || tv.Type == nil || !isAttrKey(tv.Type) {
+				return true
+			}
+			val, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !allowed[val] {
+				p.Reportf(lit.Pos(), "%q is not a declared telemetry attribute; use the telemetry.Attr* constants", val)
+			}
+			return true
+		})
+	}
+}

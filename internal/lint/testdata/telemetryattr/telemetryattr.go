@@ -1,0 +1,43 @@
+// Package fixture exercises the telemetry-attr analyzer: ad-hoc string
+// literals typed as telemetry.AttrKey are flagged, the declared constants
+// and matching literals are not, and reasoned suppressions work.
+package fixture
+
+import "minroute/internal/telemetry"
+
+// declared constants are the sanctioned spelling.
+var viaConstant = telemetry.AttrRouter
+
+// a literal that matches a declared attribute value is permitted (the
+// analyzer checks values, not spellings).
+var matchingLiteral telemetry.AttrKey = "router"
+
+var conversionMatching = telemetry.AttrKey("flow")
+
+// ad-hoc keys no exporter or reader recognizes are diagnostics.
+var typoAssign telemetry.AttrKey = "Router" // want `"Router" is not a declared telemetry attribute`
+
+var typoConversion = telemetry.AttrKey("flow_id") // want `"flow_id" is not a declared telemetry attribute`
+
+func comparisons(k telemetry.AttrKey) bool {
+	if k == "value" { // fine: matches AttrValue
+		return true
+	}
+	return k == "val" // want `"val" is not a declared telemetry attribute`
+}
+
+func inCompositeLiteral() []telemetry.AttrKey {
+	return []telemetry.AttrKey{
+		telemetry.AttrSeq,
+		"kind",
+		"sequence", // want `"sequence" is not a declared telemetry attribute`
+	}
+}
+
+// a reasoned suppression covers an experimental key.
+//
+//lint:telemetry-attr-ok exercising the suppression path for a hyphenated check name
+var suppressed = telemetry.AttrKey("experimental")
+
+// plain strings never trip the check: only AttrKey-typed literals do.
+var plainString = "not_an_attr"

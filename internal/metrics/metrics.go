@@ -10,7 +10,8 @@ import (
 )
 
 // DelayStats accumulates delay samples for one flow. The zero value is
-// ready for use.
+// ready for use (with a fixed default reservoir seed); NewDelayStats gives
+// each flow its own sampling stream.
 type DelayStats struct {
 	count  int64
 	sum    float64
@@ -20,9 +21,32 @@ type DelayStats struct {
 	sample []float64 // reservoir for percentiles
 	seen   int64
 	rngs   uint64 // cheap xorshift state for reservoir sampling
+	seed   uint64 // initial rngs value, preserved across Reset
 }
 
 const reservoirSize = 4096
+
+// NewDelayStats returns stats whose reservoir-sampling stream is seeded
+// from id (typically the flow index). Distinct flows previously shared one
+// fixed seed, so their reservoirs made identical accept/evict decisions at
+// identical sample counts — a correlated-sampling bias across every
+// percentile the experiments report.
+func NewDelayStats(id uint64) *DelayStats {
+	seed := splitmix64(id)
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &DelayStats{rngs: seed, seed: seed}
+}
+
+// splitmix64 is the standard 64-bit finalizer-style mixer: consecutive IDs
+// map to decorrelated xorshift seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
 
 // Add records one delay sample in seconds.
 func (s *DelayStats) Add(d float64) {
@@ -113,8 +137,13 @@ func (s *DelayStats) Percentile(p float64) float64 {
 	return tmp[idx]
 }
 
-// Reset discards all samples (used at the end of warmup).
-func (s *DelayStats) Reset() { *s = DelayStats{} }
+// Reset discards all samples (used at the end of warmup) but keeps the
+// flow's sampling seed, so measurement-phase reservoirs stay per-flow
+// decorrelated.
+func (s *DelayStats) Reset() {
+	seed := s.seed
+	*s = DelayStats{rngs: seed, seed: seed}
+}
 
 // String renders a compact summary in milliseconds.
 func (s *DelayStats) String() string {

@@ -37,6 +37,13 @@ type Router struct {
 	t    *pda.Tables
 	send Sender
 
+	// OnPhase, when non-nil, observes every ACTIVE/PASSIVE transition
+	// (called after the state flips). Telemetry hangs span edges off it.
+	OnPhase func(active bool)
+	// OnCommit, when non-nil, observes every main-table (MTU) commit that
+	// changed entries; n is the number of changed entries about to flood.
+	OnCommit func(n int)
+
 	// active is true while the router waits for ACKs to its last LSU.
 	active bool
 	// awaiting counts outstanding ACKs per neighbor. Every entry-bearing
@@ -188,7 +195,7 @@ func (r *Router) process(ackTo graph.NodeID) {
 		// distances that were reported in the just-acknowledged LSU (MTU was
 		// deferred during the ACTIVE phase, so D is unchanged since then).
 		temp := append([]float64(nil), r.t.Dists()...)
-		r.active = false
+		r.setActive(false)
 		diff = r.t.RunMTU()
 		for j := range r.fd {
 			r.fd[j] = math.Min(temp[j], r.t.Dist(graph.NodeID(j)))
@@ -202,11 +209,14 @@ func (r *Router) process(ackTo graph.NodeID) {
 
 	// Steps 5-8: flood changes (becoming ACTIVE) and acknowledge.
 	if len(diff) > 0 {
+		if r.OnCommit != nil {
+			r.OnCommit(len(diff))
+		}
 		nbrs := r.t.Neighbors()
 		if len(nbrs) == 0 {
 			return // isolated router: nothing to flood, stay passive
 		}
-		r.active = true
+		r.setActive(true)
 		for _, k := range nbrs {
 			r.awaiting[k]++
 			r.send(k, &lsu.Msg{From: r.ID(), Entries: diff, Ack: k == ackTo})
@@ -221,6 +231,17 @@ func (r *Router) process(ackTo graph.NodeID) {
 		if _, up := r.t.AdjCost(ackTo); up {
 			r.send(ackTo, &lsu.Msg{From: r.ID(), Ack: true})
 		}
+	}
+}
+
+// setActive flips the phase flag, notifying OnPhase on real transitions.
+func (r *Router) setActive(a bool) {
+	if r.active == a {
+		return
+	}
+	r.active = a
+	if r.OnPhase != nil {
+		r.OnPhase(a)
 	}
 }
 

@@ -1,0 +1,169 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minroute/internal/telemetry"
+)
+
+// timelineCatColor maps telemetry categories to tick colors. MPDA phase
+// spans are drawn as bars, so "mpda" has no tick color here.
+var timelineCatColor = map[string]string{
+	"control": "#4878d0",
+	"route":   "#6acc64",
+	"data":    "#b8b8b8",
+	"chaos":   "#d65f5f",
+}
+
+// timelineCats lists the tick categories in legend order.
+var timelineCats = []string{"control", "route", "data", "chaos"}
+
+// Timeline renders a telemetry event log as an SVG strip chart: one
+// horizontal lane per router (plus a "net" lane when network-scope events
+// are present), MPDA ACTIVE phases as filled spans, and every other event
+// as a tick colored by its category. The rendering is a deterministic
+// function of the event slice, so it can be golden-tested byte for byte.
+func Timeline(title string, events []telemetry.Event, width, height int) string {
+	if width <= 0 {
+		width = 900
+	}
+	const (
+		marginLeft   = 56
+		marginRight  = 16
+		marginTop    = 40
+		marginBottom = 34
+		laneGap      = 4
+	)
+
+	// Lane inventory: routers in ID order, then the network lane.
+	maxRouter := -1
+	hasNet := false
+	tMax := 0.0
+	for _, ev := range events {
+		if ev.Router < 0 {
+			hasNet = true
+		} else if int(ev.Router) > maxRouter {
+			maxRouter = int(ev.Router)
+		}
+		if ev.T > tMax {
+			tMax = ev.T
+		}
+	}
+	lanes := maxRouter + 1
+	if hasNet {
+		lanes++
+	}
+	if lanes == 0 {
+		lanes = 1
+	}
+	if tMax <= 0 {
+		tMax = 1
+	}
+	if height <= 0 {
+		height = marginTop + marginBottom + lanes*22
+	}
+	plotW := float64(width - marginLeft - marginRight)
+	laneH := (float64(height-marginTop-marginBottom) - float64(lanes-1)*laneGap) / float64(lanes)
+	xOf := func(t float64) float64 { return float64(marginLeft) + t/tMax*plotW }
+	yOf := func(lane int) float64 { return float64(marginTop) + float64(lane)*(laneH+laneGap) }
+	laneOf := func(router int) int {
+		if router < 0 {
+			return lanes - 1 // network lane sits at the bottom
+		}
+		return router
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft, xmlEscape(title))
+
+	// Lane backgrounds and labels.
+	for lane := 0; lane < lanes; lane++ {
+		label := fmt.Sprintf("router %d", lane)
+		if hasNet && lane == lanes-1 {
+			label = "net"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%.1f" width="%.1f" height="%.1f" fill="#f4f4f4"/>`+"\n",
+			marginLeft, yOf(lane), plotW, laneH)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end" fill="#444">%s</text>`+"\n",
+			marginLeft-6, yOf(lane)+laneH/2+3, xmlEscape(label))
+	}
+
+	// ACTIVE phase spans: phase_active opens a bar on the router's lane,
+	// phase_passive closes it. An unclosed span runs to the right edge.
+	open := make(map[int]float64)
+	span := func(router int, t0, t1 float64) {
+		y := yOf(laneOf(router))
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#ee854a" opacity="0.85"><title>router %d ACTIVE %.4f-%.4f</title></rect>`+"\n",
+			xOf(t0), y+1, maxf(xOf(t1)-xOf(t0), 1), laneH-2, router, t0, t1)
+	}
+	for _, ev := range events {
+		r := int(ev.Router)
+		if ev.Kind == telemetry.KindPhaseActive {
+			open[r] = ev.T
+			continue
+		}
+		if ev.Kind == telemetry.KindPhasePassive {
+			if t0, ok := open[r]; ok {
+				span(r, t0, ev.T)
+				delete(open, r)
+			}
+			continue
+		}
+		// Instant tick.
+		color, ok := timelineCatColor[ev.Kind.Category()]
+		if !ok {
+			color = "#888"
+		}
+		y := yOf(laneOf(r))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"><title>t=%.4f %s</title></line>`+"\n",
+			xOf(ev.T), y+2, xOf(ev.T), y+laneH-2, color, ev.T, ev.Kind)
+	}
+	// Close dangling spans deterministically (sorted by router).
+	dangling := make([]int, 0, len(open))
+	//lint:maporder-ok keys are sorted before rendering
+	for r := range open {
+		dangling = append(dangling, r)
+	}
+	sort.Ints(dangling)
+	for _, r := range dangling {
+		span(r, open[r], tMax)
+	}
+
+	// Time axis with 5 ticks.
+	axisY := yOf(lanes-1) + laneH
+	for i := 0; i <= 5; i++ {
+		t := tMax * float64(i) / 5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+			xOf(t), axisY, xOf(t), axisY+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" fill="#444">%s</text>`+"\n",
+			xOf(t), axisY+16, trimFloat(t))
+	}
+
+	// Legend: the ACTIVE span swatch plus the tick categories.
+	lx := float64(marginLeft)
+	ly := float64(marginTop) - 8
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="#ee854a" opacity="0.85"/>`+"\n", lx, ly-9)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#222">ACTIVE</text>`+"\n", lx+14, ly)
+	lx += 14 + 6*float64(len("ACTIVE")) + 16
+	for _, cat := range timelineCats {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="3" height="10" fill="%s"/>`+"\n", lx, ly-9, timelineCatColor[cat])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#222">%s</text>`+"\n", lx+7, ly, cat)
+		lx += 7 + 6*float64(len(cat)) + 16
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -32,6 +32,7 @@ import (
 	"minroute/internal/mpda"
 	"minroute/internal/numeric"
 	"minroute/internal/rng"
+	"minroute/internal/telemetry"
 )
 
 // Mode selects the forwarding discipline.
@@ -197,6 +198,15 @@ type Node struct {
 	// oracle (Property 1: support ⊆ S_j, φ ≥ 0, Σφ = 1) hooks here.
 	OnAlloc func(j graph.NodeID, phi alloc.Params, succ []graph.NodeID)
 
+	// tel, when non-nil, instruments the control plane: phase spans, LSU
+	// receive/ack events, table commits, allocation steps, and drop
+	// instants. Installed via SetTelemetry; chaos oracles keep OnAlloc to
+	// themselves, so telemetry emits from inside the node instead.
+	tel *telemetry.NodeProbes
+	// activeSince is when the router last entered the ACTIVE phase; the
+	// PASSIVE edge carries the span duration.
+	activeSince float64
+
 	// Counters.
 	ForwardedPackets int64
 	DroppedNoRoute   int64
@@ -269,6 +279,64 @@ func (n *Node) AttachPort(k graph.NodeID, p *des.Port) {
 // holds the fractions this node uses toward destination j.
 func (n *Node) InstallStatic(phi []alloc.Params) { n.staticPhi = phi }
 
+// SetTelemetry attaches control-plane instrumentation (shared by all nodes
+// of a simulation). Call before Start.
+func (n *Node) SetTelemetry(tp *telemetry.NodeProbes) {
+	n.tel = tp
+	n.installProtoHooks()
+}
+
+// installProtoHooks wires the MPDA observer hooks to the telemetry sink.
+// Restart builds a fresh protocol instance, so it must re-install them.
+func (n *Node) installProtoHooks() {
+	if n.tel == nil {
+		return
+	}
+	n.proto.OnPhase = func(active bool) {
+		now := n.eng.Now()
+		if active {
+			n.activeSince = now
+			n.tel.Tracer.Emit(telemetry.NewEvent(now, telemetry.KindPhaseActive, n.id))
+			return
+		}
+		ev := telemetry.NewEvent(now, telemetry.KindPhasePassive, n.id)
+		ev.Value = now - n.activeSince
+		n.tel.Tracer.Emit(ev)
+		n.tel.ActiveDur.Observe(now, ev.Value)
+	}
+	n.proto.OnCommit = func(changed int) {
+		now := n.eng.Now()
+		ev := telemetry.NewEvent(now, telemetry.KindTableCommit, n.id)
+		ev.Value = float64(changed)
+		n.tel.Tracer.Emit(ev)
+		n.tel.Converge.Commit(now)
+	}
+}
+
+// emitAlloc traces one routing-parameter step for destination j; Value is
+// the allocation spread (0 = single path).
+func (n *Node) emitAlloc(k telemetry.Kind, j graph.NodeID, phi alloc.Params) {
+	if n.tel == nil {
+		return
+	}
+	ev := telemetry.NewEvent(n.eng.Now(), k, n.id)
+	ev.Dst = j
+	ev.Value = alloc.Spread(phi)
+	n.tel.Tracer.Emit(ev)
+}
+
+// emitDrop traces one dropped data packet.
+func (n *Node) emitDrop(k telemetry.Kind, pkt *des.Packet) {
+	if n.tel == nil {
+		return
+	}
+	ev := telemetry.NewEvent(n.eng.Now(), k, n.id)
+	ev.Dst = pkt.Dst
+	ev.Flow = int32(pkt.FlowID)
+	ev.Value = 1
+	n.tel.Tracer.Emit(ev)
+}
+
 // Start brings up all adjacent links at their idle costs and schedules the
 // measurement timers with random phases.
 func (n *Node) Start() {
@@ -315,6 +383,7 @@ func (n *Node) Restart() {
 	}
 	n.down = false
 	n.proto = mpda.NewRouter(n.id, n.numNodes, n.send)
+	n.installProtoHooks()
 	n.phi = make([]alloc.Params, n.numNodes)
 	n.succSig = make([]string, n.numNodes)
 	n.flowlets = make(map[int]*flowletState)
@@ -419,6 +488,7 @@ func (n *Node) tsTick() {
 			if n.OnAlloc != nil {
 				n.OnAlloc(graph.NodeID(j), n.phi[j], succ)
 			}
+			n.emitAlloc(telemetry.KindAllocAdjust, graph.NodeID(j), n.phi[j])
 		}
 	}
 	n.tsTimer = n.eng.After(n.nextTs(), n.tsTick)
@@ -534,6 +604,18 @@ func (n *Node) HandleControl(pkt *des.Packet) {
 		// loudly in simulation rather than limping on.
 		panic("router: corrupt LSU: " + err.Error())
 	}
+	if n.tel != nil {
+		now := n.eng.Now()
+		ev := telemetry.NewEvent(now, telemetry.KindLSURecv, n.id)
+		ev.Peer = m.From
+		ev.Value = float64(len(m.Entries))
+		n.tel.Tracer.Emit(ev)
+		if m.Ack {
+			ack := telemetry.NewEvent(now, telemetry.KindLSUAck, n.id)
+			ack.Peer = m.From
+			n.tel.Tracer.Emit(ack)
+		}
+	}
 	n.proto.HandleLSU(m)
 	n.refreshAllocations()
 }
@@ -591,6 +673,7 @@ func (n *Node) refreshAllocations() {
 		if n.OnAlloc != nil {
 			n.OnAlloc(jid, n.phi[j], succ)
 		}
+		n.emitAlloc(telemetry.KindAllocInit, jid, n.phi[j])
 	}
 }
 
@@ -611,6 +694,7 @@ func succSignature(succ []graph.NodeID) string {
 func (n *Node) HandleData(pkt *des.Packet) {
 	if n.down {
 		n.DroppedDown++
+		n.emitDrop(telemetry.KindDropDown, pkt)
 		n.eng.FreePacket(pkt)
 		return
 	}
@@ -623,6 +707,7 @@ func (n *Node) HandleData(pkt *des.Packet) {
 	}
 	if pkt.Hops >= n.cfg.HopLimit {
 		n.DroppedHopLimit++
+		n.emitDrop(telemetry.KindDropHopLimit, pkt)
 		n.eng.FreePacket(pkt)
 		return
 	}
@@ -634,12 +719,14 @@ func (n *Node) HandleData(pkt *des.Packet) {
 	}
 	if k == graph.None {
 		n.DroppedNoRoute++
+		n.emitDrop(telemetry.KindDropNoRoute, pkt)
 		n.eng.FreePacket(pkt)
 		return
 	}
 	p, ok := n.ports[k]
 	if !ok {
 		n.DroppedNoRoute++
+		n.emitDrop(telemetry.KindDropNoRoute, pkt)
 		n.eng.FreePacket(pkt)
 		return
 	}
@@ -649,6 +736,7 @@ func (n *Node) HandleData(pkt *des.Packet) {
 	}
 	if !p.Send(pkt) {
 		n.DroppedQueue++
+		n.emitDrop(telemetry.KindDropQueue, pkt)
 		n.eng.FreePacket(pkt)
 		return
 	}
@@ -715,6 +803,7 @@ func (n *Node) pickNextHop(j graph.NodeID) graph.NodeID {
 			if n.OnAlloc != nil {
 				n.OnAlloc(j, phi, succ)
 			}
+			n.emitAlloc(telemetry.KindAllocInit, j, phi)
 			if len(phi) == 0 {
 				return graph.None
 			}

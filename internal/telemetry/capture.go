@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Capture bundles one simulation's event bus and metrics registry. Build a
+// Capture, hand it to core.Options.Telemetry, and export after the run.
+// A nil *Capture disables instrumentation entirely.
+type Capture struct {
+	Trace   *Tracer
+	Metrics *Registry
+}
+
+// NewCapture builds a capture with default ring capacity and histogram
+// bucket width for a network of numRouters routers.
+func NewCapture(numRouters int) *Capture {
+	return NewCaptureSized(numRouters, DefaultRingCap, DefaultBucketWidth)
+}
+
+// NewCaptureSized builds a capture with explicit per-router ring capacity
+// and histogram time-bucket width.
+func NewCaptureSized(numRouters, ringCap int, bucketWidth float64) *Capture {
+	return &Capture{
+		Trace:   NewTracer(numRouters, ringCap),
+		Metrics: NewRegistry(bucketWidth),
+	}
+}
+
+// Export writes the capture's three artifacts into dir:
+//
+//	<prefix>.events.jsonl — the merged event log, one JSON object per line
+//	<prefix>.trace.json   — Chrome trace-viewer (catapult) JSON
+//	<prefix>.metrics.txt  — the sorted metrics snapshot
+//
+// All three are deterministic functions of the simulation, so they can be
+// hashed and compared across runs and worker counts.
+func (c *Capture) Export(dir, prefix string) error {
+	events := c.Trace.Events()
+	var jsonl strings.Builder
+	if err := WriteJSONL(&jsonl, events); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, prefix+".events.jsonl"), []byte(jsonl.String()), 0o644); err != nil {
+		return err
+	}
+	var chrome strings.Builder
+	if err := WriteChromeTrace(&chrome, events); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, prefix+".trace.json"), []byte(chrome.String()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, prefix+".metrics.txt"), []byte(c.Metrics.Snapshot()), 0o644)
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+
+	"minroute/internal/graph"
+)
+
+// WriteChromeTrace renders events as Chrome trace-viewer (catapult) JSON:
+// open chrome://tracing (or https://ui.perfetto.dev) and load the file.
+// Each router becomes a process row; ACTIVE phases render as duration
+// spans (B/E pairs) and everything else as thread-scoped instants with the
+// event attributes in args. Timestamps are simulation microseconds.
+//
+// Encoding is hand-rolled for the same reason as the JSONL writer: fixed
+// field order and canonical floats keep the artifact byte-deterministic.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	maxRouter := graph.NodeID(-1)
+	network := false
+	for i := range events {
+		if r := events[i].Router; r >= 0 {
+			if r > maxRouter {
+				maxRouter = r
+			}
+		} else {
+			network = true
+		}
+	}
+	netPid := int(maxRouter) + 1
+
+	var b []byte
+	b = append(b, `{"displayTimeUnit":"ms","traceEvents":[`...)
+	first := true
+	comma := func() {
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, '\n')
+	}
+
+	// Process-name metadata rows, in pid order.
+	for pid := 0; pid <= int(maxRouter); pid++ {
+		comma()
+		b = append(b, `{"name":"process_name","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"args":{"name":"router `...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `"}}`...)
+	}
+	if network {
+		comma()
+		b = append(b, `{"name":"process_name","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(netPid), 10)
+		b = append(b, `,"args":{"name":"network"}}`...)
+	}
+
+	for i := range events {
+		ev := &events[i]
+		pid := netPid
+		if ev.Router >= 0 {
+			pid = int(ev.Router)
+		}
+		comma()
+		switch ev.Kind {
+		case KindPhaseActive:
+			b = appendChromeHead(b, "ACTIVE", "mpda", 'B', ev.T, pid)
+			b = append(b, '}')
+		case KindPhasePassive:
+			b = appendChromeHead(b, "ACTIVE", "mpda", 'E', ev.T, pid)
+			b = append(b, '}')
+		default:
+			b = appendChromeHead(b, ev.Kind.String(), kindCats[ev.Kind], 'i', ev.T, pid)
+			b = append(b, `,"s":"t","args":{`...)
+			b = appendChromeArgs(b, ev)
+			b = append(b, '}', '}')
+		}
+	}
+	b = append(b, "\n]}\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+// appendChromeHead writes the shared prefix of one trace event, leaving
+// the object open for args.
+func appendChromeHead(b []byte, name, cat string, ph byte, t float64, pid int) []byte {
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"cat":`...)
+	b = strconv.AppendQuote(b, cat)
+	b = append(b, `,"ph":"`...)
+	b = append(b, ph, '"')
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendFloat(b, t*1e6, 'g', -1, 64)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":0`...)
+	return b
+}
+
+// appendChromeArgs writes the applicable event attributes, keys drawn from
+// the registered AttrKey enum.
+func appendChromeArgs(b []byte, ev *Event) []byte {
+	b = appendAttr(b, AttrSeq)
+	b = strconv.AppendUint(b, ev.Seq, 10)
+	if ev.Peer != graph.None {
+		b = append(b, ',')
+		b = appendAttr(b, AttrPeer)
+		b = strconv.AppendInt(b, int64(ev.Peer), 10)
+	}
+	if ev.Dst != graph.None {
+		b = append(b, ',')
+		b = appendAttr(b, AttrDst)
+		b = strconv.AppendInt(b, int64(ev.Dst), 10)
+	}
+	if ev.Flow >= 0 {
+		b = append(b, ',')
+		b = appendAttr(b, AttrFlow)
+		b = strconv.AppendInt(b, int64(ev.Flow), 10)
+	}
+	b = append(b, ',')
+	b = appendAttr(b, AttrValue)
+	b = strconv.AppendFloat(b, ev.Value, 'g', -1, 64)
+	if ev.Label != "" {
+		b = append(b, ',')
+		b = appendAttr(b, AttrLabel)
+		b = strconv.AppendQuote(b, ev.Label)
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import "minroute/internal/graph"
+
+// LinkProbe instruments one directed link's data band. The owning des.Port
+// holds it behind a single nil check per probe site, so the disabled path
+// costs one branch and zero allocations in the packet hot loop.
+type LinkProbe struct {
+	Tracer   *Tracer
+	From, To graph.NodeID
+	// QueueBits tracks the data-band backlog (bits) sampled at each
+	// enqueue, bucketed by simulation time.
+	QueueBits *Histogram
+	// TxBits totals transmitted data bits (link utilization = TxBits /
+	// (capacity * duration)).
+	TxBits *Counter
+	// LostPkts counts data packets lost to link failures after the port
+	// accepted ownership.
+	LostPkts *Counter
+}
+
+// Enqueue records a data packet accepted into the data band; queuedBits is
+// the backlog including the new packet.
+func (p *LinkProbe) Enqueue(t float64, flow int32, dst graph.NodeID, queuedBits float64) {
+	p.QueueBits.Observe(t, queuedBits)
+	p.Tracer.Emit(Event{T: t, Kind: KindPktEnqueue, Router: p.From, Peer: p.To, Dst: dst, Flow: flow, Value: queuedBits})
+}
+
+// Transmit records a completed data transmission of the given size.
+func (p *LinkProbe) Transmit(t, bits float64) {
+	p.TxBits.Add(bits)
+}
+
+// Lost records a data packet lost to a link failure.
+func (p *LinkProbe) Lost(t float64, flow int32, dst graph.NodeID) {
+	p.LostPkts.Inc()
+	p.Tracer.Emit(Event{T: t, Kind: KindPktLost, Router: p.From, Peer: p.To, Dst: dst, Flow: flow, Value: 1})
+}
+
+// NodeProbes instruments the control plane of router.Nodes. One instance
+// is shared by every node of a simulation (events carry the router ID;
+// the instruments aggregate network-wide).
+type NodeProbes struct {
+	Tracer *Tracer
+	// ActiveDur receives each completed ACTIVE phase's duration.
+	ActiveDur *Histogram
+	// Converge closes a convergence episode on each routing-table commit.
+	Converge *ConvergeMeter
+}

@@ -1,0 +1,311 @@
+// Package telemetry is the simulation's instrumentation layer: a
+// deterministic structured event bus plus a metrics registry, with JSONL,
+// Chrome-trace (catapult), and plain-text exporters.
+//
+// Determinism is the design constraint everything else bends around. The
+// paper harness guarantees byte-identical figures at any worker count, so
+// telemetry must add no entropy: events are stamped with simulation time
+// and a tracer-global emission serial (never the wall clock), each
+// simulation owns a private Tracer (no cross-simulation sharing), and all
+// exporters iterate in sorted orders with canonical float formatting. A
+// run's telemetry artifacts are therefore golden-testable — the JSONL of a
+// figure regeneration hashes identically at -workers=1 and -workers=8.
+//
+// The disabled path is a first-class citizen: every probe is reachable
+// through a single nil check (nil *Tracer, *Counter, *Histogram, ... are
+// all safe no-op receivers), so a simulation built without a Capture pays
+// one predictable branch per probe site and zero allocations — see
+// TestTelemetryDisabledZeroAlloc in internal/des and the telemetry-guard
+// Makefile target.
+package telemetry
+
+import (
+	"fmt"
+
+	"minroute/internal/graph"
+)
+
+// Kind identifies the type of one traced event. Exporters map kinds to
+// names and categories through lookup tables (KindName, kindCats) rather
+// than switches, so adding a kind means extending the tables in one place.
+type Kind uint8
+
+// Event kinds: MPDA phase transitions, control-plane message flow, routing
+// commits, allocation (IH/AH) steps, data-plane packet life cycle, and
+// chaos fault markers.
+const (
+	// KindPhaseActive marks a router entering the ACTIVE phase (it flooded
+	// an LSU and is waiting for neighbor ACKs).
+	KindPhaseActive Kind = iota
+	// KindPhasePassive marks the return to PASSIVE; Value carries the
+	// ACTIVE-phase duration in seconds.
+	KindPhasePassive
+	// KindLSUSend is one LSU transmission; Peer is the neighbor, Value the
+	// wire size in bits.
+	KindLSUSend
+	// KindLSURecv is one LSU arrival; Peer is the sender, Value the entry
+	// count.
+	KindLSURecv
+	// KindLSUAck is an arrival carrying an ACK credit (subset of recv).
+	KindLSUAck
+	// KindTableCommit marks a routing-table (MTU) commit; Value is the
+	// number of changed entries flooded.
+	KindTableCommit
+	// KindAllocInit is an IH rebuild of the routing parameters for
+	// destination Dst; Value is the allocation spread (see alloc.Spread).
+	KindAllocInit
+	// KindAllocAdjust is an AH adjustment step for destination Dst.
+	KindAllocAdjust
+	// KindPktEnqueue is a data packet accepted into a port's data band;
+	// Value is the queue depth in bits after the enqueue.
+	KindPktEnqueue
+	// KindPktDeliver is a data packet arriving at its destination; Value is
+	// the end-to-end delay in seconds.
+	KindPktDeliver
+	// KindPktLost is a data packet the network had accepted but lost to a
+	// link failure (mid-transmission, propagating, or flushed at SetDown).
+	KindPktLost
+	// KindDropNoRoute..KindDropDown are router-level drops, mirroring the
+	// router.Node counters.
+	KindDropNoRoute
+	KindDropHopLimit
+	KindDropQueue
+	KindDropDown
+	// KindFaultStart/Stop bracket injected faults (link failure/restore,
+	// crash/restart, cost spikes, control perturbation); Label names the
+	// fault.
+	KindFaultStart
+	KindFaultStop
+
+	numKinds
+)
+
+// kindNames is the canonical wire name per kind (JSONL "kind" field,
+// Chrome-trace event name).
+var kindNames = [numKinds]string{
+	KindPhaseActive:  "phase_active",
+	KindPhasePassive: "phase_passive",
+	KindLSUSend:      "lsu_send",
+	KindLSURecv:      "lsu_recv",
+	KindLSUAck:       "lsu_ack",
+	KindTableCommit:  "table_commit",
+	KindAllocInit:    "alloc_init",
+	KindAllocAdjust:  "alloc_adjust",
+	KindPktEnqueue:   "pkt_enqueue",
+	KindPktDeliver:   "pkt_deliver",
+	KindPktLost:      "pkt_lost",
+	KindDropNoRoute:  "drop_noroute",
+	KindDropHopLimit: "drop_hoplimit",
+	KindDropQueue:    "drop_queue",
+	KindDropDown:     "drop_down",
+	KindFaultStart:   "fault_start",
+	KindFaultStop:    "fault_stop",
+}
+
+// kindCats groups kinds into Chrome-trace categories.
+var kindCats = [numKinds]string{
+	KindPhaseActive:  "mpda",
+	KindPhasePassive: "mpda",
+	KindLSUSend:      "control",
+	KindLSURecv:      "control",
+	KindLSUAck:       "control",
+	KindTableCommit:  "route",
+	KindAllocInit:    "route",
+	KindAllocAdjust:  "route",
+	KindPktEnqueue:   "data",
+	KindPktDeliver:   "data",
+	KindPktLost:      "data",
+	KindDropNoRoute:  "data",
+	KindDropHopLimit: "data",
+	KindDropQueue:    "data",
+	KindDropDown:     "data",
+	KindFaultStart:   "chaos",
+	KindFaultStop:    "chaos",
+}
+
+// String returns the canonical wire name.
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// NumKinds returns the number of defined kinds (for iteration in tools).
+func NumKinds() int { return int(numKinds) }
+
+// Category returns the kind's trace category: mpda, control, route, data,
+// or chaos. Exporters and renderers color and group by it.
+func (k Kind) Category() string {
+	if k < numKinds {
+		return kindCats[k]
+	}
+	return "unknown"
+}
+
+// kindByName inverts kindNames for the JSONL reader and mdrtrace filters.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// KindByName resolves a wire name, reporting whether it is defined.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+// Event is one traced span edge or instant. T is simulation time in
+// seconds; Seq is the tracer-global emission serial that totally orders
+// events sharing a timestamp (many do — the DES fires whole causal chains
+// at one instant). Fields that do not apply to a kind hold graph.None / -1.
+type Event struct {
+	T      float64
+	Seq    uint64
+	Kind   Kind
+	Router graph.NodeID // emitting router; graph.None for network-scope events
+	Peer   graph.NodeID // link peer or LSU neighbor
+	Dst    graph.NodeID // packet or routing-table destination
+	Flow   int32        // flow ID; -1 for control traffic
+	Value  float64      // kind-specific magnitude (bits, seconds, entries, ...)
+	Label  string       // free-form tag (fault names)
+}
+
+// NewEvent returns an event at time t with the non-applicable attribute
+// fields pre-set to their "absent" sentinels.
+func NewEvent(t float64, k Kind, router graph.NodeID) Event {
+	return Event{T: t, Kind: k, Router: router, Peer: graph.None, Dst: graph.None, Flow: -1}
+}
+
+// DefaultRingCap is the per-router ring capacity used by NewCapture:
+// enough for every control-plane event of a figure-scale run; data-plane
+// packet events may wrap on long runs (surfaced via Dropped).
+const DefaultRingCap = 8192
+
+// ring is one bounded event buffer: append until full, then overwrite the
+// oldest entry. Entries stay in emission (Seq) order: the logical sequence
+// is buf[head:] followed by buf[:head].
+type ring struct {
+	cap     int
+	buf     []Event
+	head    int
+	dropped uint64
+}
+
+func (r *ring) push(ev Event) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.head] = ev
+	r.head++
+	if r.head == r.cap {
+		r.head = 0
+	}
+	r.dropped++
+}
+
+// ordered returns the retained events in emission order.
+func (r *ring) ordered() []Event {
+	if len(r.buf) < r.cap {
+		return r.buf
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	return append(out, r.buf[:r.head]...)
+}
+
+// Tracer is the event bus of one simulation: one ring per router plus a
+// trailing network-scope ring. A simulation is single-threaded, so the
+// rings need no locks ("lock-free" the honest way); concurrency across
+// simulations is safe because each owns a private Tracer. A nil *Tracer is
+// a valid no-op sink.
+type Tracer struct {
+	rings []ring
+	seq   uint64
+}
+
+// NewTracer builds a tracer for numRouters routers with the given
+// per-router ring capacity (<= 0 selects DefaultRingCap).
+func NewTracer(numRouters, ringCap int) *Tracer {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	if numRouters < 0 {
+		numRouters = 0
+	}
+	t := &Tracer{rings: make([]ring, numRouters+1)}
+	for i := range t.rings {
+		t.rings[i].cap = ringCap
+	}
+	return t
+}
+
+// Emit records ev, stamping its emission serial. Events whose Router is
+// out of range (e.g. graph.None) land in the network-scope ring.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.seq++
+	ev.Seq = t.seq
+	i := len(t.rings) - 1
+	if r := int(ev.Router); r >= 0 && r < i {
+		i = r
+	}
+	t.rings[i].push(ev)
+}
+
+// Emitted returns the total number of events ever emitted.
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq
+}
+
+// Dropped returns how many events were overwritten across all rings.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	var n uint64
+	for i := range t.rings {
+		n += t.rings[i].dropped
+	}
+	return n
+}
+
+// Events merges the per-router rings into one slice ordered by emission
+// serial (equivalently: by simulation time, with causal order breaking
+// ties). Each ring is already Seq-ordered, so this is a k-way merge.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	seqs := make([][]Event, len(t.rings))
+	total := 0
+	for i := range t.rings {
+		seqs[i] = t.rings[i].ordered()
+		total += len(seqs[i])
+	}
+	out := make([]Event, 0, total)
+	idx := make([]int, len(seqs))
+	for len(out) < total {
+		best := -1
+		for i, s := range seqs {
+			if idx[i] == len(s) {
+				continue
+			}
+			if best < 0 || s[idx[i]].Seq < seqs[best][idx[best]].Seq {
+				best = i
+			}
+		}
+		out = append(out, seqs[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package trace
+
+import "testing"
+
+func TestRecorderDropped(t *testing.T) {
+	r := NewRecorder(2)
+	if r.Dropped() != 0 {
+		t.Fatalf("fresh recorder Dropped() = %d", r.Dropped())
+	}
+	for s := uint64(1); s <= 5; s++ {
+		r.Begin(s, 0, 0, 1, 0)
+	}
+	// Capacity 2, five begins: three paths were evicted.
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	if r.Recorded() != 5 {
+		t.Fatalf("Recorded() = %d, want 5", r.Recorded())
+	}
+}

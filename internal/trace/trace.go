@@ -65,6 +65,7 @@ type Recorder struct {
 	ring     []uint64
 	next     int
 	recorded uint64
+	dropped  uint64
 }
 
 // NewRecorder returns a recorder retaining up to capacity packet paths.
@@ -83,6 +84,7 @@ func NewRecorder(capacity int) *Recorder {
 func (r *Recorder) Begin(serial uint64, flowID int, src, dst graph.NodeID, at float64) {
 	if old := r.ring[r.next]; old != 0 {
 		delete(r.paths, old)
+		r.dropped++
 	}
 	r.ring[r.next] = serial
 	r.next = (r.next + 1) % r.capacity
@@ -117,6 +119,12 @@ func (r *Recorder) Deliver(serial uint64, at float64) {
 
 // Recorded returns the total number of packets ever begun.
 func (r *Recorder) Recorded() uint64 { return r.recorded }
+
+// Dropped returns how many paths were evicted from the ring to make room
+// for newer packets. A nonzero value means audits and reports saw only the
+// tail of the run; mdrsim surfaces it as a warning and the telemetry
+// snapshot mirrors it as trace.paths.dropped.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
 
 // Paths returns the retained paths in ascending Serial order, so reports
 // built from a trace render identically run-to-run.
