@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint test race fuzz chaos bench telemetry-guard
+.PHONY: check vet lint test race fuzz chaos bench bench-transport telemetry-guard
 
 # The gate used before every commit: static checks, the full suite under the
 # race detector (the parallel figure harness makes -race meaningful), the
@@ -29,9 +29,12 @@ telemetry-guard:
 	$(GO) test -count=1 -run 'TestTelemetryDisabledZeroAlloc|TestDisabledProbesZeroAlloc|TestNilSinksAreSafe' ./internal/des ./internal/telemetry
 
 # Ten seconds of coverage-guided fuzzing over random chaos schedules with
-# every invariant oracle armed; the checked-in corpus replays regardless.
+# every invariant oracle armed, plus ten over the wire-format decoder (the
+# live transport's parse boundary); the checked-in corpora replay
+# regardless.
 fuzz:
 	$(GO) test -run FuzzChaosSchedule -fuzz FuzzChaosSchedule -fuzztime 10s ./internal/chaos
+	$(GO) test -run FuzzFrameRoundTrip -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/wire
 
 # Longer randomized sweep: 200 seed-derived scenarios through both runners.
 chaos:
@@ -42,3 +45,10 @@ chaos:
 bench:
 	$(GO) test -run xxx -bench 'PushPop|Cancel|PortThroughput|LinkPipeline' -benchmem ./internal/eventq/ ./internal/des/
 	$(GO) test -run xxx -bench Fig -benchtime 1x .
+
+# Live-path micro-benchmarks: frame codec ns/op and transport msgs/sec
+# (in-memory pipe, TCP loopback, UDP+ARQ loopback). Compare against
+# BENCH_transport.json.
+bench-transport:
+	$(GO) test -run xxx -bench 'Encode|Decode' -benchmem ./internal/wire/
+	$(GO) test -run xxx -bench Throughput -benchmem ./internal/transport/

@@ -1,0 +1,301 @@
+// mdrnode runs live MPDA routers over real transports and dumps the
+// converged routing state as JSON.
+//
+// Mesh mode hosts a full topology in one process, one live node per
+// router, peered over the chosen fabric:
+//
+//	mdrnode -topo net1 -fabric udp -loss 0.2 -dup 0.2 -reorder 0.2
+//	mdrnode -topo cairn -fabric tcp -telemetry out/
+//
+// Node mode hosts a single router that peers with other OS processes
+// over localhost (or LAN) TCP:
+//
+//	mdrnode -node 0 -nodes 2 -listen 127.0.0.1:9000 -await-peers 1
+//	mdrnode -node 1 -nodes 2 -peer 0@127.0.0.1:9000@2.5
+//
+// In node mode the process prints "LISTEN <addr>" once its listener is
+// bound (so a port of :0 can be scraped by a harness), converges, prints
+// its state JSON, sends BYE to its peers, and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"minroute/internal/graph"
+	"minroute/internal/node"
+	"minroute/internal/telemetry"
+	"minroute/internal/topo"
+	"minroute/internal/transport"
+)
+
+// pollEvery is the convergence-poll period. Deadlines are counted in
+// polls, not wall timestamps, so the binary stays off time.Now (see the
+// nowall lint check).
+const pollEvery = 10 * time.Millisecond
+
+// stablePolls is how many consecutive identical-state polls declare
+// convergence.
+const stablePolls = 25
+
+func main() {
+	var (
+		topoName     = flag.String("topo", "", "mesh mode: topology (cairn, net1, ring:<n>)")
+		fabric       = flag.String("fabric", "inmem", "mesh mode: transport fabric (inmem, tcp, udp)")
+		loss         = flag.Float64("loss", 0, "mesh mode, udp fabric: per-datagram loss probability")
+		dup          = flag.Float64("dup", 0, "mesh mode, udp fabric: per-datagram duplication probability")
+		reorder      = flag.Float64("reorder", 0, "mesh mode, udp fabric: per-datagram reorder probability")
+		seed         = flag.Uint64("seed", 1, "fault-injection seed")
+		nodeID       = flag.Int("node", -1, "node mode: this router's ID")
+		nodes        = flag.Int("nodes", 0, "node mode: ID-space size")
+		listen       = flag.String("listen", "", "node mode: TCP listen address for inbound peers")
+		cost         = flag.Float64("cost", 1, "node mode: link cost for accepted peers")
+		await        = flag.Int("await-peers", -1, "node mode: sessions to wait for (default: number of -peer flags)")
+		timeout      = flag.Float64("timeout", 60, "give up after this many seconds")
+		linger       = flag.Float64("linger", 2, "node mode: keep sessions alive this many seconds after convergence so slower peers can finish")
+		telemetryDir = flag.String("telemetry", "", "export telemetry artifacts into this directory")
+		hb           = flag.Float64("heartbeat", 0.25, "session heartbeat period, seconds")
+		dead         = flag.Float64("dead-after", 5, "declare a silent peer down after this many seconds")
+	)
+	var peerFlags peerList
+	flag.Var(&peerFlags, "peer", "node mode: peer as <id>@<host:port>@<cost>; repeatable")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *topoName != "" && *nodeID >= 0:
+		err = fmt.Errorf("-topo (mesh mode) and -node (node mode) are mutually exclusive")
+	case *topoName != "":
+		err = runMesh(*topoName, *fabric, *loss, *dup, *reorder, *seed, *timeout, *hb, *dead, *telemetryDir)
+	case *nodeID >= 0:
+		err = runNode(*nodeID, *nodes, *listen, *cost, *await, *timeout, *linger, *hb, *dead, *telemetryDir, peerFlags)
+	default:
+		err = fmt.Errorf("pick a mode: -topo <name> (mesh) or -node <id> (single node); see -help")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdrnode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// peerSpec is one parsed -peer flag.
+type peerSpec struct {
+	id   graph.NodeID
+	addr string
+	cost float64
+}
+
+type peerList []peerSpec
+
+func (p *peerList) String() string { return fmt.Sprintf("%d peers", len(*p)) }
+
+func (p *peerList) Set(s string) error {
+	parts := strings.Split(s, "@")
+	if len(parts) != 3 {
+		return fmt.Errorf("peer %q: want <id>@<host:port>@<cost>", s)
+	}
+	id, err := strconv.Atoi(parts[0])
+	if err != nil || id < 0 {
+		return fmt.Errorf("peer %q: bad id", s)
+	}
+	c, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || c <= 0 {
+		return fmt.Errorf("peer %q: bad cost", s)
+	}
+	*p = append(*p, peerSpec{id: graph.NodeID(id), addr: parts[1], cost: c})
+	return nil
+}
+
+// output is the JSON document both modes print.
+type output struct {
+	Mode    string       `json:"mode"`
+	Topo    string       `json:"topo,omitempty"`
+	Fabric  string       `json:"fabric,omitempty"`
+	Hash    string       `json:"hash"`
+	Routers []node.State `json:"routers"`
+}
+
+// resolveTopo maps a -topo value to its graph.
+func resolveTopo(name string) (*graph.Graph, error) {
+	switch {
+	case name == "cairn":
+		return topo.CAIRN().Graph, nil
+	case name == "net1":
+		return topo.NET1().Graph, nil
+	case strings.HasPrefix(name, "ring:"):
+		n, err := strconv.Atoi(name[len("ring:"):])
+		if err != nil || n < 3 {
+			return nil, fmt.Errorf("bad ring size in %q", name)
+		}
+		return topo.Ring(n, 1.5*topo.Mb, 0.01), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q (want cairn, net1, or ring:<n>)", name)
+}
+
+// protoCost is the shared live/sim cost model: propagation delay plus a
+// small hop bias (the internal/chaos idiom).
+func protoCost(l *graph.Link) float64 { return l.PropDelay + 1e-4 }
+
+// newCapture builds the telemetry capture and its Trace front when an
+// export directory was requested.
+func newCapture(dir string, numRouters int) (*telemetry.Capture, *node.Trace, error) {
+	if dir == "" {
+		return nil, nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	capt := telemetry.NewCapture(numRouters)
+	return capt, node.NewTrace(capt.Trace), nil
+}
+
+// runMesh hosts the whole topology in-process and prints the converged
+// state of every router.
+func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, timeout, hb, dead float64, telemetryDir string) error {
+	g, err := resolveTopo(topoName)
+	if err != nil {
+		return err
+	}
+	capt, trace, err := newCapture(telemetryDir, g.NumNodes())
+	if err != nil {
+		return err
+	}
+	m, err := node.NewMesh(g, node.MeshConfig{
+		Fabric:         node.Fabric(fabric),
+		Clock:          node.NewWallClock(),
+		CostOf:         protoCost,
+		Fault:          transport.Fault{Seed: seed, LossProb: loss, DupProb: dup, ReorderProb: reorder},
+		ARQ:            transport.ARQConfig{RTO: 0.01, MaxRTO: 0.2},
+		HeartbeatEvery: hb, DeadAfter: dead,
+		Trace: trace,
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	maxPolls := int(timeout / pollEvery.Seconds())
+	if err := m.AwaitConverged(stablePolls, maxPolls, func() { time.Sleep(pollEvery) }); err != nil {
+		return err
+	}
+	out := output{Mode: "mesh", Topo: topoName, Fabric: fabric, Hash: m.Hash()}
+	for _, n := range m.Nodes {
+		out.Routers = append(out.Routers, n.State())
+	}
+	if err := printJSON(out); err != nil {
+		return err
+	}
+	return exportCapture(capt, telemetryDir, "mdrnode_mesh")
+}
+
+// runNode hosts a single live router peering over TCP with other
+// processes.
+func runNode(id, nodes int, listen string, acceptCost float64, await int, timeout, linger, hb, dead float64, telemetryDir string, peers peerList) error {
+	if nodes <= 1 {
+		return fmt.Errorf("-nodes must cover the whole ID space (got %d)", nodes)
+	}
+	if await < 0 {
+		await = len(peers)
+	}
+	if await <= 0 {
+		return fmt.Errorf("node mode needs -peer flags or a positive -await-peers")
+	}
+	capt, trace, err := newCapture(telemetryDir, nodes)
+	if err != nil {
+		return err
+	}
+	n, err := node.New(node.Config{
+		ID: graph.NodeID(id), Nodes: nodes, Clock: node.NewWallClock(),
+		HeartbeatEvery: hb, DeadAfter: dead, Trace: trace,
+	})
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+
+	if listen != "" {
+		l, err := transport.ListenTCP(listen)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		// Scrapable by a harness that started us with port :0.
+		fmt.Printf("LISTEN %s\n", l.Addr())
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				n.AddPeer(c, func(graph.NodeID) (float64, bool) { return acceptCost, true })
+			}
+		}()
+	}
+	for _, p := range peers {
+		c, err := transport.DialTCP(p.addr)
+		if err != nil {
+			return fmt.Errorf("dial peer %d: %w", p.id, err)
+		}
+		want, wantCost := p.id, p.cost
+		n.AddPeer(c, func(got graph.NodeID) (float64, bool) { return wantCost, got == want })
+	}
+
+	// Converge: enough peers, PASSIVE, drained windows, stable state.
+	maxPolls := int(timeout / pollEvery.Seconds())
+	stable, prev := 0, ""
+	for poll := 0; ; poll++ {
+		if poll >= maxPolls {
+			return fmt.Errorf("node %d did not converge within %gs", id, timeout)
+		}
+		if n.PeerCount() >= await && n.Passive() && n.Outstanding() == 0 {
+			if s := n.Summary(); s == prev {
+				stable++
+			} else {
+				stable, prev = 1, s
+			}
+			if stable >= stablePolls {
+				break
+			}
+		} else {
+			stable, prev = 0, ""
+		}
+		time.Sleep(pollEvery)
+	}
+
+	out := output{Mode: "node", Hash: node.HashState(n.Summary()), Routers: []node.State{n.State()}}
+	if err := printJSON(out); err != nil {
+		return err
+	}
+	if err := exportCapture(capt, telemetryDir, fmt.Sprintf("mdrnode_%d", id)); err != nil {
+		return err
+	}
+	// Linger before the deferred Close sends BYE: peers poll for stability
+	// on their own schedule, and tearing the session down the instant we
+	// converge would yank the link out from under a peer a few polls
+	// behind us. A peer that closes first drops our session; once they are
+	// all gone there is nobody left to wait for.
+	for poll := 0; poll < int(linger/pollEvery.Seconds()); poll++ {
+		if n.PeerCount() == 0 {
+			break
+		}
+		time.Sleep(pollEvery)
+	}
+	return nil
+}
+
+func printJSON(out output) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func exportCapture(capt *telemetry.Capture, dir, prefix string) error {
+	if capt == nil {
+		return nil
+	}
+	return capt.Export(dir, prefix)
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"minroute/internal/node"
+)
+
+// TestMain lets the test binary stand in for the mdrnode executable: when
+// re-exec'd with MDRNODE_CHILD=1 it runs main() instead of the tests, so
+// the two-process smoke test needs no separately built binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("MDRNODE_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// child starts this test binary as an mdrnode process with the given
+// flags, wiring stderr through for diagnosis.
+func child(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "MDRNODE_CHILD=1")
+	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+// decodeNodeOutput scans a node-mode child's stdout for the JSON document
+// (skipping the LISTEN line) and decodes it.
+func decodeNodeOutput(t *testing.T, raw []byte) output {
+	t.Helper()
+	s := string(raw)
+	if i := strings.Index(s, "{"); i >= 0 {
+		s = s[i:]
+	}
+	var out output
+	if err := json.Unmarshal([]byte(s), &out); err != nil {
+		t.Fatalf("bad child JSON: %v\nstdout:\n%s", err, raw)
+	}
+	return out
+}
+
+// wantDest asserts one destination row of a router state.
+func wantDest(t *testing.T, st node.State, dst int, dist float64, succ []int) {
+	t.Helper()
+	for _, d := range st.Dests {
+		if int(d.Dst) != dst {
+			continue
+		}
+		if d.Dist != dist {
+			t.Errorf("router %d: dist to %d = %g, want %g", st.ID, dst, d.Dist, dist)
+		}
+		if len(d.Successors) != len(succ) {
+			t.Errorf("router %d: successors to %d = %v, want %v", st.ID, dst, d.Successors, succ)
+			return
+		}
+		for i, s := range succ {
+			if int(d.Successors[i]) != s {
+				t.Errorf("router %d: successors to %d = %v, want %v", st.ID, dst, d.Successors, succ)
+			}
+		}
+		return
+	}
+	t.Errorf("router %d: no state for destination %d", st.ID, dst)
+}
+
+// TestTwoProcessTCP is the live smoke test from the issue: two mdrnode OS
+// processes peer over localhost TCP, converge, and report mirror-image
+// routing state. The listener binds port 0; the test scrapes the LISTEN
+// line to point the dialer at it.
+func TestTwoProcessTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; not a -short test")
+	}
+
+	listener := child(t, "-node", "0", "-nodes", "2",
+		"-listen", "127.0.0.1:0", "-await-peers", "1", "-cost", "2.5",
+		"-timeout", "30")
+	lout, err := listener.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := listener.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer listener.Process.Kill()
+
+	// First stdout line is "LISTEN <addr>" with the kernel-chosen port.
+	r := bufio.NewReader(lout)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading LISTEN line: %v", err)
+	}
+	addr, ok := strings.CutPrefix(strings.TrimSpace(line), "LISTEN ")
+	if !ok {
+		t.Fatalf("expected LISTEN line, got %q", line)
+	}
+
+	dialer := child(t, "-node", "1", "-nodes", "2",
+		"-peer", "0@"+addr+"@2.5", "-timeout", "30")
+	dialerOut, err := dialer.Output()
+	if err != nil {
+		t.Fatalf("dialer process: %v", err)
+	}
+
+	var listenerRaw strings.Builder
+	if _, err := r.WriteTo(&listenerRaw); err != nil {
+		t.Fatal(err)
+	}
+	if err := listener.Wait(); err != nil {
+		t.Fatalf("listener process: %v", err)
+	}
+
+	st0 := decodeNodeOutput(t, []byte(listenerRaw.String()))
+	st1 := decodeNodeOutput(t, dialerOut)
+	if len(st0.Routers) != 1 || len(st1.Routers) != 1 {
+		t.Fatalf("want one router per process, got %d and %d", len(st0.Routers), len(st1.Routers))
+	}
+	r0, r1 := st0.Routers[0], st1.Routers[0]
+	if int(r0.ID) != 0 || int(r1.ID) != 1 {
+		t.Fatalf("router IDs: got %d and %d, want 0 and 1", r0.ID, r1.ID)
+	}
+	wantDest(t, r0, 0, 0, nil)
+	wantDest(t, r0, 1, 2.5, []int{1})
+	wantDest(t, r1, 1, 0, nil)
+	wantDest(t, r1, 0, 2.5, []int{0})
+}
+
+// TestMeshModeJSON runs mesh mode in a child process and sanity-checks
+// the document shape.
+func TestMeshModeJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns an OS process; not a -short test")
+	}
+	raw, err := child(t, "-topo", "ring:4", "-fabric", "inmem", "-timeout", "30").Output()
+	if err != nil {
+		t.Fatalf("mesh process: %v", err)
+	}
+	var out output
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad mesh JSON: %v\nstdout:\n%s", err, raw)
+	}
+	if out.Mode != "mesh" || out.Topo != "ring:4" || len(out.Routers) != 4 || out.Hash == "" {
+		t.Fatalf("unexpected mesh output: mode=%q topo=%q routers=%d hash=%q",
+			out.Mode, out.Topo, len(out.Routers), out.Hash)
+	}
+}

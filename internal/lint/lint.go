@@ -47,7 +47,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, sorted by name.
-var All = []*Analyzer{FloatEq, HandleCopy, Exhaustive, MapOrder, NoRand, TelemetryAttr}
+var All = []*Analyzer{FloatEq, HandleCopy, Exhaustive, MapOrder, NoRand, NoWall, TelemetryAttr}
 
 // ByName returns the analyzers matching the comma-separated list, or All
 // for an empty list.

@@ -109,6 +109,7 @@ func runFixture(t *testing.T, name string, analyzers ...*Analyzer) {
 
 func TestMapOrderFixture(t *testing.T)   { runFixture(t, "maporder", MapOrder) }
 func TestNoRandFixture(t *testing.T)     { runFixture(t, "norand", NoRand) }
+func TestNoWallFixture(t *testing.T)     { runFixture(t, "nowall", NoWall) }
 func TestFloatEqFixture(t *testing.T)    { runFixture(t, "floateq", FloatEq) }
 func TestHandleCopyFixture(t *testing.T) { runFixture(t, "handlecopy", HandleCopy) }
 func TestExhaustiveFixture(t *testing.T) { runFixture(t, "exhaustive", Exhaustive) }
@@ -121,7 +122,7 @@ func TestTelemetryAttrFixture(t *testing.T) {
 // must go unmatched. Guards against an analyzer that silently reports
 // nothing (and a harness that silently accepts that).
 func TestFixturesFailWithoutAnalyzer(t *testing.T) {
-	for _, name := range []string{"maporder", "norand", "floateq", "handlecopy", "exhaustive", "telemetryattr"} {
+	for _, name := range []string{"maporder", "norand", "nowall", "floateq", "handlecopy", "exhaustive", "telemetryattr"} {
 		pkg, err := testLoader(t).CheckDir("minroute/internal/fixture/"+name, filepath.Join("testdata", name))
 		if err != nil {
 			t.Fatal(err)

@@ -11,8 +11,14 @@ import (
 // seeded internal/rng Source and every timestamp from the DES clock;
 // otherwise a run is not a pure function of its seed and the
 // byte-identical-figures guarantee collapses. Exempt: internal/rng itself
-// (it is the sanctioned entropy boundary) and the cmd/ and examples/ entry
-// points, which may time wall-clock progress for the operator.
+// (it is the sanctioned entropy boundary); the cmd/ and examples/ entry
+// points, which may time wall-clock progress for the operator; and the
+// live runtime (internal/transport, internal/node), which is the real-time
+// I/O boundary — its ARQ retransmits and heartbeats are driven by real
+// timers behind the transport.Clock interface, and its determinism is
+// established by cross-validation against the simulator rather than by
+// seed-purity. Wall-clock *reads* stay banned there by the separate
+// nowall check.
 var NoRand = &Analyzer{
 	Name: "norand",
 	Doc:  "forbids math/rand, crypto/rand, and wall-clock reads in simulation code",
@@ -38,7 +44,9 @@ func runNoRand(p *Pass) {
 	if !isModulePath(p.Path) ||
 		p.Path == "minroute/internal/rng" ||
 		pathWithin(p.Path, "minroute/cmd") ||
-		pathWithin(p.Path, "minroute/examples") {
+		pathWithin(p.Path, "minroute/examples") ||
+		pathWithin(p.Path, "minroute/internal/transport") ||
+		pathWithin(p.Path, "minroute/internal/node") {
 		return
 	}
 	for _, f := range p.Files {

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// NoWall forbids direct wall-clock reads — time.Now and time.Since —
+// everywhere in the module, including the cmd/ and examples/ entry points
+// that norand exempts. The live node runtime must behave identically
+// under a virtual clock in tests and a wall clock in production, which
+// holds only if every timestamp flows through the transport.Clock
+// interface; a stray time.Now in protocol or tooling code is a second,
+// unmockable time source. The single sanctioned reader is
+// internal/node's wallclock.go, where WallClock adapts the real clock to
+// the interface. Timers (time.AfterFunc, time.Sleep) remain legal here —
+// norand polices those in simulation code — because waiting is
+// observable behavior, while reading the clock is hidden state.
+var NoWall = &Analyzer{
+	Name: "nowall",
+	Doc:  "forbids time.Now and time.Since outside internal/node's wall-clock adapter",
+	Run:  runNoWall,
+}
+
+// noWallFuncs are the banned wall-clock readers.
+var noWallFuncs = map[string]bool{"Now": true, "Since": true}
+
+func runNoWall(p *Pass) {
+	if !isModulePath(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		// The one sanctioned reader: WallClock in internal/node. The
+		// exemption is keyed on package path and file name, so a
+		// wallclock.go anywhere else stays covered.
+		if p.Path == "minroute/internal/node" &&
+			filepath.Base(p.Fset.Position(f.Pos()).Filename) == "wallclock.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if noWallFuncs[fn.Name()] {
+				p.Reportf(sel.Pos(), "time.%s is a direct wall-clock read; route time through transport.Clock (see internal/node/wallclock.go)", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,285 @@
+package node
+
+import (
+	"fmt"
+
+	"minroute/internal/graph"
+	"minroute/internal/transport"
+)
+
+// Fabric selects the transport a Mesh wires its links with.
+type Fabric string
+
+const (
+	// FabricInmem uses synchronous in-memory pipes — the reference
+	// transport, fastest and loss-free.
+	FabricInmem Fabric = "inmem"
+	// FabricTCP runs one loopback TCP listener per node and dials real
+	// sockets per link.
+	FabricTCP Fabric = "tcp"
+	// FabricUDP binds a loopback UDP socket pair per link with the ARQ
+	// layer on top; MeshConfig.Fault perturbs the datagrams beneath it.
+	FabricUDP Fabric = "udp"
+)
+
+// MeshConfig parameterizes an in-process mesh of live nodes.
+type MeshConfig struct {
+	Fabric Fabric
+	// Clock is shared by every node (required).
+	Clock transport.Clock
+	// CostOf maps a directed link to its MPDA cost (required) — the same
+	// closure shape protonet.BringUpAll takes, so live and simulated runs
+	// can share one cost model.
+	CostOf func(l *graph.Link) float64
+	// Fault perturbs every UDP link's datagrams (both directions, per-link
+	// derived seeds). Only valid with FabricUDP.
+	Fault transport.Fault
+	// ARQ tunes the UDP retransmission layer.
+	ARQ transport.ARQConfig
+	// HeartbeatEvery/DeadAfter configure every node's sessions.
+	HeartbeatEvery float64
+	DeadAfter      float64
+	// Trace, when non-nil, receives all nodes' events.
+	Trace *Trace
+}
+
+// Mesh is a full topology of live nodes running in one process, each
+// peered over its configured fabric. It is the live counterpart of
+// protonet.Net: same routers, real transports instead of emulated queues.
+type Mesh struct {
+	Nodes []*Node
+
+	degree    []int
+	listeners []*transport.TCPListener
+}
+
+// NewMesh builds one Node per graph node and connects every duplex link
+// over the configured fabric. The returned mesh is converging: use
+// AwaitConverged to wait for quiescence.
+func NewMesh(g *graph.Graph, cfg MeshConfig) (*Mesh, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("node: MeshConfig.Clock is required")
+	}
+	if cfg.CostOf == nil {
+		return nil, fmt.Errorf("node: MeshConfig.CostOf is required")
+	}
+	if cfg.Fault.Active() && cfg.Fabric != FabricUDP {
+		return nil, fmt.Errorf("node: fault injection requires FabricUDP, not %q", cfg.Fabric)
+	}
+	nn := g.NumNodes()
+	m := &Mesh{Nodes: make([]*Node, nn), degree: make([]int, nn)}
+	for i := 0; i < nn; i++ {
+		n, err := New(Config{
+			ID: graph.NodeID(i), Nodes: nn, Clock: cfg.Clock,
+			HeartbeatEvery: cfg.HeartbeatEvery, DeadAfter: cfg.DeadAfter,
+			Trace: cfg.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Nodes[i] = n
+	}
+
+	// Index directed links and count expected degrees.
+	dir := make(map[[2]graph.NodeID]*graph.Link)
+	for _, l := range g.Links() {
+		dir[[2]graph.NodeID{l.From, l.To}] = l
+		m.degree[l.From]++
+	}
+	costTo := func(from graph.NodeID) func(peer graph.NodeID) (float64, bool) {
+		return func(peer graph.NodeID) (float64, bool) {
+			l := dir[[2]graph.NodeID{from, peer}]
+			if l == nil {
+				return 0, false
+			}
+			return cfg.CostOf(l), true
+		}
+	}
+
+	switch cfg.Fabric {
+	case FabricInmem, "":
+		for _, l := range g.Links() {
+			a, b := l.From, l.To
+			if a >= b {
+				continue // one pipe per duplex link
+			}
+			ca, cb := transport.Pipe()
+			m.Nodes[a].AddPeer(ca, costTo(a))
+			m.Nodes[b].AddPeer(cb, costTo(b))
+		}
+	case FabricTCP:
+		for _, n := range m.Nodes {
+			l, err := transport.ListenTCP("127.0.0.1:0")
+			if err != nil {
+				m.Close()
+				return nil, err
+			}
+			m.listeners = append(m.listeners, l)
+			go acceptLoop(l, n, costTo(n.ID()))
+		}
+		for _, l := range g.Links() {
+			a, b := l.From, l.To
+			if a >= b {
+				continue // the lower endpoint dials
+			}
+			c, err := transport.DialTCP(m.listeners[b].Addr())
+			if err != nil {
+				m.Close()
+				return nil, err
+			}
+			m.Nodes[a].AddPeer(c, costTo(a))
+		}
+	case FabricUDP:
+		for _, l := range g.Links() {
+			a, b := l.From, l.To
+			if a >= b {
+				continue
+			}
+			ca, cb, err := udpLink(a, b, cfg)
+			if err != nil {
+				m.Close()
+				return nil, err
+			}
+			m.Nodes[a].AddPeer(ca, costTo(a))
+			m.Nodes[b].AddPeer(cb, costTo(b))
+		}
+	default:
+		return nil, fmt.Errorf("node: unknown fabric %q", cfg.Fabric)
+	}
+	return m, nil
+}
+
+// acceptLoop feeds inbound TCP sessions to the node until the listener
+// closes.
+func acceptLoop(l *transport.TCPListener, n *Node, costOf func(graph.NodeID) (float64, bool)) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		n.AddPeer(c, costOf)
+	}
+}
+
+// udpLink builds one duplex UDP+ARQ link between a and b, with per-link
+// per-direction fault seeds derived from the configured base seed so two
+// meshes with equal MeshConfig see identical perturbation sequences.
+func udpLink(a, b graph.NodeID, cfg MeshConfig) (ca, cb transport.Conn, err error) {
+	pa, err := transport.BindUDP("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	pb, err := transport.BindUDP("127.0.0.1:0")
+	if err != nil {
+		pa.Close()
+		return nil, nil, err
+	}
+	if err := pa.Connect(pb.LocalAddr()); err != nil {
+		pa.Close()
+		pb.Close()
+		return nil, nil, err
+	}
+	if err := pb.Connect(pa.LocalAddr()); err != nil {
+		pa.Close()
+		pb.Close()
+		return nil, nil, err
+	}
+	fa, fb := cfg.Fault, cfg.Fault
+	fa.Seed = cfg.Fault.Seed ^ (uint64(a)<<20 | uint64(b)<<4 | 1)
+	fb.Seed = cfg.Fault.Seed ^ (uint64(a)<<20 | uint64(b)<<4 | 2)
+	ca = transport.NewARQ(transport.WithFaults(pa, fa), cfg.ARQ, cfg.Clock)
+	cb = transport.NewARQ(transport.WithFaults(pb, fb), cfg.ARQ, cfg.Clock)
+	return ca, cb, nil
+}
+
+// Ready reports whether every expected peer session is up.
+func (m *Mesh) Ready() bool {
+	for i, n := range m.Nodes {
+		if n.PeerCount() != m.degree[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Passive reports whether every router is in the PASSIVE phase.
+func (m *Mesh) Passive() bool {
+	for _, n := range m.Nodes {
+		if !n.Passive() {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiescent reports whether every router is PASSIVE and every transport
+// window has drained — the live analogue of protonet's empty queues.
+func (m *Mesh) Quiescent() bool {
+	for _, n := range m.Nodes {
+		if !n.Passive() || n.Outstanding() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary concatenates every node's canonical state rendering in ID
+// order.
+func (m *Mesh) Summary() string {
+	s := ""
+	for _, n := range m.Nodes {
+		s += n.Summary()
+	}
+	return s
+}
+
+// Hash digests the mesh state for cross-validation against a simulator
+// reference.
+func (m *Mesh) Hash() string { return HashState(m.Summary()) }
+
+// AwaitConverged polls until the mesh is ready, all-PASSIVE, and its
+// state hash has held stable for `stable` consecutive polls, then until
+// it is also quiescent — all-PASSIVE plus a stable hash means no
+// entry-bearing LSU is in flight anywhere, so the state is final.
+// Quiescence is sampled only at the end of a stable streak rather than
+// demanded on every poll: under injected loss, periodic heartbeats keep
+// some ARQ retransmit window transiently non-empty almost all the time,
+// and requiring a long run of simultaneously-drained windows would
+// practically never terminate. sleep is called between polls (real sleep
+// under a wall clock, an Advance step under a virtual one). It fails
+// after maxPolls.
+func (m *Mesh) AwaitConverged(stable, maxPolls int, sleep func()) error {
+	prev := ""
+	run := 0
+	for i := 0; i < maxPolls; i++ {
+		if m.Ready() && m.Passive() {
+			h := m.Hash()
+			if h == prev {
+				run++
+			} else {
+				run = 1
+				prev = h
+			}
+			if run >= stable && m.Quiescent() {
+				return nil
+			}
+		} else {
+			run = 0
+			prev = ""
+		}
+		sleep()
+	}
+	return fmt.Errorf("node: mesh did not converge within %d polls", maxPolls)
+}
+
+// Close tears every node and listener down.
+func (m *Mesh) Close() {
+	for _, l := range m.listeners {
+		l.Close()
+	}
+	for _, n := range m.Nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+}

@@ -1,0 +1,535 @@
+// Package node hosts live MPDA routers: each Node wraps one
+// mpda.Router — the same state machine the simulator drives — behind a
+// transport.Clock and a set of peer sessions running over real
+// transports (in-memory pipes, TCP, or UDP with the ARQ layer).
+//
+// The runtime supplies exactly what the paper assumes and the simulator
+// emulates: reliable in-order LSU delivery (the transport's job), plus
+// neighbor up/down detection (this package's job, via a HELLO handshake
+// and heartbeat dead timers feeding LinkUp/LinkDown). Because MPDA's
+// converged state is schedule-independent — at quiescence every router
+// holds FD_j = D_j over the same link database — a live mesh with
+// nondeterministic goroutine scheduling must still land on the exact
+// distance tables and successor sets the deterministic simulator
+// computes. RouterSummary renders that state canonically so the two
+// worlds can be hash-compared; TestCrossValidation holds us to it.
+//
+// Concurrency model: one mutex per Node guards the router and peer
+// table. Peer read loops apply frames to the router under the lock;
+// outbound frames go through per-peer unbounded queues drained by writer
+// goroutines, so the router never blocks on a transport while holding
+// the lock (and no cross-node lock cycle can form).
+package node
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+	"minroute/internal/mpda"
+	"minroute/internal/telemetry"
+	"minroute/internal/transport"
+	"minroute/internal/wire"
+)
+
+// Trace is a concurrency-safe front for a telemetry.Tracer. The tracer
+// itself is single-threaded by design (the simulator needs no locks); the
+// live runtime is not, so every emission funnels through one mutex. A nil
+// *Trace discards events.
+type Trace struct {
+	mu sync.Mutex
+	tr *telemetry.Tracer
+}
+
+// NewTrace wraps tr; nil tr yields a no-op Trace.
+func NewTrace(tr *telemetry.Tracer) *Trace { return &Trace{tr: tr} }
+
+// Emit forwards ev to the tracer under the lock.
+func (t *Trace) Emit(ev telemetry.Event) {
+	if t == nil || t.tr == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tr.Emit(ev)
+	t.mu.Unlock()
+}
+
+// Tracer returns the wrapped tracer for export once the runtime is done
+// emitting.
+func (t *Trace) Tracer() *telemetry.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tr
+}
+
+// Config parameterizes one live node.
+type Config struct {
+	// ID is this router's node ID; Nodes is the ID-space size.
+	ID    graph.NodeID
+	Nodes int
+	// Clock drives heartbeats, dead timers, and telemetry timestamps:
+	// NewWallClock for live runs, NewVirtualClock for deterministic tests.
+	Clock transport.Clock
+	// HeartbeatEvery is the keepalive period in seconds (default 0.25).
+	HeartbeatEvery float64
+	// DeadAfter declares a silent peer down, in seconds (default 1.0 —
+	// four missed heartbeats at the default period).
+	DeadAfter float64
+	// Trace, when non-nil, receives session and protocol events.
+	Trace *Trace
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 0.25
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 1.0
+	}
+	return c
+}
+
+// peer is one live neighbor session.
+type peer struct {
+	id   graph.NodeID
+	cost float64
+	conn transport.Conn
+	out  *frameQueue
+	hb   transport.Timer
+	dead transport.Timer
+	// deadGen invalidates dead timers that fired concurrently with the
+	// frame arrival that reset them (Timer.Stop cannot un-run a callback
+	// already blocked on the node lock).
+	deadGen uint64
+	down    bool
+}
+
+// Node is one live MPDA router plus its peer sessions.
+type Node struct {
+	cfg Config
+	id  graph.NodeID
+	clk transport.Clock
+
+	mu          sync.Mutex
+	r           *mpda.Router
+	peers       map[graph.NodeID]*peer
+	closed      bool
+	activeSince float64
+}
+
+// New builds a node; the router starts PASSIVE with no peers.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("node: Config.Clock is required")
+	}
+	if cfg.Nodes <= 0 || int(cfg.ID) < 0 || int(cfg.ID) >= cfg.Nodes {
+		return nil, fmt.Errorf("node: ID %d outside ID space of %d nodes", cfg.ID, cfg.Nodes)
+	}
+	n := &Node{
+		cfg:   cfg,
+		id:    cfg.ID,
+		clk:   cfg.Clock,
+		peers: make(map[graph.NodeID]*peer),
+	}
+	n.r = mpda.NewRouter(cfg.ID, cfg.Nodes, n.sendLSU)
+	n.r.OnPhase = n.onPhase
+	n.r.OnCommit = func(changed int) {
+		n.emit(telemetry.KindTableCommit, graph.None, float64(changed), "")
+	}
+	return n, nil
+}
+
+// ID returns the node's router ID.
+func (n *Node) ID() graph.NodeID { return n.id }
+
+// emit sends one telemetry event stamped with the node clock. Callers may
+// hold n.mu; the Trace lock is independent.
+func (n *Node) emit(k telemetry.Kind, peer graph.NodeID, value float64, label string) {
+	if n.cfg.Trace == nil {
+		return
+	}
+	ev := telemetry.NewEvent(n.clk.Now(), k, n.id)
+	ev.Peer = peer
+	ev.Value = value
+	ev.Label = label
+	n.cfg.Trace.Emit(ev)
+}
+
+// onPhase observes router phase flips (always called under n.mu).
+func (n *Node) onPhase(active bool) {
+	now := n.clk.Now()
+	if active {
+		n.activeSince = now
+		n.emit(telemetry.KindPhaseActive, graph.None, 0, "")
+		return
+	}
+	n.emit(telemetry.KindPhasePassive, graph.None, now-n.activeSince, "")
+}
+
+// sendLSU is the router's Sender: called under n.mu whenever MPDA emits
+// an LSU toward a neighbor. A missing peer means the link raced down;
+// dropping matches the physical reality that a dead link carries nothing.
+func (n *Node) sendLSU(to graph.NodeID, m *lsu.Msg) {
+	p := n.peers[to]
+	if p == nil || p.down {
+		return
+	}
+	f, err := wire.NewLSU(m)
+	if err != nil {
+		return
+	}
+	n.emit(telemetry.KindLSUSend, to, float64(f.EncodedBytes()*8), "")
+	p.out.push(f)
+}
+
+// AddPeer runs a session over conn: it sends our HELLO, waits for the
+// peer's, resolves the link cost via costOf (returning false rejects the
+// peer and closes conn), and then brings the link up and serves it until
+// the connection dies, a BYE arrives, or the dead timer fires. AddPeer
+// returns immediately; the session runs on its own goroutines.
+func (n *Node) AddPeer(conn transport.Conn, costOf func(peer graph.NodeID) (float64, bool)) {
+	go n.session(conn, costOf)
+}
+
+func (n *Node) session(conn transport.Conn, costOf func(peer graph.NodeID) (float64, bool)) {
+	if err := conn.Send(wire.NewHello(n.id)); err != nil {
+		conn.Close()
+		return
+	}
+	f, err := conn.Recv()
+	if err != nil || f.Type != wire.TypeHello {
+		conn.Close()
+		return
+	}
+	pid, err := wire.HelloNode(f)
+	if err != nil || int(pid) >= n.cfg.Nodes || pid == n.id {
+		conn.Close()
+		return
+	}
+	cost, ok := costOf(pid)
+	if !ok {
+		conn.Close()
+		return
+	}
+
+	p := &peer{id: pid, cost: cost, conn: conn, out: newFrameQueue()}
+	n.mu.Lock()
+	if n.closed || n.peers[pid] != nil {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	n.peers[pid] = p
+	go n.writeLoop(p)
+	n.armHeartbeatLocked(p)
+	n.armDeadLocked(p)
+	n.emit(telemetry.KindPeerUp, pid, cost, "")
+	n.r.LinkUp(pid, cost)
+	n.mu.Unlock()
+
+	n.readLoop(p)
+}
+
+// writeLoop drains the peer's outbound queue onto the transport. It owns
+// conn.Close: the queue's drain-then-fail close semantics let a BYE
+// flush before the connection drops.
+func (n *Node) writeLoop(p *peer) {
+	for {
+		f, err := p.out.pop()
+		if err != nil {
+			p.conn.Close()
+			return
+		}
+		if p.conn.Send(f) != nil {
+			p.conn.Close()
+			return
+		}
+	}
+}
+
+// readLoop applies inbound frames to the router until the session ends.
+func (n *Node) readLoop(p *peer) {
+	for {
+		f, err := p.conn.Recv()
+		if err != nil {
+			n.peerDown(p, "closed")
+			return
+		}
+		n.mu.Lock()
+		if p.down {
+			n.mu.Unlock()
+			return
+		}
+		// Any traffic proves liveness: push the dead timer out.
+		p.dead.Stop()
+		n.armDeadLocked(p)
+		switch f.Type {
+		case wire.TypeLSU:
+			if m, err := wire.LSUMsg(f); err == nil {
+				n.emit(telemetry.KindLSURecv, p.id, float64(len(m.Entries)), "")
+				if m.Ack {
+					n.emit(telemetry.KindLSUAck, p.id, 0, "")
+				}
+				n.r.HandleLSU(m)
+			}
+		case wire.TypeBye:
+			n.peerDownLocked(p, "bye")
+			n.mu.Unlock()
+			return
+		default:
+			// HELLO repeats and heartbeats carry no protocol payload.
+		}
+		n.mu.Unlock()
+	}
+}
+
+// armHeartbeatLocked schedules the next keepalive; each firing re-arms.
+func (n *Node) armHeartbeatLocked(p *peer) {
+	p.hb = n.clk.AfterFunc(n.cfg.HeartbeatEvery, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if p.down {
+			return
+		}
+		p.out.push(wire.NewHeartbeat())
+		n.armHeartbeatLocked(p)
+	})
+}
+
+// armDeadLocked schedules the silent-peer deadline.
+func (n *Node) armDeadLocked(p *peer) {
+	p.deadGen++
+	gen := p.deadGen
+	p.dead = n.clk.AfterFunc(n.cfg.DeadAfter, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if gen != p.deadGen {
+			return // reset by traffic after this firing was committed
+		}
+		n.peerDownLocked(p, "timeout")
+	})
+}
+
+func (n *Node) peerDown(p *peer, reason string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peerDownLocked(p, reason)
+}
+
+// peerDownLocked tears one session down exactly once: stop timers,
+// unregister, tell the router, and let the writer drain and close.
+func (n *Node) peerDownLocked(p *peer, reason string) {
+	if p.down {
+		return
+	}
+	p.down = true
+	p.hb.Stop()
+	p.dead.Stop()
+	delete(n.peers, p.id)
+	n.emit(telemetry.KindPeerDown, p.id, 0, reason)
+	n.r.LinkDown(p.id)
+	p.out.close()
+}
+
+// ChangeCost applies a new cost for the adjacent link to peer k, as a
+// management-plane action (the live analogue of protonet.ChangeCost).
+func (n *Node) ChangeCost(k graph.NodeID, cost float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.peers[k]
+	if p == nil {
+		return fmt.Errorf("node %d: no live peer %d", n.id, k)
+	}
+	p.cost = cost
+	n.r.LinkCostChange(k, cost)
+	return nil
+}
+
+// Passive reports whether the router is in the PASSIVE phase.
+func (n *Node) Passive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.r.Active()
+}
+
+// PeerCount returns the number of live peer sessions.
+func (n *Node) PeerCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.peers)
+}
+
+// Peers returns the live peer IDs in ascending order.
+func (n *Node) Peers() []graph.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]graph.NodeID, 0, len(n.peers))
+	//lint:maporder-ok keys are collected and sorted before use
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Outstanding sums the unacknowledged transport windows across peers;
+// zero means every frame sent so far has provably reached its neighbor.
+func (n *Node) Outstanding() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	//lint:maporder-ok commutative integer sum; order cannot show
+	for _, p := range n.peers {
+		if o, ok := p.conn.(interface{ Outstanding() int }); ok {
+			total += o.Outstanding()
+		}
+	}
+	return total
+}
+
+// Summary renders this node's routing state canonically (see
+// RouterSummary).
+func (n *Node) Summary() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return RouterSummary(n.r)
+}
+
+// Close tears every session down, sending BYE so peers drop the link
+// immediately instead of waiting out their dead timers.
+func (n *Node) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	//lint:maporder-ok independent per-peer teardown; order is immaterial
+	for id, p := range n.peers {
+		p.down = true
+		p.hb.Stop()
+		p.dead.Stop()
+		delete(n.peers, id)
+		p.out.push(wire.NewBye())
+		p.out.close()
+	}
+}
+
+// DestState is one destination row of a routing-state snapshot.
+type DestState struct {
+	Dst        graph.NodeID   `json:"dst"`
+	Dist       float64        `json:"dist"`
+	Successors []graph.NodeID `json:"successors"`
+}
+
+// State is a JSON-friendly snapshot of one router's routing state.
+// Unreachable destinations (D_j = +Inf) are omitted: +Inf has no JSON
+// encoding, and absence is the natural rendering of "no route".
+type State struct {
+	ID    graph.NodeID `json:"id"`
+	Dests []DestState  `json:"dests"`
+}
+
+// State snapshots the node's routing state for machine consumption
+// (cmd/mdrnode's JSON dump).
+func (n *Node) State() State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := State{ID: n.id}
+	for j := 0; j < n.cfg.Nodes; j++ {
+		d := n.r.Dist(graph.NodeID(j))
+		if math.IsInf(d, 1) {
+			continue
+		}
+		succ := append([]graph.NodeID{}, n.r.Successors(graph.NodeID(j))...)
+		st.Dests = append(st.Dests, DestState{Dst: graph.NodeID(j), Dist: d, Successors: succ})
+	}
+	return st
+}
+
+// RouterSummary renders a router's converged state in the canonical
+// cross-validation format: one line per destination with the distance
+// D_j (%.9g, the repo's table idiom) and the successor set S_j ascending.
+// Live nodes and protonet-driven reference routers render through the
+// same function, so equal state means equal strings means equal hashes.
+func RouterSummary(r *mpda.Router) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "router %d\n", r.ID())
+	for j := 0; j < r.Tables().NumNodes(); j++ {
+		fmt.Fprintf(&b, " dst %d D=%.9g S=[", j, r.Dist(graph.NodeID(j)))
+		for i, k := range r.Successors(graph.NodeID(j)) {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", k)
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// HashState digests concatenated router summaries into a hex state hash.
+func HashState(summaries ...string) string {
+	h := sha256.New()
+	for _, s := range summaries {
+		h.Write([]byte(s))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// frameQueue is an unbounded closable FIFO of frames: push never blocks,
+// pop drains remaining items after close before failing — so a final BYE
+// still flushes.
+type frameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*wire.Frame
+	closed bool
+}
+
+func newFrameQueue() *frameQueue {
+	q := &frameQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *frameQueue) push(f *wire.Frame) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, f)
+	q.cond.Signal()
+	return true
+}
+
+func (q *frameQueue) pop() (*wire.Frame, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, transport.ErrClosed
+		}
+		q.cond.Wait()
+	}
+	f := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return f, nil
+}
+
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,223 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"minroute/internal/graph"
+	"minroute/internal/node"
+	"minroute/internal/telemetry"
+	"minroute/internal/transport"
+	"minroute/internal/wire"
+)
+
+// waitUntil polls cond with short real sleeps so asynchronous session
+// goroutines can settle; it fails the test on timeout.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func fixedCost(c float64) func(graph.NodeID) (float64, bool) {
+	return func(graph.NodeID) (float64, bool) { return c, true }
+}
+
+// TestHandshakeBringsLinkUp: two live nodes over an in-memory pipe
+// exchange HELLOs, bring the link up, and converge to each other's
+// distance.
+func TestHandshakeBringsLinkUp(t *testing.T) {
+	clk := node.NewVirtualClock()
+	a, err := node.New(node.Config{ID: 0, Nodes: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := node.New(node.Config{ID: 1, Nodes: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	ca, cb := transport.Pipe()
+	a.AddPeer(ca, fixedCost(2.5))
+	b.AddPeer(cb, fixedCost(2.5))
+
+	waitUntil(t, "both sessions up", func() bool {
+		return a.PeerCount() == 1 && b.PeerCount() == 1
+	})
+	waitUntil(t, "both routers passive", func() bool {
+		return a.Passive() && b.Passive()
+	})
+	if got := a.Peers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("a.Peers() = %v, want [1]", got)
+	}
+	wantA := "router 0\n dst 0 D=0 S=[]\n dst 1 D=2.5 S=[1]\n"
+	if s := a.Summary(); s != wantA {
+		t.Fatalf("a summary:\n%s\nwant:\n%s", s, wantA)
+	}
+	if h := node.HashState(a.Summary()); h != node.HashState(wantA) {
+		t.Fatalf("hash mismatch")
+	}
+}
+
+// TestHeartbeatKeepsSessionAlive: with traffic quiet, heartbeats alone
+// must keep resetting the dead timer across many DeadAfter periods.
+func TestHeartbeatKeepsSessionAlive(t *testing.T) {
+	clk := node.NewVirtualClock()
+	cfg := node.Config{Nodes: 2, Clock: clk, HeartbeatEvery: 0.25, DeadAfter: 1.0}
+	cfg.ID = 0
+	a, err := node.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ID = 1
+	b, err := node.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	ca, cb := transport.Pipe()
+	a.AddPeer(ca, fixedCost(1))
+	b.AddPeer(cb, fixedCost(1))
+	waitUntil(t, "sessions up", func() bool {
+		return a.PeerCount() == 1 && b.PeerCount() == 1
+	})
+
+	// Five virtual seconds — five DeadAfter periods — in heartbeat steps.
+	for i := 0; i < 20; i++ {
+		clk.Advance(0.25)
+		// Let the heartbeat frames propagate and reset the dead timers
+		// before virtual time moves again.
+		time.Sleep(2 * time.Millisecond)
+	}
+	if a.PeerCount() != 1 || b.PeerCount() != 1 {
+		t.Fatalf("sessions died under heartbeats: a=%d b=%d peers", a.PeerCount(), b.PeerCount())
+	}
+}
+
+// TestDeadTimerDropsSilentPeer: a peer that completes the handshake and
+// then goes silent is declared down after DeadAfter and removed from the
+// routing table, with peer_up/peer_down telemetry bracketing the session.
+func TestDeadTimerDropsSilentPeer(t *testing.T) {
+	clk := node.NewVirtualClock()
+	tr := node.NewTrace(telemetry.NewTracer(2, 0))
+	a, err := node.New(node.Config{ID: 0, Nodes: 2, Clock: clk, DeadAfter: 1.0, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	ca, cb := transport.Pipe()
+	a.AddPeer(ca, fixedCost(3))
+	// The test plays the remote peer by hand: handshake, then silence.
+	if err := cb.Send(wire.NewHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := cb.Recv(); err != nil || f.Type != wire.TypeHello {
+		t.Fatalf("expected node's HELLO, got %v, %v", f, err)
+	}
+	waitUntil(t, "session up", func() bool { return a.PeerCount() == 1 })
+
+	clk.Advance(1.5)
+	waitUntil(t, "silent peer dropped", func() bool { return a.PeerCount() == 0 })
+	waitUntil(t, "router forgets the link", func() bool {
+		return a.Passive() && a.Summary() == "router 0\n dst 0 D=0 S=[]\n dst 1 D=+Inf S=[]\n"
+	})
+
+	var up, down int
+	var downLabel string
+	for _, ev := range tr.Tracer().Events() {
+		switch ev.Kind {
+		case telemetry.KindPeerUp:
+			up++
+		case telemetry.KindPeerDown:
+			down++
+			downLabel = ev.Label
+		}
+	}
+	if up != 1 || down != 1 || downLabel != "timeout" {
+		t.Fatalf("telemetry: up=%d down=%d label=%q, want 1/1/timeout", up, down, downLabel)
+	}
+}
+
+// TestByeDropsPeerImmediately: a BYE tears the session down without
+// waiting out the dead timer.
+func TestByeDropsPeerImmediately(t *testing.T) {
+	clk := node.NewVirtualClock()
+	a, err := node.New(node.Config{ID: 0, Nodes: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	ca, cb := transport.Pipe()
+	a.AddPeer(ca, fixedCost(3))
+	if err := cb.Send(wire.NewHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "session up", func() bool { return a.PeerCount() == 1 })
+	if err := cb.Send(wire.NewBye()); err != nil {
+		t.Fatal(err)
+	}
+	// No clock advance: the drop must come from the BYE alone.
+	waitUntil(t, "peer dropped on BYE", func() bool { return a.PeerCount() == 0 })
+}
+
+// TestCostOfRejectsUnknownPeer: a session whose peer the cost callback
+// disowns never comes up.
+func TestCostOfRejectsUnknownPeer(t *testing.T) {
+	clk := node.NewVirtualClock()
+	a, err := node.New(node.Config{ID: 0, Nodes: 3, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	ca, cb := transport.Pipe()
+	a.AddPeer(ca, func(p graph.NodeID) (float64, bool) { return 0, false })
+	if err := cb.Send(wire.NewHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The node must close the connection instead of registering the peer.
+	waitUntil(t, "connection rejected", func() bool {
+		_, err := cb.Recv()
+		return err != nil
+	})
+	if a.PeerCount() != 0 {
+		t.Fatalf("rejected peer registered anyway")
+	}
+}
+
+// TestChangeCost: a management-plane cost change re-floods and settles on
+// the new distance.
+func TestChangeCost(t *testing.T) {
+	clk := node.NewVirtualClock()
+	a, _ := node.New(node.Config{ID: 0, Nodes: 2, Clock: clk})
+	b, _ := node.New(node.Config{ID: 1, Nodes: 2, Clock: clk})
+	defer a.Close()
+	defer b.Close()
+	ca, cb := transport.Pipe()
+	a.AddPeer(ca, fixedCost(2))
+	b.AddPeer(cb, fixedCost(2))
+	waitUntil(t, "converged", func() bool {
+		return a.PeerCount() == 1 && b.PeerCount() == 1 && a.Passive() && b.Passive()
+	})
+
+	if err := a.ChangeCost(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "new cost propagates", func() bool {
+		return a.Passive() && a.Summary() == "router 0\n dst 0 D=0 S=[]\n dst 1 D=5 S=[1]\n"
+	})
+	if err := a.ChangeCost(0, 1); err == nil {
+		t.Fatalf("ChangeCost to non-peer succeeded")
+	}
+}

@@ -1,0 +1,96 @@
+package node
+
+import (
+	"sync"
+
+	"minroute/internal/transport"
+)
+
+// VirtualClock is a manually advanced transport.Clock for deterministic
+// runtime tests: nothing fires until Advance, and due timers fire in
+// virtual-time order. It is the live runtime's stand-in for the
+// simulator's event clock — heartbeat and dead-timer behavior can be
+// tested to the exact second without real sleeping.
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    float64
+	timers []*virtualTimer
+}
+
+type virtualTimer struct {
+	c       *VirtualClock
+	at      float64
+	fn      func()
+	fired   bool
+	stopped bool
+}
+
+// NewVirtualClock returns a clock at time zero with no timers.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now returns the current virtual time in seconds.
+func (c *VirtualClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc schedules fn at now+d; it runs inside a future Advance call.
+func (c *VirtualClock) AfterFunc(d float64, fn func()) transport.Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &virtualTimer{c: c, at: c.now + d, fn: fn}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Stop implements transport.Timer.
+func (t *virtualTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Advance moves virtual time forward by d seconds, firing due timers in
+// time order. Callbacks run with the clock unlocked, so they may arm new
+// timers; those fire within the same Advance if they fall inside the
+// window.
+func (c *VirtualClock) Advance(d float64) {
+	c.mu.Lock()
+	target := c.now + d
+	for {
+		var next *virtualTimer
+		for _, t := range c.timers {
+			if t.stopped || t.fired || t.at > target {
+				continue
+			}
+			if next == nil || t.at < next.at {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		if next.at > c.now {
+			c.now = next.at
+		}
+		next.fired = true
+		fn := next.fn
+		c.mu.Unlock()
+		fn()
+		c.mu.Lock()
+	}
+	c.now = target
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.fired && !t.stopped {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+	c.mu.Unlock()
+}

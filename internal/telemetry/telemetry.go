@@ -76,6 +76,12 @@ const (
 	// fault.
 	KindFaultStart
 	KindFaultStop
+	// KindPeerUp/KindPeerDown are live-runtime neighbor session
+	// transitions (internal/node): handshake completed / dead timer
+	// expired or BYE received. Peer is the neighbor; for KindPeerUp,
+	// Value carries the configured link cost.
+	KindPeerUp
+	KindPeerDown
 
 	numKinds
 )
@@ -100,6 +106,8 @@ var kindNames = [numKinds]string{
 	KindDropDown:     "drop_down",
 	KindFaultStart:   "fault_start",
 	KindFaultStop:    "fault_stop",
+	KindPeerUp:       "peer_up",
+	KindPeerDown:     "peer_down",
 }
 
 // kindCats groups kinds into Chrome-trace categories.
@@ -121,6 +129,8 @@ var kindCats = [numKinds]string{
 	KindDropDown:     "data",
 	KindFaultStart:   "chaos",
 	KindFaultStop:    "chaos",
+	KindPeerUp:       "session",
+	KindPeerDown:     "session",
 }
 
 // String returns the canonical wire name.

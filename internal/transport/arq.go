@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"minroute/internal/wire"
+)
+
+// ARQConfig tunes the retransmission layer. The zero value selects the
+// defaults.
+type ARQConfig struct {
+	// RTO is the initial retransmission timeout in seconds (default
+	// 0.02). Each unanswered retransmission round doubles it.
+	RTO float64
+	// MaxRTO caps the exponential backoff (default 1.0).
+	MaxRTO float64
+	// ReorderCap bounds the receiver's out-of-order buffer in frames
+	// (default 4096); datagrams beyond it drop and are recovered by
+	// retransmission.
+	ReorderCap int
+}
+
+func (c ARQConfig) withDefaults() ARQConfig {
+	if c.RTO <= 0 {
+		c.RTO = 0.02
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 1.0
+	}
+	if c.ReorderCap <= 0 {
+		c.ReorderCap = 4096
+	}
+	return c
+}
+
+// sentFrame is one transmission awaiting acknowledgment.
+type sentFrame struct {
+	seq uint32
+	buf []byte
+}
+
+// ARQConn rebuilds the reliable, in-order, exactly-once contract on top of
+// an unreliable datagram channel — the live counterpart of the ARQ model
+// internal/protonet emulates beneath the simulator ("received correctly
+// and in the proper sequence" is what this layer restores, not what the
+// raw channel provides).
+//
+// Sender: every data frame gets the next sequence number and stays in the
+// unacked window until the peer's cumulative ACK covers it; a timer
+// retransmits the whole window with exponential backoff. Receiver:
+// in-order frames are delivered and cumulatively acknowledged; duplicates
+// (seq ≤ last delivered) are re-ACKed and discarded before the
+// application ever sees them; out-of-order frames wait in a bounded
+// reorder buffer. A duplicate therefore consumes channel attempts but
+// never surfaces as a protocol event — exactly the property MPDA's ACK
+// bookkeeping needs.
+type ARQConn struct {
+	p     Packet
+	clk   Clock
+	cfg   ARQConfig
+	recvQ *queue
+
+	mu       sync.Mutex
+	closed   bool
+	nextSeq  uint32
+	unacked  []sentFrame
+	rto      float64
+	timer    Timer
+	timerGen uint64
+
+	// Receiver state, owned exclusively by the readLoop goroutine.
+	lastDelivered uint32
+	reorder       map[uint32]*wire.Frame
+}
+
+// NewARQ layers the retransmission protocol over p using clk for timers.
+// It takes ownership of p.
+func NewARQ(p Packet, cfg ARQConfig, clk Clock) *ARQConn {
+	c := &ARQConn{
+		p:       p,
+		clk:     clk,
+		cfg:     cfg.withDefaults(),
+		recvQ:   newQueue(),
+		nextSeq: 1,
+		reorder: make(map[uint32]*wire.Frame),
+	}
+	c.rto = c.cfg.RTO
+	go c.readLoop()
+	return c
+}
+
+// DialUDP builds the production UDP transport: bind local, aim at remote,
+// ARQ on top. Both addresses must be concrete because UDP has no
+// connection handshake to discover the peer.
+func DialUDP(local, remote string, cfg ARQConfig, clk Clock) (Conn, error) {
+	p, err := BindUDP(local)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Connect(remote); err != nil {
+		p.Close()
+		return nil, err
+	}
+	return NewARQ(p, cfg, clk), nil
+}
+
+// seqLE is wraparound-safe serial comparison: a ≤ b on the sequence circle.
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// Send assigns the next sequence number, transmits, and arms the
+// retransmission timer. The frame is copied; the caller keeps ownership
+// of f.
+func (c *ARQConn) Send(f *wire.Frame) error {
+	if f.Type == wire.TypeAck {
+		return fmt.Errorf("transport: TypeAck is reserved for the ARQ layer")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	out := cloneFrame(f)
+	out.Seq = c.nextSeq
+	buf, err := out.Encode()
+	if err != nil {
+		return err
+	}
+	if len(buf) > MaxDatagram {
+		return fmt.Errorf("transport: frame of %d bytes exceeds datagram limit %d", len(buf), MaxDatagram)
+	}
+	c.nextSeq++
+	c.unacked = append(c.unacked, sentFrame{seq: out.Seq, buf: buf})
+	if len(c.unacked) == 1 {
+		c.rto = c.cfg.RTO
+		c.armLocked()
+	}
+	return c.p.WritePacket(buf)
+}
+
+// armLocked schedules the next retransmission round; the generation
+// counter invalidates stale timers.
+func (c *ARQConn) armLocked() {
+	c.timerGen++
+	gen := c.timerGen
+	c.timer = c.clk.AfterFunc(c.rto, func() { c.onTimer(gen) })
+}
+
+// onTimer retransmits the whole unacked window and backs off.
+func (c *ARQConn) onTimer(gen uint64) {
+	c.mu.Lock()
+	if c.closed || gen != c.timerGen || len(c.unacked) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	bufs := make([][]byte, len(c.unacked))
+	for i := range c.unacked {
+		bufs[i] = c.unacked[i].buf
+	}
+	c.rto *= 2
+	if c.rto > c.cfg.MaxRTO {
+		c.rto = c.cfg.MaxRTO
+	}
+	c.armLocked()
+	c.mu.Unlock()
+	for _, b := range bufs {
+		if err := c.p.WritePacket(b); err != nil {
+			return
+		}
+	}
+}
+
+// handleAck drops every unacked frame the cumulative ack covers.
+func (c *ARQConn) handleAck(cum uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	progressed := false
+	for len(c.unacked) > 0 && seqLE(c.unacked[0].seq, cum) {
+		c.unacked[0].buf = nil
+		c.unacked = c.unacked[1:]
+		progressed = true
+	}
+	if !progressed {
+		return
+	}
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.rto = c.cfg.RTO
+	if len(c.unacked) > 0 {
+		c.armLocked()
+	} else {
+		c.timerGen++ // invalidate any in-flight timer
+	}
+}
+
+// sendAck transmits a cumulative acknowledgment (best effort; losses are
+// absorbed by retransmission).
+func (c *ARQConn) sendAck(cum uint32) {
+	buf, err := wire.NewAck(cum).Encode()
+	if err != nil {
+		return
+	}
+	_ = c.p.WritePacket(buf)
+}
+
+// readLoop decodes datagrams and runs the receiver state machine.
+func (c *ARQConn) readLoop() {
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, err := c.p.ReadPacket(buf)
+		if err != nil {
+			c.teardown()
+			return
+		}
+		f, err := wire.Decode(buf[:n])
+		if err != nil {
+			continue // corrupt datagram: drop; retransmission recovers
+		}
+		if f.Type == wire.TypeAck {
+			c.handleAck(f.Seq)
+			continue
+		}
+		c.onData(cloneFrame(f))
+	}
+}
+
+// onData applies one received data frame to the receiver state.
+func (c *ARQConn) onData(f *wire.Frame) {
+	switch {
+	case seqLE(f.Seq, c.lastDelivered):
+		// Duplicate: the ARQ layer recognizes the repeated sequence number
+		// and discards it; the application never sees the copy. Re-ACK so
+		// the sender stops retransmitting.
+		c.sendAck(c.lastDelivered)
+	case f.Seq == c.lastDelivered+1:
+		c.recvQ.push(f)
+		c.lastDelivered++
+		for {
+			next, ok := c.reorder[c.lastDelivered+1]
+			if !ok {
+				break
+			}
+			delete(c.reorder, c.lastDelivered+1)
+			c.recvQ.push(next)
+			c.lastDelivered++
+		}
+		c.sendAck(c.lastDelivered)
+	default:
+		// Future frame: park it if the buffer has room; either way the
+		// cumulative ACK tells the sender where the gap starts.
+		if len(c.reorder) < c.cfg.ReorderCap {
+			c.reorder[f.Seq] = f
+		}
+		c.sendAck(c.lastDelivered)
+	}
+}
+
+// teardown closes the receive side after the packet channel dies.
+func (c *ARQConn) teardown() {
+	c.mu.Lock()
+	c.closed = true
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.timerGen++
+	c.mu.Unlock()
+	c.recvQ.close()
+}
+
+// Recv blocks for the next in-order frame.
+func (c *ARQConn) Recv() (*wire.Frame, error) { return c.recvQ.pop() }
+
+// Outstanding reports the number of frames awaiting acknowledgment —
+// zero means every Send so far has provably reached the peer.
+func (c *ARQConn) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.unacked)
+}
+
+// Close tears the connection down; blocked Recvs drain and then fail.
+func (c *ARQConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.timerGen++
+	c.mu.Unlock()
+	err := c.p.Close()
+	c.recvQ.close()
+	return err
+}

@@ -1,0 +1,111 @@
+package transport_test
+
+import (
+	"testing"
+
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+	"minroute/internal/transport"
+	"minroute/internal/wire"
+)
+
+// benchFrame is a typical MPDA update: an 8-entry LSU.
+func benchFrame(b *testing.B) *wire.Frame {
+	b.Helper()
+	m := &lsu.Msg{From: 3, Ack: true}
+	for i := 0; i < 8; i++ {
+		m.Entries = append(m.Entries, lsu.Entry{
+			Op: lsu.OpAdd, Head: graph.NodeID(i), Tail: graph.NodeID(i + 1), Cost: 1.5 * float64(i+1),
+		})
+	}
+	f, err := wire.NewLSU(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// pump measures one-way framed throughput: send b.N frames while a
+// background goroutine drains the far side.
+func pump(b *testing.B, tx, rx transport.Conn) {
+	b.Helper()
+	f := benchFrame(b)
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := rx.Recv(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Send(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+}
+
+func BenchmarkPipeThroughput(b *testing.B) {
+	x, y := transport.Pipe()
+	defer x.Close()
+	defer y.Close()
+	pump(b, x, y)
+}
+
+func BenchmarkTCPThroughput(b *testing.B) {
+	l, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	ch := make(chan transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			close(ch)
+			return
+		}
+		ch <- c
+	}()
+	x, err := transport.DialTCP(l.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer x.Close()
+	y, ok := <-ch
+	if !ok {
+		b.Fatal("accept failed")
+	}
+	defer y.Close()
+	pump(b, x, y)
+}
+
+func BenchmarkUDPARQThroughput(b *testing.B) {
+	pa, err := transport.BindUDP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := transport.BindUDP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pa.Connect(pb.LocalAddr()); err != nil {
+		b.Fatal(err)
+	}
+	if err := pb.Connect(pa.LocalAddr()); err != nil {
+		b.Fatal(err)
+	}
+	x := transport.NewARQ(pa, transport.ARQConfig{}, wallTimers{})
+	y := transport.NewARQ(pb, transport.ARQConfig{}, wallTimers{})
+	defer x.Close()
+	defer y.Close()
+	pump(b, x, y)
+}

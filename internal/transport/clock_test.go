@@ -1,0 +1,85 @@
+package transport
+
+import "sync"
+
+// fakeClock is a manually advanced Clock for deterministic ARQ tests:
+// nothing fires until the test calls Advance, and due timers fire in
+// virtual-time order.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    float64
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	c       *fakeClock
+	at      float64
+	fn      func()
+	fired   bool
+	stopped bool
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{} }
+
+func (c *fakeClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) AfterFunc(d float64, fn func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{c: c, at: c.now + d, fn: fn}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Advance moves virtual time forward by d, firing due timers in time
+// order. Callbacks run with the clock unlocked so they may arm new
+// timers, which fire in the same Advance if they fall within the window.
+func (c *fakeClock) Advance(d float64) {
+	c.mu.Lock()
+	target := c.now + d
+	for {
+		var next *fakeTimer
+		for _, t := range c.timers {
+			if t.stopped || t.fired || t.at > target {
+				continue
+			}
+			if next == nil || t.at < next.at {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		if next.at > c.now {
+			c.now = next.at
+		}
+		next.fired = true
+		fn := next.fn
+		c.mu.Unlock()
+		fn()
+		c.mu.Lock()
+	}
+	c.now = target
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.fired && !t.stopped {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+	c.mu.Unlock()
+}

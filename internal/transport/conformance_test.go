@@ -1,0 +1,103 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"minroute/internal/transport"
+	"minroute/internal/transport/conformancetest"
+)
+
+// wallTimers is a Clock backed by real timers for socket-level tests.
+// The ARQ only uses AfterFunc; Now is unused and fixed at zero so the
+// nowall check holds even here.
+type wallTimers struct{}
+
+func (wallTimers) Now() float64 { return 0 }
+
+func (wallTimers) AfterFunc(d float64, fn func()) transport.Timer {
+	return time.AfterFunc(time.Duration(d*float64(time.Second)), fn)
+}
+
+// TestConformanceInmem runs the suite against the synchronous in-memory
+// pipe — the reference transport.
+func TestConformanceInmem(t *testing.T) {
+	conformancetest.Run(t, func(t *testing.T) (a, b transport.Conn, cleanup func()) {
+		a, b = transport.Pipe()
+		return a, b, func() { a.Close(); b.Close() }
+	})
+}
+
+// TestConformanceTCP runs the suite over real loopback TCP sockets.
+func TestConformanceTCP(t *testing.T) {
+	conformancetest.Run(t, func(t *testing.T) (a, b transport.Conn, cleanup func()) {
+		l, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("ListenTCP: %v", err)
+		}
+		type acc struct {
+			c   transport.Conn
+			err error
+		}
+		ch := make(chan acc, 1)
+		go func() {
+			c, err := l.Accept()
+			ch <- acc{c, err}
+		}()
+		a, err = transport.DialTCP(l.Addr())
+		if err != nil {
+			t.Fatalf("DialTCP: %v", err)
+		}
+		got := <-ch
+		if got.err != nil {
+			t.Fatalf("Accept: %v", got.err)
+		}
+		b = got.c
+		return a, b, func() { a.Close(); b.Close(); l.Close() }
+	})
+}
+
+// udpPair binds two loopback UDP sockets aimed at each other, optionally
+// wraps both write paths with the seeded fault injector, and layers the
+// ARQ on top.
+func udpPair(t *testing.T, fault transport.Fault) (a, b transport.Conn, cleanup func()) {
+	t.Helper()
+	pa, err := transport.BindUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("BindUDP: %v", err)
+	}
+	pb, err := transport.BindUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("BindUDP: %v", err)
+	}
+	if err := pa.Connect(pb.LocalAddr()); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if err := pb.Connect(pa.LocalAddr()); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	// Fast retransmission keeps the faulted variants quick in wall time.
+	cfg := transport.ARQConfig{RTO: 0.005, MaxRTO: 0.1}
+	fa, fb := fault, fault
+	fa.Seed, fb.Seed = fault.Seed, fault.Seed+1
+	ca := transport.NewARQ(transport.WithFaults(pa, fa), cfg, wallTimers{})
+	cb := transport.NewARQ(transport.WithFaults(pb, fb), cfg, wallTimers{})
+	return ca, cb, func() { ca.Close(); cb.Close() }
+}
+
+// TestConformanceUDPARQ runs the suite over real loopback UDP sockets
+// with the ARQ restoring the reliable in-order contract.
+func TestConformanceUDPARQ(t *testing.T) {
+	conformancetest.Run(t, func(t *testing.T) (transport.Conn, transport.Conn, func()) {
+		return udpPair(t, transport.Fault{})
+	})
+}
+
+// TestConformanceUDPARQFaulty is the suite under seeded 20% loss, 20%
+// duplication, and 20% reordering injected on both write paths — the ARQ
+// must still present an exactly-once in-order channel.
+func TestConformanceUDPARQFaulty(t *testing.T) {
+	conformancetest.Run(t, func(t *testing.T) (transport.Conn, transport.Conn, func()) {
+		return udpPair(t, transport.Fault{Seed: 42, LossProb: 0.2, DupProb: 0.2, ReorderProb: 0.2})
+	})
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"sync"
+
+	"minroute/internal/rng"
+)
+
+// Fault configures seeded perturbation of a Packet channel. Probabilities
+// are per-datagram and applied on the write side, so ARQ retransmissions
+// run the same gauntlet as first transmissions. The zero value injects
+// nothing.
+type Fault struct {
+	// Seed drives the perturbation PRNG; equal seeds give equal fault
+	// sequences for the same write sequence.
+	Seed uint64
+	// LossProb drops the datagram.
+	LossProb float64
+	// DupProb sends the datagram twice.
+	DupProb float64
+	// ReorderProb holds the datagram back and releases it after the next
+	// one — a one-slot reordering, the classic UDP late-arrival.
+	ReorderProb float64
+}
+
+// Active reports whether any perturbation is configured.
+func (f Fault) Active() bool { return f.LossProb > 0 || f.DupProb > 0 || f.ReorderProb > 0 }
+
+// faultPacket wraps a Packet with seeded write-side faults.
+type faultPacket struct {
+	inner Packet
+	cfg   Fault
+
+	mu   sync.Mutex
+	r    *rng.Source
+	held []byte
+}
+
+// WithFaults wraps p with the seeded fault injector; a zero Fault returns
+// p unchanged.
+func WithFaults(p Packet, f Fault) Packet {
+	if !f.Active() {
+		return p
+	}
+	return &faultPacket{inner: p, cfg: f, r: rng.New(f.Seed)}
+}
+
+// WritePacket applies loss, then reorder, then duplication.
+func (fp *faultPacket) WritePacket(b []byte) error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.cfg.LossProb > 0 && fp.r.Float64() < fp.cfg.LossProb {
+		return nil // lost on the wire
+	}
+	if fp.held != nil {
+		// Release the held datagram after this one: the pair arrives
+		// swapped.
+		cur := append([]byte(nil), b...)
+		held := fp.held
+		fp.held = nil
+		if err := fp.inner.WritePacket(cur); err != nil {
+			return err
+		}
+		return fp.inner.WritePacket(held)
+	}
+	if fp.cfg.ReorderProb > 0 && fp.r.Float64() < fp.cfg.ReorderProb {
+		fp.held = append([]byte(nil), b...)
+		return nil
+	}
+	if err := fp.inner.WritePacket(b); err != nil {
+		return err
+	}
+	if fp.cfg.DupProb > 0 && fp.r.Float64() < fp.cfg.DupProb {
+		return fp.inner.WritePacket(b)
+	}
+	return nil
+}
+
+// ReadPacket passes through.
+func (fp *faultPacket) ReadPacket(b []byte) (int, error) { return fp.inner.ReadPacket(b) }
+
+// Close releases any held datagram (it counts as lost) and closes the
+// inner channel.
+func (fp *faultPacket) Close() error {
+	fp.mu.Lock()
+	fp.held = nil
+	fp.mu.Unlock()
+	return fp.inner.Close()
+}

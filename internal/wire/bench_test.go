@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"testing"
+
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+)
+
+// benchMsg is a typical MPDA flood: a handful of changed links plus the
+// protocol ACK flag.
+func benchMsg() *lsu.Msg {
+	m := &lsu.Msg{From: 5, Ack: true}
+	for i := 0; i < 8; i++ {
+		m.Entries = append(m.Entries, lsu.Entry{
+			Op: lsu.OpChange, Head: graph.NodeID(i), Tail: graph.NodeID(i + 1), Cost: float64(i) * 0.125,
+		})
+	}
+	return m
+}
+
+func BenchmarkFrameEncode(b *testing.B) {
+	f, err := NewLSU(benchMsg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Seq = 99
+	buf := make([]byte, 0, f.EncodedBytes())
+	b.ReportAllocs()
+	b.SetBytes(int64(f.EncodedBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := f.AppendEncode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	f, err := NewLSU(benchMsg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Seq = 99
+	buf, err := f.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

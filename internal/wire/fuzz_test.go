@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"minroute/internal/lsu"
+)
+
+// FuzzFrameRoundTrip asserts the frame decoder never panics on arbitrary
+// bytes and that every frame it accepts re-encodes to the identical wire
+// bytes — the canonical round trip. Mirrors internal/lsu's FuzzUnmarshal:
+// the decoder is the trust boundary between the network and the protocol,
+// so it must be total over arbitrary input.
+func FuzzFrameRoundTrip(f *testing.F) {
+	seedMsg := &lsu.Msg{From: 3, Ack: true, Entries: []lsu.Entry{
+		{Op: lsu.OpAdd, Head: 1, Tail: 2, Cost: 0.5},
+		{Op: lsu.OpDelete, Head: 9, Tail: 8},
+	}}
+	lf, err := NewLSU(seedMsg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	lf.Seq = 12345
+	for _, fr := range []*Frame{NewHello(7), NewHeartbeat(), NewBye(), lf, NewAck(9)} {
+		buf, err := fr.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x4D, 0x52, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := fr.Encode()
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(data, out) {
+			t.Fatalf("round trip not canonical:\n in  %x\n out %x", data, out)
+		}
+		// LSU payloads must decode into a well-formed message.
+		if fr.Type == TypeLSU {
+			if _, err := LSUMsg(fr); err != nil {
+				t.Fatalf("accepted LSU frame with undecodable payload: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,300 @@
+// Package wire defines the live peering frame format — the versioned,
+// length-prefixed, CRC-checked envelope that carries protocol messages
+// between real MPDA routers over a byte stream (TCP) or datagrams (UDP).
+//
+// The simulator's protonet harness delivers *lsu.Msg values by pointer and
+// simply assumes a reliable, in-order, exactly-once channel. A live peer
+// gets none of that for free: it needs framing to find message boundaries
+// in a TCP stream, integrity checking to reject corrupt datagrams, session
+// messages to establish and monitor neighbor liveness, and sequence numbers
+// for the UDP ARQ layer that rebuilds the reliable channel. This package is
+// that deployable envelope; internal/transport provides the channels and
+// internal/node the session logic.
+//
+// Frame layout (big endian):
+//
+//	offset size field
+//	0      2    magic 0x4D52 ("MR")
+//	2      1    version (1)
+//	3      1    type (Hello, Heartbeat, Bye, LSU, Ack)
+//	4      4    seq — ARQ sequence number (0 outside the ARQ layer)
+//	8      4    payload length (bounded by MaxPayload)
+//	12     n    payload
+//	12+n   4    CRC-32C (Castagnoli) over bytes [0, 12+n)
+//
+// Payload per type: Hello carries the 4-byte sender node ID; LSU carries
+// one lsu.Msg in its existing binary encoding; Heartbeat, Bye, and Ack are
+// empty (Ack's information is its cumulative seq). Decode validates the
+// payload against its type, so an accepted frame always re-encodes to the
+// identical bytes (the canonical round trip FuzzFrameRoundTrip pins).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"minroute/internal/graph"
+	"minroute/internal/lsu"
+)
+
+// Type discriminates the frame kinds.
+type Type uint8
+
+// Frame types. Hello opens a peer session and names the sender; Heartbeat
+// proves liveness between LSUs; Bye announces a graceful shutdown so the
+// peer can take the link down immediately instead of waiting out the dead
+// timer; LSU carries one link-state update; Ack is the ARQ layer's
+// cumulative acknowledgment (distinct from the protocol-level ACK flag
+// inside an LSU payload, which acknowledges MPDA flooding).
+const (
+	TypeHello Type = iota + 1
+	TypeHeartbeat
+	TypeBye
+	TypeLSU
+	TypeAck
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeHeartbeat:
+		return "heartbeat"
+	case TypeBye:
+		return "bye"
+	case TypeLSU:
+		return "lsu"
+	case TypeAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Wire-format constants.
+const (
+	// Magic marks the first two bytes of every frame.
+	Magic uint16 = 0x4D52
+	// Version is the only frame version this code speaks.
+	Version = 1
+	// HeaderBytes is the fixed header size before the payload.
+	HeaderBytes = 12
+	// TrailerBytes is the CRC suffix size.
+	TrailerBytes = 4
+	// MaxPayload bounds one frame's payload: an LSU at the lsu.MaxEntries
+	// limit (65535 entries of 17 bytes plus the 7-byte header) fits with
+	// room to spare, and a decoder can never be talked into a huge
+	// allocation by a corrupt length field.
+	MaxPayload = 1 << 21
+	// helloBytes is the exact Hello payload size (the sender node ID).
+	helloBytes = 4
+)
+
+// castagnoli is the CRC-32C table; crc32.MakeTable memoizes internally but
+// computing it once keeps the hot path obvious.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one decoded frame. Payload is owned by the frame.
+type Frame struct {
+	Type Type
+	// Seq is the ARQ sequence number: assigned by the UDP ARQ sender,
+	// zero on transports that are already reliable and in Ack frames it
+	// holds the cumulative acknowledgment.
+	Seq     uint32
+	Payload []byte
+}
+
+// EncodedBytes returns the encoded frame size.
+func (f *Frame) EncodedBytes() int { return HeaderBytes + len(f.Payload) + TrailerBytes }
+
+// AppendEncode appends the encoded frame to dst and returns the extended
+// slice. It errors when the payload exceeds MaxPayload or the type or
+// payload shape is invalid — the encoder refuses anything the decoder
+// would reject, keeping the format closed under round trips.
+func (f *Frame) AppendEncode(dst []byte) ([]byte, error) {
+	if err := validate(f.Type, f.Payload); err != nil {
+		return nil, err
+	}
+	start := len(dst)
+	var hdr [HeaderBytes]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = byte(f.Type)
+	binary.BigEndian.PutUint32(hdr[4:8], f.Seq)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Payload...)
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	var crc [TrailerBytes]byte
+	binary.BigEndian.PutUint32(crc[:], sum)
+	return append(dst, crc[:]...), nil
+}
+
+// Encode returns the encoded frame.
+func (f *Frame) Encode() ([]byte, error) {
+	return f.AppendEncode(make([]byte, 0, f.EncodedBytes()))
+}
+
+// validate checks the type/payload pairing shared by Encode and Decode.
+func validate(t Type, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("wire: payload %d exceeds limit %d", len(payload), MaxPayload)
+	}
+	switch t {
+	case TypeHello:
+		if len(payload) != helloBytes {
+			return fmt.Errorf("wire: hello payload must be %d bytes, got %d", helloBytes, len(payload))
+		}
+		if int32(binary.BigEndian.Uint32(payload)) < 0 {
+			return fmt.Errorf("wire: hello names negative node %d", int32(binary.BigEndian.Uint32(payload)))
+		}
+	case TypeHeartbeat, TypeBye, TypeAck:
+		if len(payload) != 0 {
+			return fmt.Errorf("wire: %s frame must have empty payload, got %d bytes", t, len(payload))
+		}
+	case TypeLSU:
+		if _, err := lsu.Unmarshal(payload); err != nil {
+			return fmt.Errorf("wire: lsu payload: %w", err)
+		}
+	default:
+		return fmt.Errorf("wire: unknown frame type %d", uint8(t))
+	}
+	return nil
+}
+
+// Decode parses one frame occupying exactly buf — the datagram shape. The
+// returned frame's payload aliases buf; callers that retain the frame past
+// the buffer's reuse must copy. Every length is bounds-checked before use
+// and the CRC is verified before any payload validation, so arbitrary
+// bytes can never panic the decoder.
+func Decode(buf []byte) (*Frame, error) {
+	f, n, err := decodeAt(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after frame", len(buf)-n)
+	}
+	return f, nil
+}
+
+// decodeAt parses one frame at the start of buf, returning it and the
+// number of bytes consumed.
+func decodeAt(buf []byte) (*Frame, int, error) {
+	if len(buf) < HeaderBytes+TrailerBytes {
+		return nil, 0, fmt.Errorf("wire: short frame (%d bytes)", len(buf))
+	}
+	if m := binary.BigEndian.Uint16(buf[0:2]); m != Magic {
+		return nil, 0, fmt.Errorf("wire: bad magic %#04x", m)
+	}
+	if buf[2] != Version {
+		return nil, 0, fmt.Errorf("wire: unsupported version %d", buf[2])
+	}
+	plen := binary.BigEndian.Uint32(buf[8:12])
+	if plen > MaxPayload {
+		return nil, 0, fmt.Errorf("wire: payload length %d exceeds limit %d", plen, MaxPayload)
+	}
+	total := HeaderBytes + int(plen) + TrailerBytes
+	if len(buf) < total {
+		return nil, 0, fmt.Errorf("wire: truncated frame: have %d of %d bytes", len(buf), total)
+	}
+	body := buf[:total-TrailerBytes]
+	want := binary.BigEndian.Uint32(buf[total-TrailerBytes : total])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, 0, fmt.Errorf("wire: CRC mismatch: computed %#08x, frame says %#08x", got, want)
+	}
+	f := &Frame{
+		Type:    Type(buf[3]),
+		Seq:     binary.BigEndian.Uint32(buf[4:8]),
+		Payload: body[HeaderBytes:],
+	}
+	if len(f.Payload) == 0 {
+		f.Payload = nil
+	}
+	if err := validate(f.Type, f.Payload); err != nil {
+		return nil, 0, err
+	}
+	return f, total, nil
+}
+
+// WriteFrame encodes f to w in one Write call (so a frame is never
+// interleaved when callers serialize on the writer).
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads exactly one frame from a byte stream. Stream corruption
+// (bad magic, bad CRC, oversized length) is returned as an error; the
+// stream should be torn down, because framing is lost. The returned
+// frame's payload is freshly allocated.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [HeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.BigEndian.Uint32(hdr[8:12])
+	if m := binary.BigEndian.Uint16(hdr[0:2]); m != Magic {
+		return nil, fmt.Errorf("wire: bad magic %#04x", m)
+	}
+	if plen > MaxPayload {
+		return nil, fmt.Errorf("wire: payload length %d exceeds limit %d", plen, MaxPayload)
+	}
+	buf := make([]byte, HeaderBytes+int(plen)+TrailerBytes)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[HeaderBytes:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// NewHello builds a Hello frame naming the sender.
+func NewHello(id graph.NodeID) *Frame {
+	p := make([]byte, helloBytes)
+	binary.BigEndian.PutUint32(p, uint32(id))
+	return &Frame{Type: TypeHello, Payload: p}
+}
+
+// HelloNode extracts the sender node ID from a Hello frame.
+func HelloNode(f *Frame) (graph.NodeID, error) {
+	if f.Type != TypeHello || len(f.Payload) != helloBytes {
+		return graph.None, fmt.Errorf("wire: not a hello frame (%s, %d bytes)", f.Type, len(f.Payload))
+	}
+	return graph.NodeID(binary.BigEndian.Uint32(f.Payload)), nil
+}
+
+// NewLSU wraps one link-state update.
+func NewLSU(m *lsu.Msg) (*Frame, error) {
+	p, err := m.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{Type: TypeLSU, Payload: p}, nil
+}
+
+// LSUMsg decodes the link-state update carried by an LSU frame.
+func LSUMsg(f *Frame) (*lsu.Msg, error) {
+	if f.Type != TypeLSU {
+		return nil, fmt.Errorf("wire: not an lsu frame (%s)", f.Type)
+	}
+	return lsu.Unmarshal(f.Payload)
+}
+
+// NewHeartbeat builds a liveness probe frame.
+func NewHeartbeat() *Frame { return &Frame{Type: TypeHeartbeat} }
+
+// NewBye builds a graceful-shutdown frame.
+func NewBye() *Frame { return &Frame{Type: TypeBye} }
+
+// NewAck builds an ARQ cumulative acknowledgment for sequence cum.
+func NewAck(cum uint32) *Frame { return &Frame{Type: TypeAck, Seq: cum} }
