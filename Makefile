@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet lint test race fuzz chaos bench bench-transport telemetry-guard
+.PHONY: check vet lint test race fuzz chaos bench bench-transport telemetry-guard codec-guard
 
 # The gate used before every commit: static checks, the full suite under the
 # race detector (the parallel figure harness makes -race meaningful), the
-# telemetry zero-overhead guard (alloc counts need a non-race run), and a
-# short coverage-guided fuzz of the chaos schedule decoder + oracles.
-check: vet lint race telemetry-guard fuzz
+# telemetry and codec zero-overhead guards (alloc counts need a non-race
+# run), and a short coverage-guided fuzz of the chaos schedule decoder +
+# oracles.
+check: vet lint race telemetry-guard codec-guard fuzz
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +28,13 @@ race:
 # without -race because AllocsPerRun is unreliable under the race detector.
 telemetry-guard:
 	$(GO) test -count=1 -run 'TestTelemetryDisabledZeroAlloc|TestDisabledProbesZeroAlloc|TestNilSinksAreSafe' ./internal/des ./internal/telemetry
+
+# Codec-overhead guard: frame encode into a reused buffer and scratch
+# decode must stay at 0 allocs/op (Decode itself <=1 for the returned
+# frame) — the live transport's per-frame budget. Non-race for the same
+# reason as telemetry-guard.
+codec-guard:
+	$(GO) test -count=1 -run TestCodecAllocBudget ./internal/wire
 
 # Ten seconds of coverage-guided fuzzing over random chaos schedules with
 # every invariant oracle armed, plus ten over the wire-format decoder (the

@@ -165,7 +165,7 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 	if err != nil {
 		return err
 	}
-	m, err := node.NewMesh(g, node.MeshConfig{
+	mc := node.MeshConfig{
 		Fabric:         node.Fabric(fabric),
 		Clock:          node.NewWallClock(),
 		CostOf:         protoCost,
@@ -173,7 +173,11 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 		ARQ:            transport.ARQConfig{RTO: 0.01, MaxRTO: 0.2},
 		HeartbeatEvery: hb, DeadAfter: dead,
 		Trace: trace,
-	})
+	}
+	if capt != nil {
+		mc.Metrics = capt.Metrics
+	}
+	m, err := node.NewMesh(g, mc)
 	if err != nil {
 		return err
 	}
@@ -189,6 +193,11 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 	if err := printJSON(out); err != nil {
 		return err
 	}
+	// Tear the mesh down before exporting: ARQ retransmit timers keep
+	// emitting telemetry for as long as the mesh is up, and the exporter
+	// reads the tracer unsynchronized (Close is idempotent, so the defer
+	// above is harmless).
+	m.Close()
 	return exportCapture(capt, telemetryDir, "mdrnode_mesh")
 }
 

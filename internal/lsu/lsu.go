@@ -104,6 +104,37 @@ func (m *Msg) Marshal() ([]byte, error) {
 	return buf, nil
 }
 
+// Validate checks that buf is a structurally valid encoded message without
+// materializing it — the allocation-free twin of Unmarshal, used by the
+// wire codec's hot path (a frame validator has no use for the decoded
+// message, only for the yes/no answer). Unmarshal accepts exactly the
+// inputs Validate accepts.
+func Validate(buf []byte) error {
+	if len(buf) < headerBytes {
+		return fmt.Errorf("lsu: short message (%d bytes)", len(buf))
+	}
+	if buf[4]&^flagAck != 0 {
+		return fmt.Errorf("lsu: unknown flags %#x", buf[4])
+	}
+	count := int(binary.BigEndian.Uint16(buf[5:7]))
+	if want := headerBytes + count*entryBytes; len(buf) != want {
+		return fmt.Errorf("lsu: length %d does not match %d entries", len(buf), count)
+	}
+	off := headerBytes
+	for i := 0; i < count; i++ {
+		op := Op(buf[off])
+		if op < OpAdd || op > OpDelete {
+			return fmt.Errorf("lsu: entry %d has invalid op %d", i, buf[off])
+		}
+		cost := math.Float64frombits(binary.BigEndian.Uint64(buf[off+9 : off+17]))
+		if op != OpDelete && (math.IsNaN(cost) || cost < 0) {
+			return fmt.Errorf("lsu: entry %d has invalid cost %v", i, cost)
+		}
+		off += entryBytes
+	}
+	return nil
+}
+
 // Unmarshal decodes a message, validating structure.
 func Unmarshal(buf []byte) (*Msg, error) {
 	if len(buf) < headerBytes {

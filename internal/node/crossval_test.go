@@ -49,7 +49,7 @@ func crossValidate(t *testing.T, g *graph.Graph, changes []costChange) {
 	compareStates(t, m, protoReference(t, g, changes))
 
 	var ups int
-	for _, ev := range tr.Tracer().Events() {
+	for _, ev := range tr.Events() {
 		switch ev.Kind {
 		case telemetry.KindPeerUp:
 			ups++

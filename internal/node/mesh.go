@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"minroute/internal/graph"
+	"minroute/internal/telemetry"
 	"minroute/internal/transport"
 )
 
@@ -41,6 +42,12 @@ type MeshConfig struct {
 	DeadAfter      float64
 	// Trace, when non-nil, receives all nodes' events.
 	Trace *Trace
+	// Metrics, when non-nil, receives per-link ARQ instruments on UDP
+	// fabrics: an `arq.retransmits.<a>-<b>` counter and an
+	// `arq.window.<a>-<b>` send-window occupancy gauge per directed link.
+	// Instruments are created at link setup; each is written only by its
+	// link's ARQ goroutines, so read them after Close (or quiescence).
+	Metrics *telemetry.Registry
 }
 
 // Mesh is a full topology of live nodes running in one process, each
@@ -187,9 +194,54 @@ func udpLink(a, b graph.NodeID, cfg MeshConfig) (ca, cb transport.Conn, err erro
 	fa, fb := cfg.Fault, cfg.Fault
 	fa.Seed = cfg.Fault.Seed ^ (uint64(a)<<20 | uint64(b)<<4 | 1)
 	fb.Seed = cfg.Fault.Seed ^ (uint64(a)<<20 | uint64(b)<<4 | 2)
-	ca = transport.NewARQ(transport.WithFaults(pa, fa), cfg.ARQ, cfg.Clock)
-	cb = transport.NewARQ(transport.WithFaults(pb, fb), cfg.ARQ, cfg.Clock)
+	arqA, arqB := cfg.ARQ, cfg.ARQ
+	arqA.Stats = arqStats(a, b, cfg)
+	arqB.Stats = arqStats(b, a, cfg)
+	ca = transport.NewARQ(transport.WithFaults(pa, fa), arqA, cfg.Clock)
+	cb = transport.NewARQ(transport.WithFaults(pb, fb), arqB, cfg.Clock)
 	return ca, cb, nil
+}
+
+// arqStats builds the observer for one directed UDP link, bridging the
+// transport's stats hooks into the mesh's trace and metrics. Returns nil
+// (observation fully disabled) when neither sink is configured.
+func arqStats(local, remote graph.NodeID, cfg MeshConfig) *transport.ARQStats {
+	if cfg.Trace == nil && cfg.Metrics == nil {
+		return nil
+	}
+	// Instruments are created here, at link setup on the mesh-building
+	// goroutine; the callbacks below only write through the pointers, so
+	// the registry maps are never mutated concurrently.
+	retx := cfg.Metrics.Counter(fmt.Sprintf("arq.retransmits.%d-%d", local, remote))
+	occ := cfg.Metrics.Gauge(fmt.Sprintf("arq.window.%d-%d", local, remote))
+	trace, clk := cfg.Trace, cfg.Clock
+	return &transport.ARQStats{
+		Retransmit: func(seq uint32, rto float64, fast bool) {
+			retx.Inc()
+			if trace != nil {
+				ev := telemetry.NewEvent(clk.Now(), telemetry.KindARQRetransmit, local)
+				ev.Peer = remote
+				ev.Value = rto
+				if fast {
+					ev.Label = "fast"
+				} else {
+					ev.Label = "rto"
+				}
+				trace.Emit(ev)
+			}
+		},
+		RTOUpdate: func(srtt, rttvar, rto float64) {
+			if trace != nil {
+				ev := telemetry.NewEvent(clk.Now(), telemetry.KindARQRTOUpdate, local)
+				ev.Peer = remote
+				ev.Value = rto
+				trace.Emit(ev)
+			}
+		},
+		Window: func(occupied, limit int) {
+			occ.Set(float64(occupied))
+		},
+	}
 }
 
 // Ready reports whether every expected peer session is up.

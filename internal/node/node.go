@@ -69,6 +69,19 @@ func (t *Trace) Tracer() *telemetry.Tracer {
 	return t.tr
 }
 
+// Events snapshots the merged event log under the lock — safe to call
+// while the runtime is still emitting (ARQ retransmit timers keep firing
+// between heartbeats for as long as a mesh is up, so readers cannot
+// assume emission has stopped).
+func (t *Trace) Events() []telemetry.Event {
+	if t == nil || t.tr == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tr.Events()
+}
+
 // Config parameterizes one live node.
 type Config struct {
 	// ID is this router's node ID; Nodes is the ID-space size.
@@ -243,14 +256,19 @@ func (n *Node) session(conn transport.Conn, costOf func(peer graph.NodeID) (floa
 // flush before the connection drops.
 func (n *Node) writeLoop(p *peer) {
 	for {
-		f, err := p.out.pop()
+		// Drain the whole burst in one lock round-trip and hand the frames
+		// to the transport back-to-back — on the ARQ that lets a flood of
+		// small LSUs coalesce into MTU-sized datagrams.
+		fs, err := p.out.popAll()
 		if err != nil {
 			p.conn.Close()
 			return
 		}
-		if p.conn.Send(f) != nil {
-			p.conn.Close()
-			return
+		for _, f := range fs {
+			if p.conn.Send(f) != nil {
+				p.conn.Close()
+				return
+			}
 		}
 	}
 }
@@ -525,6 +543,22 @@ func (q *frameQueue) pop() (*wire.Frame, error) {
 	q.items[0] = nil
 	q.items = q.items[1:]
 	return f, nil
+}
+
+// popAll blocks for at least one frame, then drains everything queued in
+// one call (still drain-then-fail after close, like pop).
+func (q *frameQueue) popAll() ([]*wire.Frame, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, transport.ErrClosed
+		}
+		q.cond.Wait()
+	}
+	items := q.items
+	q.items = nil
+	return items, nil
 }
 
 func (q *frameQueue) close() {

@@ -134,7 +134,7 @@ func TestDeadTimerDropsSilentPeer(t *testing.T) {
 
 	var up, down int
 	var downLabel string
-	for _, ev := range tr.Tracer().Events() {
+	for _, ev := range tr.Events() {
 		switch ev.Kind {
 		case telemetry.KindPeerUp:
 			up++

@@ -82,6 +82,14 @@ const (
 	// Value carries the configured link cost.
 	KindPeerUp
 	KindPeerDown
+	// KindARQRetransmit is one retransmitted ARQ frame on a live link
+	// (internal/transport): Peer is the neighbor, Value the frame's current
+	// RTO in seconds, and Label is "fast" for duplicate-SACK-triggered
+	// retransmissions or "rto" for timer expiries.
+	KindARQRetransmit
+	// KindARQRTOUpdate is an RTT sample moving a live link's retransmission
+	// estimator; Peer is the neighbor, Value the new RTO in seconds.
+	KindARQRTOUpdate
 
 	numKinds
 )
@@ -89,48 +97,52 @@ const (
 // kindNames is the canonical wire name per kind (JSONL "kind" field,
 // Chrome-trace event name).
 var kindNames = [numKinds]string{
-	KindPhaseActive:  "phase_active",
-	KindPhasePassive: "phase_passive",
-	KindLSUSend:      "lsu_send",
-	KindLSURecv:      "lsu_recv",
-	KindLSUAck:       "lsu_ack",
-	KindTableCommit:  "table_commit",
-	KindAllocInit:    "alloc_init",
-	KindAllocAdjust:  "alloc_adjust",
-	KindPktEnqueue:   "pkt_enqueue",
-	KindPktDeliver:   "pkt_deliver",
-	KindPktLost:      "pkt_lost",
-	KindDropNoRoute:  "drop_noroute",
-	KindDropHopLimit: "drop_hoplimit",
-	KindDropQueue:    "drop_queue",
-	KindDropDown:     "drop_down",
-	KindFaultStart:   "fault_start",
-	KindFaultStop:    "fault_stop",
-	KindPeerUp:       "peer_up",
-	KindPeerDown:     "peer_down",
+	KindPhaseActive:   "phase_active",
+	KindPhasePassive:  "phase_passive",
+	KindLSUSend:       "lsu_send",
+	KindLSURecv:       "lsu_recv",
+	KindLSUAck:        "lsu_ack",
+	KindTableCommit:   "table_commit",
+	KindAllocInit:     "alloc_init",
+	KindAllocAdjust:   "alloc_adjust",
+	KindPktEnqueue:    "pkt_enqueue",
+	KindPktDeliver:    "pkt_deliver",
+	KindPktLost:       "pkt_lost",
+	KindDropNoRoute:   "drop_noroute",
+	KindDropHopLimit:  "drop_hoplimit",
+	KindDropQueue:     "drop_queue",
+	KindDropDown:      "drop_down",
+	KindFaultStart:    "fault_start",
+	KindFaultStop:     "fault_stop",
+	KindPeerUp:        "peer_up",
+	KindPeerDown:      "peer_down",
+	KindARQRetransmit: "arq_retransmit",
+	KindARQRTOUpdate:  "arq_rto_update",
 }
 
 // kindCats groups kinds into Chrome-trace categories.
 var kindCats = [numKinds]string{
-	KindPhaseActive:  "mpda",
-	KindPhasePassive: "mpda",
-	KindLSUSend:      "control",
-	KindLSURecv:      "control",
-	KindLSUAck:       "control",
-	KindTableCommit:  "route",
-	KindAllocInit:    "route",
-	KindAllocAdjust:  "route",
-	KindPktEnqueue:   "data",
-	KindPktDeliver:   "data",
-	KindPktLost:      "data",
-	KindDropNoRoute:  "data",
-	KindDropHopLimit: "data",
-	KindDropQueue:    "data",
-	KindDropDown:     "data",
-	KindFaultStart:   "chaos",
-	KindFaultStop:    "chaos",
-	KindPeerUp:       "session",
-	KindPeerDown:     "session",
+	KindPhaseActive:   "mpda",
+	KindPhasePassive:  "mpda",
+	KindLSUSend:       "control",
+	KindLSURecv:       "control",
+	KindLSUAck:        "control",
+	KindTableCommit:   "route",
+	KindAllocInit:     "route",
+	KindAllocAdjust:   "route",
+	KindPktEnqueue:    "data",
+	KindPktDeliver:    "data",
+	KindPktLost:       "data",
+	KindDropNoRoute:   "data",
+	KindDropHopLimit:  "data",
+	KindDropQueue:     "data",
+	KindDropDown:      "data",
+	KindFaultStart:    "chaos",
+	KindFaultStop:     "chaos",
+	KindPeerUp:        "session",
+	KindPeerDown:      "session",
+	KindARQRetransmit: "transport",
+	KindARQRTOUpdate:  "transport",
 }
 
 // String returns the canonical wire name.
@@ -145,7 +157,8 @@ func (k Kind) String() string {
 func NumKinds() int { return int(numKinds) }
 
 // Category returns the kind's trace category: mpda, control, route, data,
-// or chaos. Exporters and renderers color and group by it.
+// chaos, session, or transport. Exporters and renderers color and group
+// by it.
 func (k Kind) Category() string {
 	if k < numKinds {
 		return kindCats[k]

@@ -103,8 +103,8 @@ func BenchmarkUDPARQThroughput(b *testing.B) {
 	if err := pb.Connect(pa.LocalAddr()); err != nil {
 		b.Fatal(err)
 	}
-	x := transport.NewARQ(pa, transport.ARQConfig{}, wallTimers{})
-	y := transport.NewARQ(pb, transport.ARQConfig{}, wallTimers{})
+	x := transport.NewARQ(pa, transport.ARQConfig{}, newWallTimers())
+	y := transport.NewARQ(pb, transport.ARQConfig{}, newWallTimers())
 	defer x.Close()
 	defer y.Close()
 	pump(b, x, y)

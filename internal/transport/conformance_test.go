@@ -8,12 +8,18 @@ import (
 	"minroute/internal/transport/conformancetest"
 )
 
-// wallTimers is a Clock backed by real timers for socket-level tests.
-// The ARQ only uses AfterFunc; Now is unused and fixed at zero so the
-// nowall check holds even here.
-type wallTimers struct{}
+// wallTimers is a Clock backed by real time for socket-level tests: the
+// ARQ's RTT estimator samples Now, so it must be a real monotonic reading
+// here, not a constant.
+type wallTimers struct{ epoch time.Time }
 
-func (wallTimers) Now() float64 { return 0 }
+func newWallTimers() wallTimers {
+	return wallTimers{epoch: time.Now()} //lint:nowall-ok test clock for real-socket conformance runs
+}
+
+func (w wallTimers) Now() float64 {
+	return time.Since(w.epoch).Seconds() //lint:nowall-ok test clock for real-socket conformance runs
+}
 
 func (wallTimers) AfterFunc(d float64, fn func()) transport.Timer {
 	return time.AfterFunc(time.Duration(d*float64(time.Second)), fn)
@@ -80,8 +86,8 @@ func udpPair(t *testing.T, fault transport.Fault) (a, b transport.Conn, cleanup 
 	cfg := transport.ARQConfig{RTO: 0.005, MaxRTO: 0.1}
 	fa, fb := fault, fault
 	fa.Seed, fb.Seed = fault.Seed, fault.Seed+1
-	ca := transport.NewARQ(transport.WithFaults(pa, fa), cfg, wallTimers{})
-	cb := transport.NewARQ(transport.WithFaults(pb, fb), cfg, wallTimers{})
+	ca := transport.NewARQ(transport.WithFaults(pa, fa), cfg, newWallTimers())
+	cb := transport.NewARQ(transport.WithFaults(pb, fb), cfg, newWallTimers())
 	return ca, cb, func() { ca.Close(); cb.Close() }
 }
 

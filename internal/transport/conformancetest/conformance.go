@@ -15,11 +15,16 @@
 //   - payload integrity for maximum-entry LSU frames,
 //   - sending from within receive processing (protonet's unbounded-queue
 //     property, which MPDA's ACK-triggered sends rely on),
+//   - a high bandwidth-delay-product burst that forces a deep in-flight
+//     window before the receiver drains,
+//   - an acknowledgment-heavy burst/pause pattern that, over duplicating
+//     channels, exercises the duplicate-SACK regime,
 //   - local close unblocking pending Recvs and failing later Sends.
 package conformancetest
 
 import (
 	"testing"
+	"time"
 
 	"minroute/internal/graph"
 	"minroute/internal/lsu"
@@ -39,6 +44,8 @@ func Run(t *testing.T, f Factory) {
 	t.Run("Bidirectional", func(t *testing.T) { bidirectional(t, f) })
 	t.Run("PayloadIntegrity", func(t *testing.T) { payloadIntegrity(t, f) })
 	t.Run("SendWithinRecv", func(t *testing.T) { sendWithinRecv(t, f) })
+	t.Run("HighBDP", func(t *testing.T) { highBDP(t, f) })
+	t.Run("DupSackStress", func(t *testing.T) { dupSackStress(t, f) })
 	t.Run("CloseSemantics", func(t *testing.T) { closeSemantics(t, f) })
 }
 
@@ -260,6 +267,71 @@ func sendWithinRecv(t *testing.T, f Factory) {
 	for i := 0; i < n; i++ {
 		if got := recvHello(t, a); got != i {
 			t.Fatalf("echo %d arrived as id %d", i, got)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+}
+
+// highBDP is the high bandwidth-delay-product scenario: a large burst is
+// queued while the receiver deliberately sits idle, so a windowed
+// transport must park a deep in-flight window (and, under injected loss
+// and reordering, repair holes all across it) before delivery resumes.
+// Every frame must still surface in order, exactly once.
+func highBDP(t *testing.T, f Factory) {
+	a, b, cleanup := f(t)
+	defer cleanup()
+	const n = 2000
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := a.Send(wire.NewHello(graph.NodeID(i))); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	// Let the sender run far ahead: everything it can put in flight is in
+	// flight (window-limited transports are now blocked in Send).
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < n; i++ {
+		if got := recvHello(t, b); got != i {
+			t.Fatalf("frame %d arrived as id %d under a deep window", i, got)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+}
+
+// dupSackStress drives many small bursts separated by pauses. The pauses
+// let the acknowledgment path fully drain between bursts, so transports
+// whose channel duplicates or reorders datagrams (the faulted UDP
+// factories) see runs of redundant acknowledgments for an unmoving window
+// — the duplicate-SACK regime, where a spurious fast retransmit must
+// surface as nothing worse than a discarded duplicate.
+func dupSackStress(t *testing.T, f Factory) {
+	a, b, cleanup := f(t)
+	defer cleanup()
+	const rounds, burst = 40, 25
+	errc := make(chan error, 1)
+	go func() {
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < burst; i++ {
+				if err := a.Send(wire.NewHello(graph.NodeID(r*burst + i))); err != nil {
+					errc <- err
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+		errc <- nil
+	}()
+	for i := 0; i < rounds*burst; i++ {
+		if got := recvHello(t, b); got != i {
+			t.Fatalf("frame %d arrived as id %d across ack-drained bursts", i, got)
 		}
 	}
 	if err := <-errc; err != nil {

@@ -46,6 +46,10 @@ func BindUDP(local string) (*UDPPacket, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Best effort: a selective-repeat window of coalesced datagrams can
+	// burst well past the platform default socket buffers.
+	_ = conn.SetReadBuffer(1 << 20)
+	_ = conn.SetWriteBuffer(1 << 20)
 	return &UDPPacket{conn: conn}, nil
 }
 

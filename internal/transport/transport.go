@@ -89,6 +89,20 @@ func (q *queue) push(f *wire.Frame) bool {
 	return true
 }
 
+// pushAll appends a batch of frames under one lock acquisition — the ARQ
+// receive path delivers every frame decoded from a coalesced datagram in
+// one call. Reports false when the queue is closed.
+func (q *queue) pushAll(fs []*wire.Frame) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.frames = append(q.frames, fs...)
+	q.cond.Broadcast()
+	return true
+}
+
 // pop blocks for the next frame; it returns ErrClosed once the queue is
 // closed and drained.
 func (q *queue) pop() (*wire.Frame, error) {

@@ -57,3 +57,26 @@ func BenchmarkFrameDecode(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFrameDecodeInto is the ARQ receive path's scratch decode: a
+// reused Frame, payload aliasing the datagram, zero allocations.
+func BenchmarkFrameDecodeInto(b *testing.B) {
+	f, err := NewLSU(benchMsg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Seq = 99
+	buf, err := f.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var g Frame
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(&g, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

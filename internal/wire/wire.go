@@ -16,7 +16,7 @@
 //	offset size field
 //	0      2    magic 0x4D52 ("MR")
 //	2      1    version (1)
-//	3      1    type (Hello, Heartbeat, Bye, LSU, Ack)
+//	3      1    type (Hello, Heartbeat, Bye, LSU, Ack, Sack)
 //	4      4    seq — ARQ sequence number (0 outside the ARQ layer)
 //	8      4    payload length (bounded by MaxPayload)
 //	12     n    payload
@@ -24,9 +24,13 @@
 //
 // Payload per type: Hello carries the 4-byte sender node ID; LSU carries
 // one lsu.Msg in its existing binary encoding; Heartbeat, Bye, and Ack are
-// empty (Ack's information is its cumulative seq). Decode validates the
-// payload against its type, so an accepted frame always re-encodes to the
-// identical bytes (the canonical round trip FuzzFrameRoundTrip pins).
+// empty (Ack's information is its cumulative seq); Sack carries the
+// selective-repeat out-of-order bitmap (cumulative ack in seq, bit i of
+// the payload acknowledging seq cum+1+i, trailing zero bytes trimmed).
+// Frames may be coalesced back to back inside one datagram; DecodeSome
+// iterates them. Decode validates the payload against its type, so an
+// accepted frame always re-encodes to the identical bytes (the canonical
+// round trip FuzzFrameRoundTrip pins).
 package wire
 
 import (
@@ -45,15 +49,18 @@ type Type uint8
 // Frame types. Hello opens a peer session and names the sender; Heartbeat
 // proves liveness between LSUs; Bye announces a graceful shutdown so the
 // peer can take the link down immediately instead of waiting out the dead
-// timer; LSU carries one link-state update; Ack is the ARQ layer's
+// timer; LSU carries one link-state update; Ack is the legacy go-back-N
 // cumulative acknowledgment (distinct from the protocol-level ACK flag
-// inside an LSU payload, which acknowledges MPDA flooding).
+// inside an LSU payload, which acknowledges MPDA flooding); Sack is the
+// selective-repeat acknowledgment — cumulative ack in Seq plus a bitmap of
+// out-of-order receptions in the payload.
 const (
 	TypeHello Type = iota + 1
 	TypeHeartbeat
 	TypeBye
 	TypeLSU
 	TypeAck
+	TypeSack
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +76,8 @@ func (t Type) String() string {
 		return "lsu"
 	case TypeAck:
 		return "ack"
+	case TypeSack:
+		return "sack"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -89,6 +98,10 @@ const (
 	// room to spare, and a decoder can never be talked into a huge
 	// allocation by a corrupt length field.
 	MaxPayload = 1 << 21
+	// MaxSackBytes bounds a Sack frame's bitmap payload: 512 bytes = 4096
+	// selectively acknowledgeable sequence numbers past the cumulative ack,
+	// matching the ARQ layer's default reorder-buffer bound.
+	MaxSackBytes = 512
 	// helloBytes is the exact Hello payload size (the sender node ID).
 	helloBytes = 4
 )
@@ -156,8 +169,18 @@ func validate(t Type, payload []byte) error {
 			return fmt.Errorf("wire: %s frame must have empty payload, got %d bytes", t, len(payload))
 		}
 	case TypeLSU:
-		if _, err := lsu.Unmarshal(payload); err != nil {
+		if err := lsu.Validate(payload); err != nil {
 			return fmt.Errorf("wire: lsu payload: %w", err)
+		}
+	case TypeSack:
+		if len(payload) > MaxSackBytes {
+			return fmt.Errorf("wire: sack bitmap %d exceeds limit %d", len(payload), MaxSackBytes)
+		}
+		if len(payload) > 0 && payload[len(payload)-1] == 0 {
+			// Canonical form: trailing zero bytes carry no information, so a
+			// valid encoder always trims them — keeping the format closed
+			// under the round trip the fuzzer pins.
+			return fmt.Errorf("wire: sack bitmap has trailing zero byte")
 		}
 	default:
 		return fmt.Errorf("wire: unknown frame type %d", uint8(t))
@@ -171,53 +194,71 @@ func validate(t Type, payload []byte) error {
 // and the CRC is verified before any payload validation, so arbitrary
 // bytes can never panic the decoder.
 func Decode(buf []byte) (*Frame, error) {
-	f, n, err := decodeAt(buf)
-	if err != nil {
+	f := new(Frame)
+	if err := DecodeInto(f, buf); err != nil {
 		return nil, err
-	}
-	if n != len(buf) {
-		return nil, fmt.Errorf("wire: %d trailing bytes after frame", len(buf)-n)
 	}
 	return f, nil
 }
 
-// decodeAt parses one frame at the start of buf, returning it and the
-// number of bytes consumed.
-func decodeAt(buf []byte) (*Frame, int, error) {
+// DecodeInto is the scratch-reuse form of Decode: it parses one frame
+// occupying exactly buf into the caller-provided f, allocating nothing.
+// The frame's payload aliases buf.
+func DecodeInto(f *Frame, buf []byte) error {
+	n, err := DecodeSome(f, buf)
+	if err != nil {
+		return err
+	}
+	if n != len(buf) {
+		return fmt.Errorf("wire: %d trailing bytes after frame", len(buf)-n)
+	}
+	return nil
+}
+
+// DecodeSome parses the first frame in buf into f, returning the number of
+// bytes consumed — the iteration primitive for coalesced datagrams, which
+// carry several frames back to back:
+//
+//	for len(buf) > 0 {
+//		n, err := wire.DecodeSome(&f, buf)
+//		if err != nil { break }
+//		handle(&f); buf = buf[n:]
+//	}
+//
+// Like DecodeInto it allocates nothing; the payload aliases buf.
+func DecodeSome(f *Frame, buf []byte) (int, error) {
 	if len(buf) < HeaderBytes+TrailerBytes {
-		return nil, 0, fmt.Errorf("wire: short frame (%d bytes)", len(buf))
+		return 0, fmt.Errorf("wire: short frame (%d bytes)", len(buf))
 	}
 	if m := binary.BigEndian.Uint16(buf[0:2]); m != Magic {
-		return nil, 0, fmt.Errorf("wire: bad magic %#04x", m)
+		return 0, fmt.Errorf("wire: bad magic %#04x", m)
 	}
 	if buf[2] != Version {
-		return nil, 0, fmt.Errorf("wire: unsupported version %d", buf[2])
+		return 0, fmt.Errorf("wire: unsupported version %d", buf[2])
 	}
 	plen := binary.BigEndian.Uint32(buf[8:12])
 	if plen > MaxPayload {
-		return nil, 0, fmt.Errorf("wire: payload length %d exceeds limit %d", plen, MaxPayload)
+		return 0, fmt.Errorf("wire: payload length %d exceeds limit %d", plen, MaxPayload)
 	}
 	total := HeaderBytes + int(plen) + TrailerBytes
 	if len(buf) < total {
-		return nil, 0, fmt.Errorf("wire: truncated frame: have %d of %d bytes", len(buf), total)
+		return 0, fmt.Errorf("wire: truncated frame: have %d of %d bytes", len(buf), total)
 	}
 	body := buf[:total-TrailerBytes]
 	want := binary.BigEndian.Uint32(buf[total-TrailerBytes : total])
 	if got := crc32.Checksum(body, castagnoli); got != want {
-		return nil, 0, fmt.Errorf("wire: CRC mismatch: computed %#08x, frame says %#08x", got, want)
+		return 0, fmt.Errorf("wire: CRC mismatch: computed %#08x, frame says %#08x", got, want)
 	}
-	f := &Frame{
-		Type:    Type(buf[3]),
-		Seq:     binary.BigEndian.Uint32(buf[4:8]),
-		Payload: body[HeaderBytes:],
-	}
+	f.Type = Type(buf[3])
+	f.Seq = binary.BigEndian.Uint32(buf[4:8])
+	f.Payload = body[HeaderBytes:]
 	if len(f.Payload) == 0 {
 		f.Payload = nil
 	}
 	if err := validate(f.Type, f.Payload); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	return f, total, nil
+	return total, nil
 }
 
 // WriteFrame encodes f to w in one Write call (so a frame is never
@@ -296,5 +337,26 @@ func NewHeartbeat() *Frame { return &Frame{Type: TypeHeartbeat} }
 // NewBye builds a graceful-shutdown frame.
 func NewBye() *Frame { return &Frame{Type: TypeBye} }
 
-// NewAck builds an ARQ cumulative acknowledgment for sequence cum.
+// NewAck builds a legacy cumulative acknowledgment for sequence cum.
 func NewAck(cum uint32) *Frame { return &Frame{Type: TypeAck, Seq: cum} }
+
+// NewSack builds a selective acknowledgment: cum is the cumulative ack
+// (every sequence ≤ cum received), and bit i of the bitmap — bit i%8 of
+// byte i/8 — reports out-of-order receipt of sequence cum+1+i. The bitmap
+// must be canonical (no trailing zero byte) and is owned by the frame
+// afterwards; nil means no out-of-order receptions.
+func NewSack(cum uint32, bitmap []byte) *Frame {
+	if len(bitmap) == 0 {
+		bitmap = nil
+	}
+	return &Frame{Type: TypeSack, Seq: cum, Payload: bitmap}
+}
+
+// SackBit reports whether bit i is set in a Sack bitmap (bits beyond the
+// bitmap are unset).
+func SackBit(bitmap []byte, i int) bool {
+	if i < 0 || i/8 >= len(bitmap) {
+		return false
+	}
+	return bitmap[i/8]&(1<<(uint(i)%8)) != 0
+}
