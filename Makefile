@@ -1,13 +1,17 @@
 GO ?= go
 
-.PHONY: check vet lint test race fuzz chaos bench bench-transport telemetry-guard codec-guard
+# Repetitions of the race-soak suite; CI trims this for wall time.
+RACE_SOAK_COUNT ?= 3
 
-# The gate used before every commit: static checks, the full suite under the
-# race detector (the parallel figure harness makes -race meaningful), the
+.PHONY: check vet lint lint-concurrency test race race-soak fuzz chaos bench bench-transport telemetry-guard codec-guard
+
+# The gate used before every commit: static checks (determinism and
+# concurrency lint suites), the full suite under the race detector (the
+# parallel figure harness and the live stack make -race meaningful), the
 # telemetry and codec zero-overhead guards (alloc counts need a non-race
 # run), and a short coverage-guided fuzz of the chaos schedule decoder +
 # oracles.
-check: vet lint race telemetry-guard codec-guard fuzz
+check: vet lint lint-concurrency race telemetry-guard codec-guard fuzz
 
 vet:
 	$(GO) vet ./...
@@ -17,11 +21,32 @@ vet:
 lint:
 	$(GO) run ./cmd/mdrcheck ./...
 
+# The concurrency-safety suite on its own (see DESIGN.md §13): lock
+# ordering, goroutine lifecycles, atomic/plain access mixing, and channel
+# close ownership. `make lint` already runs these as part of the full
+# analyzer set; this target is the fast loop while working on concurrent
+# code.
+lint-concurrency:
+	$(GO) run ./cmd/mdrcheck -checks lockorder,goroutine-lifecycle,atomicmix,chanown ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Concurrency soak: the packages that own goroutines (transport ARQ and
+# mesh, node sessions, simpool workers, telemetry sinks) repeated under
+# the race detector with elevated parallelism and allocator stress.
+# GOMAXPROCS=16 widens the interleaving space beyond the default runner
+# cores; GOGC=5 forces frequent collections so freed-then-reused memory
+# surfaces use-after-close bugs; clobberfree poisons freed blocks to turn
+# silent stale reads into loud crashes. Every test in these packages is
+# leaktest-armed, so the soak also hunts teardown leaks across -count
+# repetitions (goroutine IDs are never reused, making repeat runs an
+# accumulating leak trap).
+race-soak:
+	GOMAXPROCS=16 GOGC=5 GODEBUG=clobberfree=1 $(GO) test -race -count=$(RACE_SOAK_COUNT) -timeout 10m ./internal/transport/... ./internal/node ./internal/simpool ./internal/telemetry
 
 # Telemetry-overhead guard: with instrumentation disabled (no probes), the
 # DES packet hot loop and all sink methods must cost zero allocations. Runs

@@ -6,16 +6,22 @@
 //
 //	mdrcheck [-json] [-checks maporder,norand,...] [-list] [packages]
 //
-// With no packages, ./... is checked. Exit status: 0 clean, 1 findings,
-// 2 usage or load error (including packages that do not compile).
+// With no packages, ./... is checked. -list prints the roster grouped by
+// category: the determinism suite (seed-purity and ownership, DESIGN.md
+// §9) and the concurrency suite (lock order, goroutine lifecycle, atomic
+// discipline, channel ownership — DESIGN.md §13). Exit status: 0 clean,
+// 1 findings, 2 usage or load error (including packages that do not
+// compile).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"minroute/internal/lint"
 )
@@ -34,18 +40,14 @@ func main() {
 	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
 	list := flag.Bool("list", false, "list the available checks and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdrcheck [-json] [-checks list] [packages]\n\nChecks:\n")
-		for _, a := range lint.All {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
-		}
+		fmt.Fprintf(os.Stderr, "usage: mdrcheck [-json] [-checks list] [packages]\n\n")
+		printChecks(os.Stderr, "  ")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
-		for _, a := range lint.All {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
+		printChecks(os.Stdout, "")
 		return
 	}
 
@@ -93,6 +95,25 @@ func main() {
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
+	}
+}
+
+// printChecks writes the analyzer roster grouped by category, in the
+// categories' display order (determinism first, then concurrency), so the
+// help output mirrors the two suites documented in DESIGN.md §9 and §13.
+// Only the first line of each Doc is shown; the full rationale lives in
+// the analyzer source and DESIGN.md.
+func printChecks(w io.Writer, indent string) {
+	for _, cat := range lint.Categories() {
+		fmt.Fprintf(w, "%s%s checks:\n", indent, cat)
+		for _, a := range lint.All {
+			if a.Category != cat {
+				continue
+			}
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(w, "%s  %-19s %s\n", indent, a.Name, doc)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

@@ -1,0 +1,88 @@
+package leaktest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// recorder stands in for *testing.T so the test can observe what Check
+// reports without failing itself. Cleanup functions are captured and run
+// by hand; Errorf records instead of failing.
+type recorder struct {
+	testing.TB
+	cleanups []func()
+	failed   bool
+	msg      string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failed = true
+	r.msg = fmt.Sprintf(format, args...)
+}
+
+func (r *recorder) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestCatchesLeakedGoroutine(t *testing.T) {
+	r := &recorder{TB: t}
+	Check(r)
+
+	stop := make(chan struct{})
+	go func() { <-stop }()
+
+	r.runCleanups()
+	if !r.failed {
+		t.Fatal("leaktest did not report a goroutine parked past test end")
+	}
+	if !strings.Contains(r.msg, "TestCatchesLeakedGoroutine") {
+		t.Errorf("leak report does not name the leaking test's function:\n%s", r.msg)
+	}
+	close(stop)
+
+	// With the goroutine released, a fresh check over the same window must
+	// come back clean — this also proves the grace-period retry absorbs the
+	// just-released goroutine's exit.
+	r2 := &recorder{TB: t}
+	Check(r2)
+	r2.runCleanups()
+	if r2.failed {
+		t.Errorf("leaktest reported a leak after the goroutine was released:\n%s", r2.msg)
+	}
+}
+
+func TestCleanTestPasses(t *testing.T) {
+	r := &recorder{TB: t}
+	Check(r)
+
+	// A goroutine that finishes before the cleanup runs is not a leak.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+
+	r.runCleanups()
+	if r.failed {
+		t.Errorf("leaktest flagged a completed goroutine:\n%s", r.msg)
+	}
+}
+
+func TestSnapshotParsesIDs(t *testing.T) {
+	snap := snapshot()
+	if len(snap) == 0 {
+		t.Fatal("snapshot saw no goroutines; the parser is broken")
+	}
+	for id, stack := range snap { //lint:maporder-ok assertion per entry, no ordered output
+		for _, r := range id {
+			if r < '0' || r > '9' {
+				t.Errorf("goroutine ID %q is not numeric (stack: %.60s)", id, stack)
+			}
+		}
+	}
+}

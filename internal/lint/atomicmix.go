@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix flags memory locations accessed both atomically and with
+// plain loads/stores, and the WaitGroup.Add-inside-the-goroutine race.
+var AtomicMix = &Analyzer{
+	Name:     "atomicmix",
+	Category: CategoryConcurrency,
+	Doc: `flag fields mixed between sync/atomic and plain access, and WaitGroup.Add inside the spawned goroutine
+
+A word accessed through sync/atomic in one place and with a plain load or
+store in another has no synchronization between the two: the race detector
+only catches the interleavings that actually run, and the plain access can
+be torn or reordered on weak-memory targets. The check collects every
+variable or field whose address is passed to a sync/atomic function and
+reports every plain (non-atomic) access to the same declaration. Guarded
+plain access (under the lock that also orders the atomic side, or in an
+init path before the value escapes) is the usual false positive — suppress
+with the guard named in the reason.
+
+Separately: sync.WaitGroup.Add called inside the goroutine it accounts
+for races with the owner's Wait — Wait can find the counter at zero and
+return before the spawned goroutine ever runs Add. Add must happen on the
+spawning side, before the go statement.`,
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	type access struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var atomicOps []access                // &x passed to a sync/atomic call, by declaration
+	var plainOps []access                 // every other read/write of the same declarations
+	atomicArgs := make(map[ast.Node]bool) // the &x nodes themselves, to exclude below
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if obj := lockIdentity(p, u.X); obj != nil {
+					atomicOps = append(atomicOps, access{obj, u.Pos()})
+					atomicArgs[ast.Node(u)] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicOps) == 0 {
+		// Still run the WaitGroup check below even with no atomics in the
+		// package.
+		checkWGAddPlacement(p)
+		return
+	}
+
+	// Which declarations are atomic-accessed (ordered, deduped).
+	var atomicObjs []types.Object
+	for _, a := range atomicOps {
+		atomicObjs = appendObj(atomicObjs, a.obj)
+	}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if atomicArgs[n] {
+				return false // the sanctioned &x operand of the atomic call
+			}
+			var obj types.Object
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj = p.Info.Uses[n.Sel]
+			case *ast.Ident:
+				obj = p.Info.Uses[n]
+			default:
+				return true
+			}
+			if obj == nil || !containsObj(atomicObjs, obj) {
+				return true
+			}
+			plainOps = append(plainOps, access{obj, n.Pos()})
+			return false
+		})
+	}
+
+	sort.Slice(plainOps, func(i, j int) bool { return plainOps[i].pos < plainOps[j].pos })
+	for _, pl := range plainOps {
+		p.Reportf(pl.pos, "%s is accessed with sync/atomic elsewhere; this plain access races with it",
+			objDisplay(p, pl.obj))
+	}
+
+	checkWGAddPlacement(p)
+}
+
+// checkWGAddPlacement reports WaitGroup.Add calls lexically inside the
+// body a go statement spawns, unless the WaitGroup itself is declared
+// inside that body (a group local to the goroutine is the goroutine's own
+// business).
+func checkWGAddPlacement(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			inspectSkippingFuncLits(lit.Body, func(m ast.Node) {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				kind, obj := classifySyncCall(p, call)
+				if kind != syncWGAdd {
+					return
+				}
+				if obj != nil && lit.Body.Pos() <= obj.Pos() && obj.Pos() < lit.Body.End() {
+					return // group declared inside this goroutine
+				}
+				p.Reportf(call.Pos(), "WaitGroup.Add inside the spawned goroutine races with Wait; Add before the go statement")
+			})
+			return true
+		})
+	}
+}

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanOwn enforces single-owner close() discipline on channels.
+var ChanOwn = &Analyzer{
+	Name:     "chanown",
+	Category: CategoryConcurrency,
+	Doc: `flag close() calls that violate single-owner channel discipline
+
+Closing a channel is an ownership act: exactly one goroutine may do it,
+exactly once, and only after every sender is done — a second close or a
+send-after-close panics at runtime, in whatever interleaving finally hits
+it. The check flags the shapes that erode that guarantee: (1) closing a
+channel received as an ordinary function parameter (the callee cannot know
+it is the owner; a send-only chan<- parameter is exempt, since passing one
+is the documented hand-the-producer-the-pen idiom); (2) a channel field or
+package variable with more than one close site (each site is reported —
+two sites is one forgotten sync.Once away from a double-close panic; sites
+inside a sync.Once.Do literal are exempt); (3) close inside a loop body
+that can reach the close again — unless the closed expression is the
+loop's own range/init variable (closing each element of a collection) or
+the close is followed by a break/return on the same path.`,
+	Run: runChanOwn,
+}
+
+type closeSite struct {
+	obj  types.Object
+	pos  token.Pos
+	once bool // lexically inside a sync.Once.Do func literal
+}
+
+func runChanOwn(p *Pass) {
+	var sites []closeSite
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(p, call.Fun, "close") || len(call.Args) != 1 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			obj := lockIdentity(p, arg)
+
+			if obj != nil {
+				if v, ok := obj.(*types.Var); ok && paramOf(p, file, v) {
+					if !isSendOnlyChan(v) {
+						p.Reportf(call.Pos(), "close of parameter %s: the callee cannot own this channel (a chan<- parameter would mark the producer hand-off)", v.Name())
+					}
+				}
+				if isFieldOrPkgVar(obj) {
+					sites = append(sites, closeSite{obj: obj, pos: call.Pos(), once: inOnceDo(p, file, call)})
+				}
+			}
+
+			if loop, loopVarObjs := enclosingLoop(p, file, call); loop != nil {
+				if !closeTargetsLoopVar(p, arg, loopVarObjs) && !exitFollowsInLoop(file, loop, call) {
+					p.Reportf(call.Pos(), "close inside a loop can run more than once; a second close panics")
+				}
+			}
+			return true
+		})
+	}
+
+	// Multi-site check over fields and package variables.
+	var objs []types.Object
+	for _, s := range sites {
+		if !s.once {
+			objs = appendObj(objs, s.obj)
+		}
+	}
+	for _, obj := range objs {
+		var hits []closeSite
+		for _, s := range sites {
+			if s.obj == obj && !s.once {
+				hits = append(hits, s)
+			}
+		}
+		if len(hits) < 2 {
+			continue
+		}
+		sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+		for _, h := range hits {
+			p.Reportf(h.pos, "%s is closed at %d sites; a single owner should close once (guard with sync.Once or a closed flag)",
+				objDisplay(p, obj), len(hits))
+		}
+	}
+}
+
+// paramOf reports whether v is declared as a parameter of some function
+// or method in the file.
+func paramOf(p *Pass, file *ast.File, v *types.Var) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var params *ast.FieldList
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			params = n.Type.Params
+		case *ast.FuncLit:
+			params = n.Type.Params
+		default:
+			return true
+		}
+		for _, field := range params.List {
+			for _, name := range field.Names {
+				if p.Info.Defs[name] == types.Object(v) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSendOnlyChan(v *types.Var) bool {
+	ch, ok := v.Type().Underlying().(*types.Chan)
+	return ok && ch.Dir() == types.SendOnly
+}
+
+func isFieldOrPkgVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// inOnceDo reports whether the call sits inside a func literal passed to
+// sync.Once.Do.
+func inOnceDo(p *Pass, file *ast.File, target *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, _ := classifySyncCall(p, call); kind != syncOnceDo {
+			return true
+		}
+		if len(call.Args) != 1 {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if lit.Body.Pos() <= target.Pos() && target.End() <= lit.Body.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingLoop finds the innermost for/range statement containing the
+// call within the same function body (stopping at func-literal
+// boundaries), and the loop-scoped variables it declares per iteration.
+func enclosingLoop(p *Pass, file *ast.File, target *ast.CallExpr) (ast.Stmt, []types.Object) {
+	var loop ast.Stmt
+	var vars []types.Object
+	var visit func(n ast.Node, curLoop ast.Stmt, curVars []types.Object) bool
+	visit = func(n ast.Node, curLoop ast.Stmt, curVars []types.Object) bool {
+		stop := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if stop || m == nil {
+				return false
+			}
+			if m == ast.Node(target) {
+				loop, vars, stop = curLoop, curVars, true
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m.Pos() <= target.Pos() && target.End() <= m.End() {
+					// The literal runs on its own schedule; a close inside it
+					// is not "per loop iteration" of the outer loop.
+					stop = visit(m.Body, nil, nil)
+				}
+				return false
+			case *ast.ForStmt:
+				if m.Pos() <= target.Pos() && target.End() <= m.End() && m != n {
+					stop = visit(m.Body, m, loopVarsOf(p, m))
+					return false
+				}
+			case *ast.RangeStmt:
+				if m.Pos() <= target.Pos() && target.End() <= m.End() && m != n {
+					stop = visit(m.Body, m, loopVarsOf(p, m))
+					return false
+				}
+			}
+			return true
+		})
+		return stop
+	}
+	visit(file, nil, nil)
+	return loop, vars
+}
+
+// loopVarsOf returns the per-iteration variables a loop declares: range
+// key/value, or the for-init's := targets.
+func loopVarsOf(p *Pass, loop ast.Stmt) []types.Object {
+	var out []types.Object
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	switch loop := loop.(type) {
+	case *ast.RangeStmt:
+		if loop.Key != nil {
+			add(loop.Key)
+		}
+		if loop.Value != nil {
+			add(loop.Value)
+		}
+	case *ast.ForStmt:
+		if as, ok := loop.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+			for _, lhs := range as.Lhs {
+				add(lhs)
+			}
+		}
+	}
+	return out
+}
+
+// closeTargetsLoopVar reports whether the closed expression mentions one
+// of the loop's per-iteration variables — `for _, c := range chans {
+// close(c) }` closes len(chans) distinct channels, once each.
+func closeTargetsLoopVar(p *Pass, arg ast.Expr, loopVars []types.Object) bool {
+	if len(loopVars) == 0 {
+		return false
+	}
+	hit := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if containsObj(loopVars, p.Info.Uses[id]) {
+				hit = true
+			}
+		}
+		return !hit
+	})
+	return hit
+}
+
+// exitFollowsInLoop reports whether, in the statement list the close
+// belongs to, a return/break/panic/goto appears at or below the close's
+// position before the list ends — i.e. this iteration is the loop's last.
+// The innermost enclosing block wins, so `if done { close(c); break }`
+// sees its break even though the if sits inside the loop body.
+func exitFollowsInLoop(file *ast.File, loop ast.Stmt, target *ast.CallExpr) bool {
+	var list []ast.Stmt
+	ast.Inspect(loop, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for _, s := range block.List {
+			if s.Pos() <= target.Pos() && target.End() <= s.End() {
+				list = block.List // deeper blocks visit later and overwrite
+			}
+		}
+		return true
+	})
+	if list == nil {
+		return false
+	}
+	reached := false
+	for _, s := range list {
+		if s.Pos() <= target.Pos() && target.End() <= s.End() {
+			reached = true
+		}
+		if !reached {
+			continue
+		}
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

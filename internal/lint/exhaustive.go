@@ -16,9 +16,10 @@ import (
 // forwarding-plane switch in router.pickNextHop is exactly where a new
 // Mode would otherwise vanish into a zero value.
 var Exhaustive = &Analyzer{
-	Name: "exhaustive",
-	Doc:  "flags switches over project enums that miss constants and have no default",
-	Run:  runExhaustive,
+	Name:     "exhaustive",
+	Category: CategoryDeterminism,
+	Doc:      "flags switches over project enums that miss constants and have no default",
+	Run:      runExhaustive,
 }
 
 func runExhaustive(p *Pass) {

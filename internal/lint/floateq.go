@@ -15,9 +15,10 @@ import (
 // zero is a sentinel (e.g. "no traffic", "not yet sampled"), produced by
 // assignment rather than arithmetic — as is the x != x NaN probe.
 var FloatEq = &Analyzer{
-	Name: "floateq",
-	Doc:  "flags ==/!= between floating-point operands outside internal/numeric",
-	Run:  runFloatEq,
+	Name:     "floateq",
+	Category: CategoryDeterminism,
+	Doc:      "flags ==/!= between floating-point operands outside internal/numeric",
+	Run:      runFloatEq,
 }
 
 func runFloatEq(p *Pass) {

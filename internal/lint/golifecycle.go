@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLifecycle requires every spawned goroutine in non-test code to have a
+// provable stop path.
+var GoLifecycle = &Analyzer{
+	Name:     "goroutine-lifecycle",
+	Category: CategoryConcurrency,
+	Doc: `flag go statements whose goroutine has no provable stop path
+
+A goroutine with an unconditional for{} loop and no reachable exit runs
+until process death: it pins its closure (conns, buffers, tracer rings)
+and, in tests, leaks across cases — the PR 6 close-before-export race was
+exactly a writer goroutine outliving its owner. For each go statement the
+check resolves the spawned body (func literal, in-package function or
+method, or a local variable assigned one literal) and scans it plus its
+in-package callees for an infinite loop with no exit: no return, break out
+of the loop, goto, or panic terminates it. Finite bodies — run to
+completion and exit — are fine without any signal. Dynamic targets
+(func-typed parameters, interface methods) cannot be proven and are
+reported; suppress with the ownership argument (who stops it, how).
+Test files are exempt: the leaktest harness owns that side.`,
+	Run: runGoLifecycle,
+}
+
+func runGoLifecycle(p *Pass) {
+	bodies := funcBodies(p)
+	for _, f := range p.Files {
+		if isTestFile(p, f) {
+			continue
+		}
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(p, file, bodies, g)
+			return true
+		})
+	}
+}
+
+func isTestFile(p *Pass, f *ast.File) bool {
+	name := p.Fset.Position(f.Pos()).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+func checkGoStmt(p *Pass, file *ast.File, bodies map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) {
+	var root ast.Node
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		root = fun.Body
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			if fd, inPkg := bodies[fn]; inPkg {
+				root = fd.Body
+				break
+			}
+			// Named function from another package: no body to inspect.
+			p.Reportf(g.Pos(), "goroutine target %s is declared outside this package; stop path cannot be proven", fn.Name())
+			return
+		}
+		if lit := localFuncLit(p, file, fun); lit != nil {
+			root = lit.Body
+			break
+		}
+		p.Reportf(g.Pos(), "goroutine target %s is dynamic; stop path cannot be proven", fun.Name)
+		return
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fd, inPkg := bodies[fn]; inPkg {
+				root = fd.Body
+				break
+			}
+			p.Reportf(g.Pos(), "goroutine target %s is declared outside this package; stop path cannot be proven", fn.Name())
+			return
+		}
+		p.Reportf(g.Pos(), "goroutine target is dynamic; stop path cannot be proven")
+		return
+	default:
+		p.Reportf(g.Pos(), "goroutine target is dynamic; stop path cannot be proven")
+		return
+	}
+
+	// BFS from the spawned body over in-package callees, looking for an
+	// infinite loop with no exit. Func literals inside a body run only if
+	// something invokes them; a nested `go` is that nested statement's
+	// problem — each GoStmt is checked where it appears.
+	seen := make(map[ast.Node]bool)
+	queue := []ast.Node{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		var loopPos token.Pos
+		ast.Inspect(cur, func(n ast.Node) bool {
+			if loopPos.IsValid() {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return n.Body == cur
+			case *ast.GoStmt:
+				return false
+			case *ast.ForStmt:
+				if n.Cond == nil && !forStmtExits(n) {
+					loopPos = n.Pos()
+					return false
+				}
+			case *ast.CallExpr:
+				if fn := calleeOf(p, n); fn != nil {
+					if fd, inPkg := bodies[fn]; inPkg && !seen[ast.Node(fd.Body)] {
+						queue = append(queue, fd.Body)
+					}
+				}
+			}
+			return true
+		})
+		if loopPos.IsValid() {
+			p.Reportf(g.Pos(), "goroutine has no provable stop path: unconditional loop at %s never exits",
+				p.Fset.Position(loopPos))
+			return
+		}
+	}
+}
+
+// forStmtExits reports whether an unconditional for loop's body contains
+// any way out: a return, a break that targets it (unlabeled at its own
+// nesting level, or any labeled break/goto), or a call to panic.
+func forStmtExits(loop *ast.ForStmt) bool {
+	exits := false
+	var scan func(n ast.Node, breakable bool)
+	scan = func(n ast.Node, breakable bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if exits {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				// An unlabeled break inside binds to this inner statement, so
+				// rescan its subtree with breaks disarmed; returns and labeled
+				// branches still count.
+				for _, child := range childStmtLists(m) {
+					for _, s := range child {
+						scan(s, false)
+					}
+				}
+				return false
+			case *ast.BranchStmt:
+				switch m.Tok {
+				case token.BREAK:
+					if breakable || m.Label != nil {
+						exits = true
+					}
+				case token.GOTO:
+					exits = true
+				}
+			case *ast.CallExpr:
+				// panic unwinds out of the loop. Identifier check only: the
+				// fixture packages type-check, so a local shadow would be
+				// visible, and plumbing the Pass here isn't worth it.
+				if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					exits = true
+				}
+			}
+			return true
+		})
+	}
+	scan(loop.Body, true)
+	return exits
+}
+
+// childStmtLists returns the statement lists nested directly under a
+// loop/switch/select node, for rescan with unlabeled breaks disarmed.
+func childStmtLists(n ast.Node) [][]ast.Stmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return [][]ast.Stmt{n.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{n.Body.List}
+	case *ast.SwitchStmt:
+		return clauseBodies(n.Body)
+	case *ast.TypeSwitchStmt:
+		return clauseBodies(n.Body)
+	case *ast.SelectStmt:
+		return clauseBodies(n.Body)
+	}
+	return nil
+}
+
+func clauseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}

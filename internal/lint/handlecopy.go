@@ -23,9 +23,10 @@ import (
 //     outer struct read like methods of that struct and hide which event's
 //     generation is being consulted.
 var HandleCopy = &Analyzer{
-	Name: "handlecopy",
-	Doc:  "flags by-value use of pool-owned eventq.Event / des.Packet records and eventq.Handle embedding",
-	Run:  runHandleCopy,
+	Name:     "handlecopy",
+	Category: CategoryDeterminism,
+	Doc:      "flags by-value use of pool-owned eventq.Event / des.Packet records and eventq.Handle embedding",
+	Run:      runHandleCopy,
 }
 
 // poolStructName returns a short name ("eventq.Event" or "des.Packet") when

@@ -43,11 +43,31 @@ func (d Diag) String() string {
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass)
+	// Category groups the check for display: "determinism" (the PR 2 suite:
+	// seed-purity and ownership invariants) or "concurrency" (lock order,
+	// goroutine lifecycle, atomic discipline, channel ownership).
+	Category string
+	Run      func(*Pass)
+}
+
+// Analyzer categories, in display order: the determinism suite came first
+// and states the repo's core guarantee; the concurrency suite guards the
+// live stack and the parallel-DES work on top of it.
+const (
+	CategoryDeterminism = "determinism"
+	CategoryConcurrency = "concurrency"
+)
+
+// Categories returns the analyzer categories in display order.
+func Categories() []string {
+	return []string{CategoryDeterminism, CategoryConcurrency}
 }
 
 // All lists every analyzer in the suite, sorted by name.
-var All = []*Analyzer{FloatEq, HandleCopy, Exhaustive, MapOrder, NoRand, NoWall, TelemetryAttr}
+var All = []*Analyzer{
+	AtomicMix, ChanOwn, Exhaustive, FloatEq, GoLifecycle, HandleCopy,
+	LockOrder, MapOrder, NoRand, NoWall, TelemetryAttr,
+}
 
 // ByName returns the analyzers matching the comma-separated list, or All
 // for an empty list.

@@ -29,9 +29,10 @@ import (
 // Everything else needs a sort-before-range fix or a reasoned
 // `//lint:maporder-ok` annotation.
 var MapOrder = &Analyzer{
-	Name: "maporder",
-	Doc:  "flags range over map with an order-sensitive body",
-	Run:  runMapOrder,
+	Name:     "maporder",
+	Category: CategoryDeterminism,
+	Doc:      "flags range over map with an order-sensitive body",
+	Run:      runMapOrder,
 }
 
 func runMapOrder(p *Pass) {

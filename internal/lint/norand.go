@@ -18,11 +18,14 @@ import (
 // timers behind the transport.Clock interface, and its determinism is
 // established by cross-validation against the simulator rather than by
 // seed-purity. Wall-clock *reads* stay banned there by the separate
-// nowall check.
+// nowall check. internal/leaktest is also exempt: it polls the real
+// scheduler for goroutine exits, which is inherently wall-time work and
+// touches no simulation state.
 var NoRand = &Analyzer{
-	Name: "norand",
-	Doc:  "forbids math/rand, crypto/rand, and wall-clock reads in simulation code",
-	Run:  runNoRand,
+	Name:     "norand",
+	Category: CategoryDeterminism,
+	Doc:      "forbids math/rand, crypto/rand, and wall-clock reads in simulation code",
+	Run:      runNoRand,
 }
 
 // norandImports are the packages whose mere import marks ambient entropy.
@@ -46,7 +49,8 @@ func runNoRand(p *Pass) {
 		pathWithin(p.Path, "minroute/cmd") ||
 		pathWithin(p.Path, "minroute/examples") ||
 		pathWithin(p.Path, "minroute/internal/transport") ||
-		pathWithin(p.Path, "minroute/internal/node") {
+		pathWithin(p.Path, "minroute/internal/node") ||
+		p.Path == "minroute/internal/leaktest" {
 		return
 	}
 	for _, f := range p.Files {

@@ -18,9 +18,10 @@ import (
 // norand polices those in simulation code — because waiting is
 // observable behavior, while reading the clock is hidden state.
 var NoWall = &Analyzer{
-	Name: "nowall",
-	Doc:  "forbids time.Now and time.Since outside internal/node's wall-clock adapter",
-	Run:  runNoWall,
+	Name:     "nowall",
+	Category: CategoryDeterminism,
+	Doc:      "forbids time.Now and time.Since outside internal/node's wall-clock adapter",
+	Run:      runNoWall,
 }
 
 // noWallFuncs are the banned wall-clock readers.

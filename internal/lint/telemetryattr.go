@@ -16,9 +16,10 @@ import (
 // match one of the constants declared in the telemetry package itself
 // (which is exempt — it is where the taxonomy lives).
 var TelemetryAttr = &Analyzer{
-	Name: "telemetry-attr",
-	Doc:  "string literals typed as telemetry.AttrKey must match a declared attribute constant",
-	Run:  runTelemetryAttr,
+	Name:     "telemetry-attr",
+	Category: CategoryDeterminism,
+	Doc:      "string literals typed as telemetry.AttrKey must match a declared attribute constant",
+	Run:      runTelemetryAttr,
 }
 
 const telemetryPkgPath = "minroute/internal/telemetry"

@@ -1,0 +1,92 @@
+// Package fixture exercises the atomicmix analyzer: fields touched both
+// through sync/atomic and with plain loads/stores are flagged at every
+// plain access, and WaitGroup.Add inside the spawned goroutine is flagged
+// unless the group is the goroutine's own local.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits int64
+	cold int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want `plain access races`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `plain access races`
+}
+
+// cold is plain-only: no atomic access anywhere, so no finding.
+func (c *counter) coldRead() int64 {
+	return c.cold
+}
+
+// snapshot documents a guarded plain read with a reasoned suppression.
+type gauge struct {
+	mu  sync.Mutex
+	val int64
+}
+
+func (g *gauge) add(d int64) {
+	atomic.AddInt64(&g.val, d)
+}
+
+func (g *gauge) snapshot() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val //lint:atomicmix-ok fixture: pretend mu orders this read against every atomic writer
+}
+
+func (c *counter) reasonless() int64 {
+	//lint:atomicmix-ok
+	// want:-1 `no reason`
+	return c.hits // want `plain access races`
+}
+
+func spawnWorkers(n int) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want `Add inside the spawned goroutine`
+			defer wg.Done()
+		}()
+	}
+	return &wg
+}
+
+// A group declared inside the goroutine is that goroutine's own business.
+func fanOutLocal(jobs []func()) {
+	go func() {
+		var inner sync.WaitGroup
+		for _, j := range jobs {
+			inner.Add(1)
+			go func() {
+				defer inner.Done()
+				j()
+			}()
+		}
+		inner.Wait()
+	}()
+}
+
+// The correct shape: Add on the spawning side, before the go statement.
+func spawnCounted(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

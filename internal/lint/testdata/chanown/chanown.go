@@ -1,0 +1,89 @@
+// Package fixture exercises the chanown analyzer: close of an ordinary
+// channel parameter, double-close-prone multi-site closes of a field, and
+// close inside a loop are flagged; the chan<- producer hand-off,
+// per-element range closes, close-then-break, and sync.Once-guarded
+// closes stay quiet.
+package fixture
+
+import "sync"
+
+func drainAndClose(ch chan int) {
+	for range ch {
+	}
+	close(ch) // want `close of parameter`
+}
+
+// A send-only parameter is the documented producer hand-off: the callee
+// is being handed the pen, and closing is its job.
+func produce(out chan<- int, n int) {
+	for i := 0; i < n; i++ {
+		out <- i
+	}
+	close(out)
+}
+
+type worker struct {
+	done chan struct{}
+	once sync.Once
+	out  chan int
+}
+
+func (w *worker) stop() {
+	close(w.done) // want `closed at 2 sites`
+}
+
+func (w *worker) abort() {
+	close(w.done) // want `closed at 2 sites`
+}
+
+// Once-guarded close: multiple callers, still exactly one close.
+func (w *worker) shutdown() {
+	w.once.Do(func() {
+		close(w.out)
+	})
+}
+
+func closeEachRetry(chans []chan int, attempts int) {
+	for i := 0; i < attempts; i++ {
+		close(chans[0]) // want `close inside a loop`
+	}
+}
+
+// Closing each element of a collection closes len(chans) distinct
+// channels, once each.
+func closeAll(chans []chan int) {
+	for _, c := range chans {
+		close(c)
+	}
+}
+
+// close-then-break: the iteration that closes is the loop's last.
+func closeFirstIdle(pool []chan int, idle func(int) bool) {
+	for i := range pool {
+		if idle(i) {
+			close(pool[i])
+			break
+		}
+	}
+}
+
+type relay struct {
+	feed chan int
+}
+
+// closeA carries the reasoned suppression; closeB shows the multi-site
+// diagnostic still firing on the unsuppressed site.
+func (r *relay) closeA() {
+	//lint:chanown-ok fixture: pretend closeA and closeB are serialized by the relay's single-threaded owner
+	close(r.feed)
+}
+
+func (r *relay) closeB() {
+	close(r.feed) // want `closed at 2 sites`
+}
+
+func closeParamReasonless(ch chan int) {
+	//lint:chanown-ok
+	// want:-1 `no reason`
+	close(ch) // want `close of parameter`
+}

@@ -1,0 +1,100 @@
+// Package fixture exercises the goroutine-lifecycle analyzer: spawned
+// bodies whose unconditional loops never exit (the leaked-goroutine
+// shapes) are flagged at the go statement; loops with a done-channel
+// return, error exit, or finite bodies stay quiet.
+package fixture
+
+func spawnLit() {
+	go func() { // want `no provable stop path`
+		for {
+		}
+	}()
+}
+
+func hotLoop() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+func spawnNamed() {
+	go hotLoop() // want `no provable stop path`
+}
+
+func outer() {
+	hotLoop()
+}
+
+func spawnTransitive() {
+	go outer() // want `no provable stop path`
+}
+
+func spawnLocal() {
+	loop := func() {
+		for {
+		}
+	}
+	go loop() // want `no provable stop path`
+}
+
+// The break binds to the switch, not the loop: still no way out.
+func spawnSwitchBreak(events chan int) {
+	go func() { // want `no provable stop path`
+		for {
+			switch <-events {
+			case 0:
+				break
+			}
+		}
+	}()
+}
+
+func spawnDynamic(f func()) {
+	go f() // want `dynamic`
+}
+
+// The quiet shapes.
+
+func spawnDone(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+func spawnErrExit(next func() error) {
+	go func() {
+		for {
+			if next() != nil {
+				return
+			}
+		}
+	}()
+}
+
+func spawnFinite(results chan<- int) {
+	go func() {
+		results <- 42
+	}()
+}
+
+func spawnManaged(f func()) {
+	//lint:goroutine-lifecycle-ok fixture: pretend the scheduler owns f and joins it on Close
+	go f()
+}
+
+func spawnReasonless() {
+	//lint:goroutine-lifecycle-ok
+	// want:-1 `no reason`
+	go func() { // want `no provable stop path`
+		for {
+		}
+	}()
+}

@@ -1,0 +1,156 @@
+// Package fixture exercises the lockorder analyzer: a deliberate
+// lock-order deadlock, re-acquisition, leaked locks on early returns,
+// blocking channel ops and WaitGroup.Wait while holding a mutex — and the
+// shapes that must stay quiet: defer-paired locks, branch-balanced
+// unlocks, Cond.Wait, and select with a default.
+package fixture
+
+import "sync"
+
+type server struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	mu sync.Mutex
+	q  chan int
+}
+
+// abOrder and baOrder together are the deliberate deadlock: two goroutines
+// running them concurrently can each hold one lock and wait for the other.
+func (s *server) abOrder() {
+	s.a.Lock()
+	s.b.Lock() // want `lock-order cycle`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *server) baOrder() {
+	s.b.Lock()
+	s.a.Lock() // want `lock-order cycle`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+func (s *server) reLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `already held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) locked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func (s *server) viaCall() {
+	s.mu.Lock()
+	s.locked() // want `may re-acquire`
+	s.mu.Unlock()
+}
+
+func (s *server) leakyReturn(fail bool) int {
+	s.mu.Lock()
+	if fail {
+		return -1 // want `no Unlock on this path`
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *server) blockingSend(v int) {
+	s.mu.Lock()
+	s.q <- v // want `channel send while`
+	s.mu.Unlock()
+}
+
+func (s *server) blockingRecv() int {
+	s.mu.Lock()
+	v := <-s.q // want `channel receive while`
+	s.mu.Unlock()
+	return v
+}
+
+func (s *server) blockingSelect() {
+	s.mu.Lock()
+	select { // want `select with no default`
+	case v := <-s.q:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+type pool struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+func (p *pool) drainLocked() {
+	p.mu.Lock()
+	p.wg.Wait() // want `WaitGroup.Wait while`
+	p.mu.Unlock()
+}
+
+func (s *server) loopAcquire(n int) {
+	for i := 0; i < n; i++ { // want `loop body acquires`
+		s.mu.Lock()
+	}
+}
+
+// The quiet shapes.
+
+func (s *server) deferUnlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.q)
+}
+
+func (s *server) branchBalanced(flag bool) int {
+	s.mu.Lock()
+	if flag {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *server) tryNotify() {
+	s.mu.Lock()
+	select {
+	case s.q <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+type condQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (c *condQueue) waitNonEmpty() {
+	c.mu.Lock()
+	for c.n == 0 {
+		c.cond.Wait()
+	}
+	c.n--
+	c.mu.Unlock()
+}
+
+// handoffLocked returns with the lock deliberately held; the reasoned
+// suppression documents the hand-off contract and silences the leak
+// diagnostic on the return.
+func (s *server) handoffLocked() *server {
+	s.mu.Lock()
+	//lint:lockorder-ok fixture: caller receives s.mu held and must call Unlock
+	return s
+}
+
+func (s *server) reasonless(v int) {
+	s.mu.Lock()
+	s.q <- v //lint:lockorder-ok
+	// want:-1 `no reason`
+	// want:-2 `channel send while`
+	s.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package node_test
 
 import (
+	"minroute/internal/leaktest"
 	"testing"
 
 	"minroute/internal/graph"
@@ -89,6 +90,7 @@ func changeSet(g *graph.Graph) []costChange {
 
 // TestCrossValidationNET1: the 10-router two-cluster topology.
 func TestCrossValidationNET1(t *testing.T) {
+	leaktest.Check(t)
 	g := topo.NET1().Graph
 	crossValidate(t, g, changeSet(g))
 }
@@ -97,6 +99,7 @@ func TestCrossValidationNET1(t *testing.T) {
 // routers, 39 duplex links, 78 UDP sockets, every datagram running the 20% fault
 // gauntlet.
 func TestCrossValidationCAIRN(t *testing.T) {
+	leaktest.Check(t)
 	if testing.Short() {
 		t.Skip("CAIRN live mesh is not a -short test")
 	}

@@ -1,6 +1,7 @@
 package node_test
 
 import (
+	"minroute/internal/leaktest"
 	"testing"
 	"time"
 
@@ -75,6 +76,7 @@ func compareStates(t *testing.T, m *node.Mesh, ref []string) {
 // against the protonet reference: three different transports and three
 // different delivery schedules, one final state.
 func TestMeshFabricsAgreeNET1(t *testing.T) {
+	leaktest.Check(t)
 	g := topo.NET1().Graph
 	ref := protoReference(t, g, nil)
 	for _, fabric := range []node.Fabric{node.FabricInmem, node.FabricTCP, node.FabricUDP} {

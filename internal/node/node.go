@@ -130,9 +130,14 @@ type Node struct {
 	id  graph.NodeID
 	clk transport.Clock
 
-	mu          sync.Mutex
-	r           *mpda.Router
-	peers       map[graph.NodeID]*peer
+	mu    sync.Mutex
+	r     *mpda.Router
+	peers map[graph.NodeID]*peer
+	// handshakes holds conns whose session is still in the HELLO exchange:
+	// not yet in peers, but already owning a goroutine that may be blocked
+	// in Recv. Close reaps them directly — without this, a session whose
+	// remote never answers outlives the node (goroutine + conn leak).
+	handshakes  map[transport.Conn]struct{}
 	closed      bool
 	activeSince float64
 }
@@ -147,10 +152,11 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("node: ID %d outside ID space of %d nodes", cfg.ID, cfg.Nodes)
 	}
 	n := &Node{
-		cfg:   cfg,
-		id:    cfg.ID,
-		clk:   cfg.Clock,
-		peers: make(map[graph.NodeID]*peer),
+		cfg:        cfg,
+		id:         cfg.ID,
+		clk:        cfg.Clock,
+		peers:      make(map[graph.NodeID]*peer),
+		handshakes: make(map[transport.Conn]struct{}),
 	}
 	n.r = mpda.NewRouter(cfg.ID, cfg.Nodes, n.sendLSU)
 	n.r.OnPhase = n.onPhase
@@ -209,32 +215,52 @@ func (n *Node) sendLSU(to graph.NodeID, m *lsu.Msg) {
 // the connection dies, a BYE arrives, or the dead timer fires. AddPeer
 // returns immediately; the session runs on its own goroutines.
 func (n *Node) AddPeer(conn transport.Conn, costOf func(peer graph.NodeID) (float64, bool)) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	// Register before spawning: from this point Close knows about the conn
+	// and will close it, which unblocks a session stuck in the handshake.
+	n.handshakes[conn] = struct{}{}
+	n.mu.Unlock()
 	go n.session(conn, costOf)
+}
+
+// abortHandshake retires a handshake that failed before the peer
+// registered: drop it from the reap set and release the conn.
+func (n *Node) abortHandshake(conn transport.Conn) {
+	n.mu.Lock()
+	delete(n.handshakes, conn)
+	n.mu.Unlock()
+	conn.Close()
 }
 
 func (n *Node) session(conn transport.Conn, costOf func(peer graph.NodeID) (float64, bool)) {
 	if err := conn.Send(wire.NewHello(n.id)); err != nil {
-		conn.Close()
+		n.abortHandshake(conn)
 		return
 	}
 	f, err := conn.Recv()
 	if err != nil || f.Type != wire.TypeHello {
-		conn.Close()
+		n.abortHandshake(conn)
 		return
 	}
 	pid, err := wire.HelloNode(f)
 	if err != nil || int(pid) >= n.cfg.Nodes || pid == n.id {
-		conn.Close()
+		n.abortHandshake(conn)
 		return
 	}
 	cost, ok := costOf(pid)
 	if !ok {
-		conn.Close()
+		n.abortHandshake(conn)
 		return
 	}
 
 	p := &peer{id: pid, cost: cost, conn: conn, out: newFrameQueue()}
 	n.mu.Lock()
+	delete(n.handshakes, conn)
 	if n.closed || n.peers[pid] != nil {
 		n.mu.Unlock()
 		conn.Close()
@@ -438,6 +464,13 @@ func (n *Node) Close() {
 		delete(n.peers, id)
 		p.out.push(wire.NewBye())
 		p.out.close()
+	}
+	// Reap sessions still mid-handshake: closing the conn errors out their
+	// pending Send/Recv, and the session exits through abortHandshake.
+	//lint:maporder-ok independent conn teardown; order is immaterial
+	for conn := range n.handshakes {
+		delete(n.handshakes, conn)
+		conn.Close()
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"minroute/internal/graph"
+	"minroute/internal/leaktest"
 	"minroute/internal/node"
 	"minroute/internal/telemetry"
 	"minroute/internal/transport"
@@ -32,6 +33,7 @@ func fixedCost(c float64) func(graph.NodeID) (float64, bool) {
 // exchange HELLOs, bring the link up, and converge to each other's
 // distance.
 func TestHandshakeBringsLinkUp(t *testing.T) {
+	leaktest.Check(t)
 	clk := node.NewVirtualClock()
 	a, err := node.New(node.Config{ID: 0, Nodes: 2, Clock: clk})
 	if err != nil {
@@ -69,6 +71,7 @@ func TestHandshakeBringsLinkUp(t *testing.T) {
 // TestHeartbeatKeepsSessionAlive: with traffic quiet, heartbeats alone
 // must keep resetting the dead timer across many DeadAfter periods.
 func TestHeartbeatKeepsSessionAlive(t *testing.T) {
+	leaktest.Check(t)
 	clk := node.NewVirtualClock()
 	cfg := node.Config{Nodes: 2, Clock: clk, HeartbeatEvery: 0.25, DeadAfter: 1.0}
 	cfg.ID = 0
@@ -107,6 +110,7 @@ func TestHeartbeatKeepsSessionAlive(t *testing.T) {
 // then goes silent is declared down after DeadAfter and removed from the
 // routing table, with peer_up/peer_down telemetry bracketing the session.
 func TestDeadTimerDropsSilentPeer(t *testing.T) {
+	leaktest.Check(t)
 	clk := node.NewVirtualClock()
 	tr := node.NewTrace(telemetry.NewTracer(2, 0))
 	a, err := node.New(node.Config{ID: 0, Nodes: 2, Clock: clk, DeadAfter: 1.0, Trace: tr})
@@ -151,6 +155,7 @@ func TestDeadTimerDropsSilentPeer(t *testing.T) {
 // TestByeDropsPeerImmediately: a BYE tears the session down without
 // waiting out the dead timer.
 func TestByeDropsPeerImmediately(t *testing.T) {
+	leaktest.Check(t)
 	clk := node.NewVirtualClock()
 	a, err := node.New(node.Config{ID: 0, Nodes: 2, Clock: clk})
 	if err != nil {
@@ -174,6 +179,7 @@ func TestByeDropsPeerImmediately(t *testing.T) {
 // TestCostOfRejectsUnknownPeer: a session whose peer the cost callback
 // disowns never comes up.
 func TestCostOfRejectsUnknownPeer(t *testing.T) {
+	leaktest.Check(t)
 	clk := node.NewVirtualClock()
 	a, err := node.New(node.Config{ID: 0, Nodes: 3, Clock: clk})
 	if err != nil {
@@ -199,6 +205,7 @@ func TestCostOfRejectsUnknownPeer(t *testing.T) {
 // TestChangeCost: a management-plane cost change re-floods and settles on
 // the new distance.
 func TestChangeCost(t *testing.T) {
+	leaktest.Check(t)
 	clk := node.NewVirtualClock()
 	a, _ := node.New(node.Config{ID: 0, Nodes: 2, Clock: clk})
 	b, _ := node.New(node.Config{ID: 1, Nodes: 2, Clock: clk})
@@ -220,4 +227,56 @@ func TestChangeCost(t *testing.T) {
 	if err := a.ChangeCost(0, 1); err == nil {
 		t.Fatalf("ChangeCost to non-peer succeeded")
 	}
+}
+
+// TestCloseReapsPendingHandshake: a session whose remote never answers the
+// HELLO sits blocked in Recv. Close must reach that conn and reap the
+// goroutine — before the handshake-reap fix, the session (and its conn)
+// leaked past Close. leaktest arms the actual leak check.
+func TestCloseReapsPendingHandshake(t *testing.T) {
+	leaktest.Check(t)
+	clk := node.NewVirtualClock()
+	n, err := node.New(node.Config{ID: 0, Nodes: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ca, cb := transport.Pipe()
+	// The far side swallows our HELLO and goes silent, so the session
+	// parks in Recv waiting for a reply that will never come.
+	helloSeen := make(chan error, 1)
+	go func() {
+		_, err := cb.Recv()
+		helloSeen <- err
+	}()
+	n.AddPeer(ca, fixedCost(1))
+	if err := <-helloSeen; err != nil {
+		t.Fatalf("far side failed to read our HELLO: %v", err)
+	}
+
+	n.Close()
+	if n.PeerCount() != 0 {
+		t.Fatalf("PeerCount() = %d after Close, want 0", n.PeerCount())
+	}
+	// Deliberately no cb.Close(): the session's exit must come from our
+	// Close reaping ca, not from the far side hanging up.
+}
+
+// TestAddPeerAfterCloseClosesConn: a conn handed to a closed node must be
+// released immediately, not parked in a handshake goroutine forever.
+func TestAddPeerAfterCloseClosesConn(t *testing.T) {
+	leaktest.Check(t)
+	clk := node.NewVirtualClock()
+	n, err := node.New(node.Config{ID: 0, Nodes: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+
+	ca, cb := transport.Pipe()
+	n.AddPeer(ca, fixedCost(1))
+	waitUntil(t, "conn closed by AddPeer on a closed node", func() bool {
+		_, err := cb.Recv()
+		return err != nil
+	})
 }

@@ -3,6 +3,7 @@ package simpool
 import (
 	"errors"
 	"fmt"
+	"minroute/internal/leaktest"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -19,6 +20,7 @@ func withWorkers(t *testing.T, n int, fn func()) {
 }
 
 func TestBoundedConcurrency(t *testing.T) {
+	leaktest.Check(t)
 	withWorkers(t, 3, func() {
 		var cur, peak int64
 		g := NewGroup()
@@ -46,6 +48,7 @@ func TestBoundedConcurrency(t *testing.T) {
 }
 
 func TestFirstErrorBySubmissionOrder(t *testing.T) {
+	leaktest.Check(t)
 	withWorkers(t, 4, func() {
 		// Task 5 fails fast, task 2 fails slow: Wait must report task 2,
 		// the lowest submission index, regardless of completion order.
@@ -72,6 +75,7 @@ func TestFirstErrorBySubmissionOrder(t *testing.T) {
 }
 
 func TestWaitNilOnSuccess(t *testing.T) {
+	leaktest.Check(t)
 	g := NewGroup()
 	var n int64
 	for i := 0; i < 10; i++ {
@@ -86,6 +90,7 @@ func TestWaitNilOnSuccess(t *testing.T) {
 }
 
 func TestCoordinatorUnbounded(t *testing.T) {
+	leaktest.Check(t)
 	withWorkers(t, 1, func() {
 		// With one worker slot, 4 coordinators each fanning out one bounded
 		// leaf task must still finish: coordinators hold no slot while
@@ -118,6 +123,7 @@ func TestCoordinatorUnbounded(t *testing.T) {
 }
 
 func TestSetWorkersDefault(t *testing.T) {
+	leaktest.Check(t)
 	old := Workers()
 	defer SetWorkers(old)
 	SetWorkers(0)
@@ -131,6 +137,7 @@ func TestSetWorkersDefault(t *testing.T) {
 }
 
 func TestGroupKeepsBoundAcrossSetWorkers(t *testing.T) {
+	leaktest.Check(t)
 	withWorkers(t, 2, func() {
 		g := NewGroup()
 		var mu sync.Mutex
@@ -160,6 +167,7 @@ func TestGroupKeepsBoundAcrossSetWorkers(t *testing.T) {
 }
 
 func TestErrorsAreRealErrors(t *testing.T) {
+	leaktest.Check(t)
 	g := Coordinator()
 	want := errors.New("boom")
 	g.Go(func() error { return want })

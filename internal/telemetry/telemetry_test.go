@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"minroute/internal/leaktest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,6 +13,7 @@ import (
 )
 
 func TestKindNamesComplete(t *testing.T) {
+	leaktest.Check(t)
 	for k := Kind(0); k < numKinds; k++ {
 		name := k.String()
 		if name == "" || strings.HasPrefix(name, "kind(") {
@@ -31,6 +33,7 @@ func TestKindNamesComplete(t *testing.T) {
 }
 
 func TestTracerMergeOrder(t *testing.T) {
+	leaktest.Check(t)
 	tr := NewTracer(3, 0)
 	// Interleave emissions across routers and the network ring; the merged
 	// stream must come back in emission order.
@@ -59,6 +62,7 @@ func TestTracerMergeOrder(t *testing.T) {
 }
 
 func TestTracerRingWrap(t *testing.T) {
+	leaktest.Check(t)
 	tr := NewTracer(1, 4)
 	for i := 0; i < 10; i++ {
 		tr.Emit(Event{T: float64(i), Kind: KindPktEnqueue, Router: 0})
@@ -79,6 +83,7 @@ func TestTracerRingWrap(t *testing.T) {
 }
 
 func TestTracerOutOfRangeRouter(t *testing.T) {
+	leaktest.Check(t)
 	tr := NewTracer(2, 8)
 	tr.Emit(Event{Kind: KindFaultStart, Router: graph.None})
 	tr.Emit(Event{Kind: KindFaultStart, Router: 99})
@@ -88,6 +93,7 @@ func TestTracerOutOfRangeRouter(t *testing.T) {
 }
 
 func TestNilSinksAreSafe(t *testing.T) {
+	leaktest.Check(t)
 	var tr *Tracer
 	tr.Emit(Event{Kind: KindLSUSend})
 	if tr.Emitted() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
@@ -127,6 +133,7 @@ func TestNilSinksAreSafe(t *testing.T) {
 }
 
 func TestDisabledProbesZeroAlloc(t *testing.T) {
+	leaktest.Check(t)
 	var tr *Tracer
 	var c *Counter
 	var h *Histogram
@@ -142,6 +149,7 @@ func TestDisabledProbesZeroAlloc(t *testing.T) {
 }
 
 func TestHistogramBuckets(t *testing.T) {
+	leaktest.Check(t)
 	h := &Histogram{width: 2}
 	h.Observe(0.5, 10)
 	h.Observe(1.9, 30)
@@ -173,6 +181,7 @@ func TestHistogramBuckets(t *testing.T) {
 }
 
 func TestConvergeMeter(t *testing.T) {
+	leaktest.Check(t)
 	reg := NewRegistry(1)
 	m := &ConvergeMeter{Lag: reg.Histogram("converge.lag"), Last: reg.Gauge("converge.last")}
 	m.Commit(1) // not armed: ignored
@@ -192,6 +201,7 @@ func TestConvergeMeter(t *testing.T) {
 }
 
 func TestRegistrySnapshotDeterministic(t *testing.T) {
+	leaktest.Check(t)
 	build := func() *Registry {
 		r := NewRegistry(1)
 		r.Counter("b.count").Add(2)
@@ -224,6 +234,7 @@ func TestRegistrySnapshotDeterministic(t *testing.T) {
 }
 
 func TestJSONLRoundTrip(t *testing.T) {
+	leaktest.Check(t)
 	in := []Event{
 		{T: 0, Seq: 1, Kind: KindPhaseActive, Router: 0, Peer: graph.None, Dst: graph.None, Flow: -1},
 		{T: 0.25, Seq: 2, Kind: KindLSUSend, Router: 0, Peer: 1, Dst: graph.None, Flow: -1, Value: 640},
@@ -249,6 +260,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 }
 
 func TestJSONLFixedKeyOrder(t *testing.T) {
+	leaktest.Check(t)
 	ev := Event{T: 1.25, Seq: 7, Kind: KindPktDeliver, Router: 4, Peer: graph.None, Dst: 4, Flow: 2, Value: 0.01, Label: "x"}
 	got := string(AppendJSONL(nil, ev))
 	want := `{"t":1.25,"seq":7,"kind":"pkt_deliver","router":4,"peer":-1,"dst":4,"flow":2,"value":0.01,"label":"x"}`
@@ -258,6 +270,7 @@ func TestJSONLFixedKeyOrder(t *testing.T) {
 }
 
 func TestJSONLReadErrors(t *testing.T) {
+	leaktest.Check(t)
 	if _, err := ReadJSONL(strings.NewReader("{broken\n")); err == nil {
 		t.Fatal("malformed line accepted")
 	}
@@ -267,6 +280,7 @@ func TestJSONLReadErrors(t *testing.T) {
 }
 
 func TestChromeTraceWellFormed(t *testing.T) {
+	leaktest.Check(t)
 	tr := NewTracer(2, 0)
 	tr.Emit(NewEvent(0.1, KindPhaseActive, 0))
 	ev := NewEvent(0.2, KindLSUSend, 0)
@@ -319,6 +333,7 @@ func TestChromeTraceWellFormed(t *testing.T) {
 }
 
 func TestCaptureExport(t *testing.T) {
+	leaktest.Check(t)
 	dir := t.TempDir()
 	c := NewCaptureSized(2, 16, 1)
 	c.Trace.Emit(NewEvent(0, KindPhaseActive, 0))

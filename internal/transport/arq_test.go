@@ -2,6 +2,7 @@ package transport
 
 import (
 	"math"
+	"minroute/internal/leaktest"
 	"sync"
 	"testing"
 	"time"
@@ -85,6 +86,7 @@ func helloID(t *testing.T, f *wire.Frame) int {
 }
 
 func TestARQInOrderDelivery(t *testing.T) {
+	leaktest.Check(t)
 	pa, pb := PacketPipe()
 	clk := newFakeClock()
 	a := NewARQ(pa, ARQConfig{}, clk)
@@ -139,6 +141,7 @@ func (d *dropFirstPacket) WritePacket(b []byte) error {
 }
 
 func TestARQRetransmitRecoversLoss(t *testing.T) {
+	leaktest.Check(t)
 	pa, pb := PacketPipe()
 	clk := newFakeClock()
 	// First transmission and first retransmission both drop; the second
@@ -200,6 +203,7 @@ func (c *countingPacket) waitCount(t *testing.T, want int) {
 // with no receiver, one frame retransmits at RTO, then 2·RTO, then capped
 // at MaxRTO — per frame, not per window.
 func TestARQPerFrameBackoffDoubles(t *testing.T) {
+	leaktest.Check(t)
 	pa, _ := PacketPipe()
 	clk := newFakeClock()
 	cp := &countingPacket{Packet: pa}
@@ -269,12 +273,17 @@ func (r *retxRecorder) distinct() []uint32 {
 // would resend the whole suffix. The one-frame MTU makes each frame its
 // own datagram so the dropper can target a single sequence number, and the
 // duplicate SACKs from the frames behind the hole trigger fast retransmit.
+// The RTO sits far beyond the drive horizon: driveRecv advances virtual
+// time while it waits, and a default RTO lets a scheduler stall (race
+// soak) expire timers for frames that were never lost — a legitimate
+// spurious timeout the "only seq 1" assertion would misread as go-back-N.
 func TestARQSelectiveRetransmit(t *testing.T) {
+	leaktest.Check(t)
 	pa, pb := PacketPipe()
 	clk := newFakeClock()
 	rec := &retxRecorder{}
 	lossy := &dropFirstPacket{Packet: pa, drop: 1}
-	a := NewARQ(lossy, ARQConfig{MTU: helloMTU, Stats: rec.stats()}, clk)
+	a := NewARQ(lossy, ARQConfig{RTO: 1000, MTU: helloMTU, Stats: rec.stats()}, clk)
 	b := NewARQ(pb, ARQConfig{}, clk)
 	defer a.Close()
 	defer b.Close()
@@ -307,6 +316,7 @@ func TestARQSelectiveRetransmit(t *testing.T) {
 // TestARQFastRetransmit verifies three duplicate SACKs retransmit the hole
 // without any timer expiry: the clock never advances past the initial RTO.
 func TestARQFastRetransmit(t *testing.T) {
+	leaktest.Check(t)
 	pa, pb := PacketPipe()
 	clk := newFakeClock()
 	rec := &retxRecorder{}
@@ -343,6 +353,7 @@ func TestARQFastRetransmit(t *testing.T) {
 // ride one datagram: with the first write held at the gate, 63 more Sends
 // queue up and must drain in a single syscall once the gate opens.
 func TestARQCoalescing(t *testing.T) {
+	leaktest.Check(t)
 	pa, pb := PacketPipe()
 	clk := newFakeClock()
 	gate := make(chan struct{})
@@ -355,18 +366,25 @@ func TestARQCoalescing(t *testing.T) {
 	const n = 64
 	// The lone first frame takes Send's inline fast path, so it must run in
 	// its own goroutine: the gate holds that write, and with the window now
-	// occupied the remaining Sends queue up behind it for the write loop.
+	// occupied the next Send queues for the write loop.
 	errc := make(chan error, 1)
 	go func() { errc <- a.Send(wire.NewHello(0)) }()
-	cp.waitCount(t, 1) // writer is now blocked inside WritePacket
-	for i := 1; i < n; i++ {
+	cp.waitCount(t, 1) // Send goroutine is now blocked inside WritePacket
+	// The second frame baits the write loop to the gate: only once it too
+	// is provably parked inside WritePacket can the bulk be queued without
+	// racing it — otherwise the loop may wake mid-queue, grab a partial
+	// batch, and split the remainder across datagrams (the race soak hits
+	// exactly that interleaving).
+	if err := a.Send(wire.NewHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	cp.waitCount(t, 2) // write loop is now blocked inside WritePacket
+	for i := 2; i < n; i++ {
 		if err := a.Send(wire.NewHello(graph.NodeID(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	gate <- struct{}{} // release the first datagram
-	gate <- struct{}{} // release the coalesced remainder
-	close(gate)
+	close(gate) // release both gated writes; further writes pass freely
 	if err := <-errc; err != nil {
 		t.Fatal(err)
 	}
@@ -376,16 +394,18 @@ func TestARQCoalescing(t *testing.T) {
 		}
 	}
 	waitOutstandingZero(t, a)
-	// 2 data datagrams plus the SACKs a sends back for b's (nonexistent)
-	// traffic — i.e. none. Allow slack only for the released pair.
-	if got := cp.count(); got > 2 {
-		t.Fatalf("%d datagrams for %d frames, want 2 (coalescing)", got, n)
+	// Exactly three data datagrams: the two gated singles and the 62-frame
+	// coalesced remainder — plus the SACKs a sends back for b's
+	// (nonexistent) traffic, i.e. none.
+	if got := cp.count(); got != 3 {
+		t.Fatalf("%d datagrams for %d frames, want 3 (2 gated singles + 1 coalesced batch)", got, n)
 	}
 }
 
 // TestARQRTOEstimator pins the SRTT/RTTVAR arithmetic (RFC 6298 gains) and
 // the [MinRTO, MaxRTO] clamp.
 func TestARQRTOEstimator(t *testing.T) {
+	leaktest.Check(t)
 	c := &ARQConn{cfg: ARQConfig{}.withDefaults()}
 	c.updateRTOLocked(0.1)
 	if c.srtt != 0.1 || c.rttvar != 0.05 {
@@ -413,6 +433,7 @@ func TestARQRTOEstimator(t *testing.T) {
 // coming back, the Window+1'th Send blocks, and Close releases it with
 // ErrClosed.
 func TestARQWindowBlocks(t *testing.T) {
+	leaktest.Check(t)
 	pa, _ := PacketPipe()
 	clk := newFakeClock()
 	a := NewARQ(pa, ARQConfig{RTO: 1000, Window: 4}, clk)
@@ -441,6 +462,7 @@ func TestARQWindowBlocks(t *testing.T) {
 }
 
 func TestARQSendTooLarge(t *testing.T) {
+	leaktest.Check(t)
 	pa, _ := PacketPipe()
 	a := NewARQ(pa, ARQConfig{}, newFakeClock())
 	defer a.Close()
@@ -453,6 +475,7 @@ func TestARQSendTooLarge(t *testing.T) {
 }
 
 func TestARQDedup(t *testing.T) {
+	leaktest.Check(t)
 	pa, pb := PacketPipe()
 	clk := newFakeClock()
 	// Duplicate every datagram on the wire; the receiver must still
@@ -486,6 +509,7 @@ func TestARQDedup(t *testing.T) {
 }
 
 func TestARQReorder(t *testing.T) {
+	leaktest.Check(t)
 	pa, pb := PacketPipe()
 	clk := newFakeClock()
 	// Swap every pair of datagrams; delivery order must be restored by
@@ -513,6 +537,7 @@ func TestARQReorder(t *testing.T) {
 // 20% duplication, 20% reordering in both directions (data and SACKs), and
 // every frame still arrives exactly once, in order.
 func TestARQSurvivesHeavyFaults(t *testing.T) {
+	leaktest.Check(t)
 	const n = 400
 	fault := Fault{LossProb: 0.2, DupProb: 0.2, ReorderProb: 0.2}
 	pa, pb := PacketPipe()
@@ -569,6 +594,7 @@ func TestARQSurvivesHeavyFaults(t *testing.T) {
 }
 
 func TestARQSendAckReserved(t *testing.T) {
+	leaktest.Check(t)
 	pa, _ := PacketPipe()
 	a := NewARQ(pa, ARQConfig{}, newFakeClock())
 	defer a.Close()
@@ -581,6 +607,7 @@ func TestARQSendAckReserved(t *testing.T) {
 }
 
 func TestARQClose(t *testing.T) {
+	leaktest.Check(t)
 	pa, pb := PacketPipe()
 	clk := newFakeClock()
 	a := NewARQ(pa, ARQConfig{}, clk)

@@ -1,6 +1,7 @@
 package transport_test
 
 import (
+	"minroute/internal/leaktest"
 	"testing"
 	"time"
 
@@ -28,6 +29,7 @@ func (wallTimers) AfterFunc(d float64, fn func()) transport.Timer {
 // TestConformanceInmem runs the suite against the synchronous in-memory
 // pipe — the reference transport.
 func TestConformanceInmem(t *testing.T) {
+	leaktest.Check(t)
 	conformancetest.Run(t, func(t *testing.T) (a, b transport.Conn, cleanup func()) {
 		a, b = transport.Pipe()
 		return a, b, func() { a.Close(); b.Close() }
@@ -36,6 +38,7 @@ func TestConformanceInmem(t *testing.T) {
 
 // TestConformanceTCP runs the suite over real loopback TCP sockets.
 func TestConformanceTCP(t *testing.T) {
+	leaktest.Check(t)
 	conformancetest.Run(t, func(t *testing.T) (a, b transport.Conn, cleanup func()) {
 		l, err := transport.ListenTCP("127.0.0.1:0")
 		if err != nil {
@@ -94,6 +97,7 @@ func udpPair(t *testing.T, fault transport.Fault) (a, b transport.Conn, cleanup 
 // TestConformanceUDPARQ runs the suite over real loopback UDP sockets
 // with the ARQ restoring the reliable in-order contract.
 func TestConformanceUDPARQ(t *testing.T) {
+	leaktest.Check(t)
 	conformancetest.Run(t, func(t *testing.T) (transport.Conn, transport.Conn, func()) {
 		return udpPair(t, transport.Fault{})
 	})
@@ -103,6 +107,7 @@ func TestConformanceUDPARQ(t *testing.T) {
 // duplication, and 20% reordering injected on both write paths — the ARQ
 // must still present an exactly-once in-order channel.
 func TestConformanceUDPARQFaulty(t *testing.T) {
+	leaktest.Check(t)
 	conformancetest.Run(t, func(t *testing.T) (transport.Conn, transport.Conn, func()) {
 		return udpPair(t, transport.Fault{Seed: 42, LossProb: 0.2, DupProb: 0.2, ReorderProb: 0.2})
 	})

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"minroute/internal/graph"
+	"minroute/internal/leaktest"
 	"minroute/internal/lsu"
 	"minroute/internal/transport"
 	"minroute/internal/wire"
@@ -37,16 +38,25 @@ import (
 // calls it afresh.
 type Factory func(t *testing.T) (a, b transport.Conn, cleanup func())
 
-// Run executes the full conformance suite against pairs built by f.
+// Run executes the full conformance suite against pairs built by f. Every
+// subtest is leak-checked: a transport whose cleanup leaves reader/writer
+// goroutines or retransmit timers running fails the suite even if its
+// delivery semantics pass.
 func Run(t *testing.T, f Factory) {
-	t.Run("InOrder", func(t *testing.T) { inOrder(t, f) })
-	t.Run("ExactlyOnceLSU", func(t *testing.T) { exactlyOnceLSU(t, f) })
-	t.Run("Bidirectional", func(t *testing.T) { bidirectional(t, f) })
-	t.Run("PayloadIntegrity", func(t *testing.T) { payloadIntegrity(t, f) })
-	t.Run("SendWithinRecv", func(t *testing.T) { sendWithinRecv(t, f) })
-	t.Run("HighBDP", func(t *testing.T) { highBDP(t, f) })
-	t.Run("DupSackStress", func(t *testing.T) { dupSackStress(t, f) })
-	t.Run("CloseSemantics", func(t *testing.T) { closeSemantics(t, f) })
+	check := func(name string, fn func(*testing.T, Factory)) {
+		t.Run(name, func(t *testing.T) {
+			leaktest.Check(t)
+			fn(t, f)
+		})
+	}
+	check("InOrder", inOrder)
+	check("ExactlyOnceLSU", exactlyOnceLSU)
+	check("Bidirectional", bidirectional)
+	check("PayloadIntegrity", payloadIntegrity)
+	check("SendWithinRecv", sendWithinRecv)
+	check("HighBDP", highBDP)
+	check("DupSackStress", dupSackStress)
+	check("CloseSemantics", closeSemantics)
 }
 
 // recvHello reads one frame and requires it to be a hello with an id.
