@@ -3,7 +3,7 @@ GO ?= go
 # Repetitions of the race-soak suite; CI trims this for wall time.
 RACE_SOAK_COUNT ?= 3
 
-.PHONY: check vet lint lint-concurrency test race race-soak fuzz chaos bench bench-transport telemetry-guard codec-guard
+.PHONY: check vet lint lint-concurrency test race race-soak fuzz chaos bench bench-transport bench-scale telemetry-guard codec-guard
 
 # The gate used before every commit: static checks (determinism and
 # concurrency lint suites), the full suite under the race detector (the
@@ -46,7 +46,7 @@ race:
 # repetitions (goroutine IDs are never reused, making repeat runs an
 # accumulating leak trap).
 race-soak:
-	GOMAXPROCS=16 GOGC=5 GODEBUG=clobberfree=1 $(GO) test -race -count=$(RACE_SOAK_COUNT) -timeout 10m ./internal/transport/... ./internal/node ./internal/simpool ./internal/telemetry
+	GOMAXPROCS=16 GOGC=5 GODEBUG=clobberfree=1 $(GO) test -race -count=$(RACE_SOAK_COUNT) -timeout 10m ./internal/transport/... ./internal/node ./internal/simpool ./internal/telemetry ./internal/despart
 
 # Telemetry-overhead guard: with instrumentation disabled (no probes), the
 # DES packet hot loop and all sink methods must cost zero allocations. Runs
@@ -68,6 +68,7 @@ codec-guard:
 fuzz:
 	$(GO) test -run FuzzChaosSchedule -fuzz FuzzChaosSchedule -fuzztime 10s ./internal/chaos
 	$(GO) test -run FuzzFrameRoundTrip -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/wire
+	$(GO) test -run FuzzShardSchedule -fuzz FuzzShardSchedule -fuzztime 10s ./internal/despart
 
 # Longer randomized sweep: 200 seed-derived scenarios through both runners.
 chaos:
@@ -85,3 +86,10 @@ bench:
 bench-transport:
 	$(GO) test -run xxx -bench 'Encode|Decode' -benchmem ./internal/wire/
 	$(GO) test -run xxx -bench Throughput -benchmem ./internal/transport/
+
+# Sharded single-sim scaling: wall time and events/sec vs shard count on a
+# 240-router scale-free topology, oracles armed (loop-free + byte-identical
+# report vs serial). Overwrites the checked-in snapshot; SCALE_ARGS adds or
+# overrides flags (CI smoke passes a tiny topology, see check.yml).
+bench-scale:
+	$(GO) run ./cmd/mdrscale -out BENCH_scale.json $(SCALE_ARGS)

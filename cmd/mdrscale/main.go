@@ -1,0 +1,216 @@
+// Command mdrscale benchmarks sharded single-simulation execution
+// (internal/despart) on a large synthetic topology and emits a JSON
+// snapshot in the BENCH_scale.json format.
+//
+// For each requested shard count it builds the same network, runs the
+// same warmup+measurement schedule, and records wall time and events/sec
+// — with the oracles armed: every run must pass the loop-free check, and
+// every run's report must be byte-identical to the serial (shards=1)
+// run's, so a speedup that came from diverging behaviour is impossible
+// to miss.
+//
+// Usage:
+//
+//	mdrscale -out BENCH_scale.json             # default 240-router scale-free
+//	mdrscale -n 600 -shards 1,2,4,8 -iters 3
+//	mdrscale -topo big.topo -dur 5             # pre-generated (mdrtopo -gen)
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"minroute/internal/core"
+	"minroute/internal/topo"
+)
+
+type benchEnv struct {
+	Go         string `json:"go"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note,omitempty"`
+}
+
+type benchTopo struct {
+	Kind          string `json:"kind"`
+	Routers       int    `json:"routers"`
+	DirectedLinks int    `json:"directed_links"`
+	Flows         int    `json:"flows"`
+	Seed          uint64 `json:"seed"`
+}
+
+type benchRun struct {
+	Shards          int     `json:"shards"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Events          int64   `json:"events"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	LoopFree        bool    `json:"loop_free"`
+	MatchesSerial   bool    `json:"matches_serial_report"`
+}
+
+type benchReport struct {
+	Description string     `json:"description"`
+	Environment benchEnv   `json:"environment"`
+	Topology    benchTopo  `json:"topology"`
+	WarmupS     float64    `json:"warmup_s"`
+	DurationS   float64    `json:"duration_s"`
+	Iterations  int        `json:"iterations"`
+	Runs        []benchRun `json:"runs"`
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 240, "generated router count (scale-free)")
+		m        = flag.Int("m", 2, "scale-free attachment links per new router")
+		flows    = flag.Int("flows", 96, "generated flow count")
+		rate     = flag.Float64("rate", 0.5, "mean flow rate in Mb/s (drawn from [0.5x, 1.5x])")
+		capMbps  = flag.Float64("cap", 10, "generated link capacity in Mb/s")
+		maxProp  = flag.Float64("maxprop", 2e-3, "maximum propagation delay in seconds")
+		seed     = flag.Uint64("seed", 1, "topology and simulation seed")
+		topoFile = flag.String("topo", "", "benchmark a pre-generated scenario file instead (mdrtopo -gen)")
+		warmup   = flag.Float64("warmup", 2, "settling time in simulated seconds")
+		dur      = flag.Float64("dur", 8, "measurement period in simulated seconds")
+		shardArg = flag.String("shards", "1,2,4,8", "comma-separated shard counts")
+		iters    = flag.Int("iters", 1, "repetitions per shard count (best wall time is reported)")
+		out      = flag.String("out", "", "write the JSON snapshot to this file (default stdout)")
+	)
+	flag.Parse()
+
+	shardCounts, err := parseShards(*shardArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdrscale: -shards: %v\n", err)
+		os.Exit(2)
+	}
+
+	var net *topo.Network
+	kind := "scalefree"
+	if *topoFile != "" {
+		kind = *topoFile
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrscale: %v\n", err)
+			os.Exit(1)
+		}
+		net, err = topo.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrscale: %s: %v\n", *topoFile, err)
+			os.Exit(1)
+		}
+	} else {
+		net = &topo.Network{Graph: topo.ScaleFree(*seed, *n, *m, *capMbps*topo.Mb, *maxProp)}
+		net.Flows = topo.SynthFlows(*seed, net.Graph, *flows, 0.5**rate*topo.Mb, 1.5**rate*topo.Mb)
+	}
+
+	rep := benchReport{
+		Description: "Sharded single-simulation scaling (internal/despart): wall time and events/sec vs shard count on one large topology, oracles armed (loop-free + byte-identical report vs the serial run).",
+		Environment: benchEnv{
+			Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			Cores:      runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Topology: benchTopo{
+			Kind:          kind,
+			Routers:       net.Graph.NumNodes(),
+			DirectedLinks: net.Graph.NumLinks(),
+			Flows:         len(net.Flows),
+			Seed:          *seed,
+		},
+		WarmupS:    *warmup,
+		DurationS:  *dur,
+		Iterations: *iters,
+	}
+	if rep.Environment.Cores == 1 {
+		rep.Environment.Note = "Single-CPU container: shard workers serialize onto one core, so wall time cannot improve here and the events/sec column measures coordination overhead only. The multi-core speedup path is exercised for correctness (not speed) by the determinism matrix and despart tests; re-run this benchmark on a multi-core host for real scaling numbers."
+	}
+
+	var serialHash string
+	for _, shards := range shardCounts {
+		run := benchRun{Shards: shards, WallSeconds: -1}
+		for it := 0; it < *iters; it++ {
+			opt := core.DefaultOptions()
+			opt.Seed = *seed
+			opt.Warmup = *warmup
+			opt.Duration = *dur
+			opt.Shards = shards
+			sim := core.Build(net, opt)
+			start := time.Now() //lint:nowall-ok benchmark wall-clock measurement, never enters the simulation
+			r := sim.Run()
+			//lint:nowall-ok benchmark wall-clock measurement, never enters the simulation
+			wall := time.Since(start).Seconds()
+
+			var events int64
+			for _, e := range sim.Engines() {
+				events += e.EventsFired()
+			}
+			run.LoopFree = sim.CheckLoopFree() == nil
+			sum := sha256.Sum256([]byte(r.String()))
+			hash := hex.EncodeToString(sum[:])
+			if serialHash == "" {
+				serialHash = hash
+			}
+			run.MatchesSerial = hash == serialHash
+			run.Events = events
+			if run.WallSeconds < 0 || wall < run.WallSeconds {
+				run.WallSeconds = wall
+			}
+		}
+		run.EventsPerSec = float64(run.Events) / run.WallSeconds
+		rep.Runs = append(rep.Runs, run)
+		fmt.Fprintf(os.Stderr, "mdrscale: shards=%d wall=%.2fs events=%d (%.0f events/sec) loop-free=%v matches-serial=%v\n",
+			run.Shards, run.WallSeconds, run.Events, run.EventsPerSec, run.LoopFree, run.MatchesSerial)
+	}
+	for i := range rep.Runs {
+		rep.Runs[i].SpeedupVsSerial = rep.Runs[0].WallSeconds / rep.Runs[i].WallSeconds
+	}
+
+	failed := false
+	for _, r := range rep.Runs {
+		if !r.LoopFree || !r.MatchesSerial {
+			failed = true
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdrscale: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mdrscale: %v\n", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "mdrscale: ORACLE VIOLATION: a sharded run diverged from the serial run")
+		os.Exit(1)
+	}
+}
+
+// parseShards parses "1,2,4,8" into sorted-as-given shard counts; the first
+// entry is the serial baseline every other run is compared against.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -57,6 +57,7 @@ func main() {
 
 		telemetryDir = flag.String("telemetry", "", "export telemetry artifacts (events JSONL, Chrome trace, metrics) into this directory")
 
+		shards     = flag.Int("shards", 0, "partition each simulation's routers across this many event-engine shards (0/1 = serial)")
 		workers    = flag.Int("workers", 0, "max simulations running concurrently (0 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -117,9 +118,10 @@ func main() {
 		set.Runs = *runs
 	}
 	set.TelemetryDir = *telemetryDir
+	set.Shards = *shards
 
 	if *chaosArg != "" {
-		if err := runChaos(*chaosArg, *telemetryDir); err != nil {
+		if err := runChaos(*chaosArg, *telemetryDir, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -226,8 +228,11 @@ func warnTraceDrops(label string, tel *telemetry.Capture, rec *trace.Recorder) {
 // through both runners with every invariant oracle armed, and reports the
 // per-oracle counts and trace hashes. `mdrsim -chaos list` prints the
 // registry. A violation makes the replay fail. With -telemetry, each
-// runner's full event timeline is exported as <name>_<runner>.*.
-func runChaos(arg, telemetryDir string) error {
+// runner's full event timeline is exported as <name>_<runner>.*. With
+// -shards N (N > 1) a third, sharded DES replay runs as well: its oracles
+// fire at conservative-window barriers rather than per event, so its trace
+// hash is its own golden (identical across shard counts, not vs serial).
+func runChaos(arg, telemetryDir string, shards int) error {
 	if arg == "list" {
 		for _, name := range experiments.ChaosNames() {
 			fmt.Println(name)
@@ -251,8 +256,17 @@ func runChaos(arg, telemetryDir string) error {
 		name string
 		fn   func(*chaos.Scenario, *telemetry.Capture) (*chaos.Result, error)
 	}
+	runners := []runner{{"proto", chaos.RunProtoWith}, {"des", chaos.RunDESWith}}
+	if shards > 1 {
+		runners = append(runners, runner{
+			fmt.Sprintf("des-sharded%d", shards),
+			func(s *chaos.Scenario, tel *telemetry.Capture) (*chaos.Result, error) {
+				return chaos.RunDESShardedWith(s, shards, tel)
+			},
+		})
+	}
 	failed := false
-	for _, r := range []runner{{"proto", chaos.RunProtoWith}, {"des", chaos.RunDESWith}} {
+	for _, r := range runners {
 		var tel *telemetry.Capture
 		if telemetryDir != "" {
 			tel = telemetry.NewCapture(tn.Graph.NumNodes())
@@ -311,6 +325,7 @@ func runScenario(path, mode string, set experiments.Settings, telemetryDir strin
 	opt.Seed = set.Seed
 	opt.Warmup = set.Warmup
 	opt.Duration = set.Duration
+	opt.Shards = set.Shards
 	if telemetryDir != "" {
 		opt.Telemetry = telemetry.NewCapture(net.Graph.NumNodes())
 	}

@@ -54,10 +54,11 @@ func TestRunScenarioTelemetryExport(t *testing.T) {
 }
 
 // TestRunChaosTelemetryExport exercises the -chaos path with telemetry: one
-// export per runner under the <name>_<runner> prefix.
+// export per runner under the <name>_<runner> prefix, including the sharded
+// DES replay when -shards is set.
 func TestRunChaosTelemetryExport(t *testing.T) {
 	telDir := t.TempDir()
-	if err := runChaos("link-flap", telDir); err != nil {
+	if err := runChaos("link-flap", telDir, 2); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -67,6 +68,9 @@ func TestRunChaosTelemetryExport(t *testing.T) {
 		"link-flap_des.events.jsonl",
 		"link-flap_des.trace.json",
 		"link-flap_des.metrics.txt",
+		"link-flap_des-sharded2.events.jsonl",
+		"link-flap_des-sharded2.trace.json",
+		"link-flap_des-sharded2.metrics.txt",
 	} {
 		if _, err := os.Stat(filepath.Join(telDir, name)); err != nil {
 			t.Fatalf("missing artifact %s: %v", name, err)

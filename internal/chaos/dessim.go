@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -133,8 +134,201 @@ func RunDESWith(s *Scenario, tel *telemetry.Capture) (*Result, error) {
 	checkLoopFree()
 	checkConservation()
 
-	writeDESReport(&trace, n)
+	writeDESReport(&trace, n, n.Eng.EventsFired())
 	res := &Result{Log: log, Events: n.Eng.EventsFired()}
+	res.Trace, res.TraceHash = finishTrace(&trace, log)
+	return res, nil
+}
+
+// RunDESSharded executes the scenario in the packet simulator partitioned
+// across the given number of engine shards (see internal/despart). The
+// always-on oracles move from per-event cadence to the conservative window
+// barriers — the only moments all shard clocks agree — so the trace hash
+// differs from the serial RunDES hash by design. What the sharded runner
+// pins instead is partition-independence: the trace (and any telemetry
+// capture) is byte-identical at every shard count, because the barrier
+// cadence is derived from the global minimum propagation delay rather than
+// the partition's cross-shard minimum, and fault actions apply at barriers
+// with deterministic merged event counts.
+func RunDESSharded(s *Scenario, shards int) (*Result, error) {
+	return RunDESShardedWith(s, shards, nil)
+}
+
+// RunDESShardedWith is RunDESSharded with an optional telemetry capture.
+func RunDESShardedWith(s *Scenario, shards int, tel *telemetry.Capture) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tn, err := s.Network()
+	if err != nil {
+		return nil, err
+	}
+	dur := s.Duration
+	if dur <= 0 {
+		dur = 10
+	}
+	// Pin the window to the global minimum propagation delay over ALL links,
+	// not just cross-shard ones: it is a valid lookahead for every partition,
+	// and it makes the barrier schedule — hence oracle check counts and
+	// action apply times — identical at every shard count.
+	window := math.Inf(1)
+	for _, l := range tn.Graph.Links() {
+		if l.PropDelay < window {
+			window = l.PropDelay
+		}
+	}
+	if !(window > 0) || math.IsInf(window, 1) {
+		return nil, fmt.Errorf("chaos: scenario %s has no positive-delay links to derive a shard window", s.Name)
+	}
+	n := core.Build(tn, core.Options{
+		Router:      desConfig(),
+		Seed:        s.Seed,
+		Warmup:      0,
+		Duration:    dur,
+		Telemetry:   tel,
+		Shards:      shards,
+		ShardWindow: window,
+	})
+
+	log := oracle.NewLog()
+	var trace strings.Builder
+	// The header deliberately omits the shard count: hashes must compare
+	// equal across shard counts.
+	fmt.Fprintf(&trace, "scenario %s topo=%s seed=%d des-sharded dur=%g window=%g\n",
+		s.Name, s.Topo, s.Seed, dur, window)
+
+	// Merged event counter: engine events across every shard plus the fault
+	// actions (which apply at barriers here, outside any engine, but count as
+	// events in the serial runner). Only read at barriers, where it is
+	// deterministic.
+	var actionsFired int64
+	events := func() int64 {
+		t := actionsFired
+		for _, e := range n.Engines() {
+			t += e.EventsFired()
+		}
+		return t
+	}
+
+	// The φ-simplex oracle fires inside OnAlloc, which runs on the owning
+	// shard's goroutine mid-window. Each router records into its own slot —
+	// single writer per element — and the barrier merges the slots into the
+	// shared log in ascending router order, stamping violations with the
+	// router's own clock (read at violation time) and the merged barrier
+	// event count.
+	type simplexViol struct {
+		msg string
+		t   float64
+	}
+	numNodes := tn.Graph.NumNodes()
+	simplexRuns := make([]int64, numNodes)
+	simplexViols := make([][]simplexViol, numNodes)
+	dirty := make([]bool, numNodes)
+	for _, id := range tn.Graph.Nodes() {
+		node := n.Nodes[id]
+		slot := int(id)
+		eng := n.EngineOf(id)
+		node.OnAlloc = func(j graph.NodeID, phi alloc.Params, succ []graph.NodeID) {
+			simplexRuns[slot]++
+			dirty[slot] = true
+			if err := oracle.Simplex(phi, succ); err != nil {
+				simplexViols[slot] = append(simplexViols[slot], simplexViol{err.Error(), eng.Now()})
+			}
+		}
+	}
+
+	checkLoopFree := func(t float64) {
+		log.Record(oracle.CheckLoopFreeName)
+		views := make(map[graph.NodeID]lfi.RouterView, len(n.Nodes))
+		//lint:maporder-ok distinct-key inserts of live router views commute
+		for id, node := range n.Nodes {
+			if !node.Down() {
+				views[id] = node.Protocol()
+			}
+		}
+		if err := oracle.LoopFree(tn.Graph.NumNodes(), views); err != nil {
+			log.Violate(oracle.CheckLoopFreeName, err.Error(), events(), t)
+		}
+	}
+	barrier := func(t float64) {
+		ev := events()
+		for id := 0; id < numNodes; id++ {
+			for ; simplexRuns[id] > 0; simplexRuns[id]-- {
+				log.Record(oracle.CheckSimplexName)
+			}
+			for _, v := range simplexViols[id] {
+				log.Violate(oracle.CheckSimplexName, v.msg, ev, v.t)
+			}
+			simplexViols[id] = simplexViols[id][:0]
+		}
+		log.Record(oracle.CheckConservationName)
+		if err := oracle.Conservation(ledger(n)); err != nil {
+			log.Violate(oracle.CheckConservationName, err.Error(), ev, t)
+		}
+		wasDirty := false
+		for id := range dirty {
+			if dirty[id] {
+				wasDirty = true
+				dirty[id] = false
+			}
+		}
+		if wasDirty {
+			checkLoopFree(t)
+		}
+	}
+
+	// Fault schedule: actions apply at the first barrier at or past their At
+	// coordinate, single-threaded with every shard clock equal.
+	failed := make(map[[2]graph.NodeID]bool)
+	baseCap := make(map[[2]graph.NodeID]float64)
+	for _, l := range tn.Graph.Links() {
+		baseCap[[2]graph.NodeID{l.From, l.To}] = l.Capacity
+	}
+	acts := append([]Action(nil), s.Actions...)
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].At < acts[j].At })
+	due := acts[:0]
+	for _, act := range acts {
+		if act.At > dur {
+			fmt.Fprintf(&trace, "skip %s at=%g beyond duration\n", act, act.At)
+			continue
+		}
+		due = append(due, act)
+	}
+	acts = due
+	ai := 0
+	applyDue := func(t float64) {
+		for ai < len(acts) && acts[ai].At <= t {
+			act := acts[ai]
+			ai++
+			actionsFired++
+			fmt.Fprintf(&trace, "apply %s t=%.6f event=%d\n", act, t, events())
+			applyDES(n, act, failed, baseCap)
+		}
+	}
+
+	n.Start()
+	n.BeginMeasurement()
+	for now := 0.0; now < dur; {
+		next := now + window
+		if next > dur {
+			next = dur
+		}
+		n.RunUntil(next)
+		applyDue(next)
+		barrier(next)
+		now = next
+	}
+
+	// Final sweep, mirroring the serial runner: loop freedom regardless of
+	// the dirty marks, and the conservation ledger one last time.
+	checkLoopFree(dur)
+	log.Record(oracle.CheckConservationName)
+	if err := oracle.Conservation(ledger(n)); err != nil {
+		log.Violate(oracle.CheckConservationName, err.Error(), events(), dur)
+	}
+
+	writeDESReport(&trace, n, events())
+	res := &Result{Log: log, Events: events()}
 	res.Trace, res.TraceHash = finishTrace(&trace, log)
 	return res, nil
 }
@@ -192,18 +386,18 @@ func ledger(n *core.Network) oracle.Ledger {
 	}
 	for _, l := range n.Graph.Links() {
 		p := n.Ports[[2]graph.NodeID{l.From, l.To}]
-		led.PortLost += p.LostDataPackets
+		led.PortLost += p.LostData()
 		led.InFlight += int64(p.InFlightDataPackets())
 	}
 	return led
 }
 
-func writeDESReport(trace *strings.Builder, n *core.Network) {
+func writeDESReport(trace *strings.Builder, n *core.Network, events int64) {
 	rep := n.Report()
 	for x := range rep.FlowNames {
 		fmt.Fprintf(trace, "flow %s delivered %d offered %d mean %.6f\n",
 			rep.FlowNames[x], rep.Delivered[x], rep.Offered[x], rep.MeanDelayMs[x])
 	}
 	fmt.Fprintf(trace, "drops noroute=%d hoplimit=%d queue=%d control=%d events=%d\n",
-		rep.DropsNoRoute, rep.DropsHopLimit, rep.DropsQueue, rep.ControlMessages, n.Eng.EventsFired())
+		rep.DropsNoRoute, rep.DropsHopLimit, rep.DropsQueue, rep.ControlMessages, events)
 }

@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"minroute/internal/leaktest"
+	"minroute/internal/simpool"
+	"minroute/internal/telemetry"
+)
+
+// TestDESShardedPartitionIndependent is the chaos half of the cross-shard
+// determinism matrix: the sharded runner must produce byte-identical traces
+// AND byte-identical telemetry event logs at every shard count, under both a
+// serialized scheduler (GOMAXPROCS=1, one pool worker) and a wide one. The
+// shards=1 run is the golden: it exercises the exact same barrier cadence
+// with no partition at all.
+func TestDESShardedPartitionIndependent(t *testing.T) {
+	leaktest.Check(t)
+	s := chaosScenario()
+
+	run := func(shards int) (*Result, []byte) {
+		tn, err := s.Network()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tel := telemetry.NewCapture(tn.Graph.NumNodes())
+		res, err := RunDESShardedWith(s, shards, tel)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Failed() {
+			t.Fatalf("shards=%d: violations: %v", shards, res.Log.Violations)
+		}
+		var buf bytes.Buffer
+		if err := telemetry.WriteJSONL(&buf, tel.Trace.Events()); err != nil {
+			t.Fatal(err)
+		}
+		if tel.Trace.Emitted() == 0 {
+			t.Fatalf("shards=%d: telemetry capture recorded no events", shards)
+		}
+		return res, buf.Bytes()
+	}
+
+	golden, goldenJSONL := run(1)
+	for _, procs := range []int{1, 16} {
+		prev := runtime.GOMAXPROCS(procs)
+		simpool.SetWorkers(procs)
+		for _, shards := range []int{1, 2, 3, 8} {
+			res, jsonl := run(shards)
+			if res.TraceHash != golden.TraceHash {
+				t.Errorf("shards=%d procs=%d: trace hash %s != golden %s\ntrace:\n%s",
+					shards, procs, res.TraceHash, golden.TraceHash, res.Trace)
+			}
+			if res.Events != golden.Events {
+				t.Errorf("shards=%d procs=%d: events %d != golden %d", shards, procs, res.Events, golden.Events)
+			}
+			if !bytes.Equal(jsonl, goldenJSONL) {
+				t.Errorf("shards=%d procs=%d: telemetry JSONL diverged from golden (%d bytes vs %d)",
+					shards, procs, len(jsonl), len(goldenJSONL))
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+		simpool.SetWorkers(0)
+	}
+}

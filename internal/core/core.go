@@ -11,6 +11,7 @@ import (
 
 	"minroute/internal/alloc"
 	"minroute/internal/des"
+	"minroute/internal/despart"
 	"minroute/internal/graph"
 	"minroute/internal/lfi"
 	"minroute/internal/lsu"
@@ -47,6 +48,20 @@ type Options struct {
 	// data planes — into the capture's event bus and metrics registry. Nil
 	// (the default) costs one branch per probe site and nothing else.
 	Telemetry *telemetry.Capture
+	// Shards splits the routers across this many event-engine shards
+	// executed in conservative lockstep windows (internal/despart); 0 or 1
+	// runs the classic single-engine simulation. Every artifact — figures,
+	// JSONL event logs, metrics snapshots — is byte-identical at any shard
+	// count. TraceCapacity (the path recorder) is the one feature silently
+	// disabled when Shards > 1: its single shared map is not worth sharding.
+	Shards int
+	// ShardWindow overrides the conservative window width Δ in seconds
+	// (0 selects the minimum cross-shard propagation delay). Harnesses
+	// that need barrier cadence independent of the partition — the chaos
+	// oracles compare violation counts across shard counts — pass a
+	// partition-independent value such as the global minimum propagation
+	// delay. Values exceeding any cross-shard link's delay panic at build.
+	ShardWindow float64
 }
 
 // DefaultOptions returns the settings of the paper's headline experiments:
@@ -61,6 +76,13 @@ func DefaultOptions() Options {
 }
 
 // Network is an assembled simulation.
+//
+// Sharded runs (Options.Shards > 1) split the routers across engines; every
+// piece of mutable state below is owned by exactly one shard (per-router
+// and per-flow slices — a flow's source and destination routers each own
+// their own lanes) or written only at barriers, which is what lets the
+// shards run without locks. Eng is always the shard-0 engine: it is the
+// harness clock, and at every barrier all shard clocks are equal to it.
 type Network struct {
 	Eng   *des.Engine
 	Graph *graph.Graph
@@ -70,34 +92,84 @@ type Network struct {
 	Stats []*metrics.DelayStats
 	opt   Options
 
+	// Part coordinates the shards of a sharded run; nil when serial.
+	Part *despart.Coordinator
+	// engines[s] is shard s's engine; engines[shardOf[id]] owns router id.
+	engines []*des.Engine
+	shardOf []int
+
 	// SentPackets[x] counts packets offered by flow x after warmup.
 	SentPackets []int64
-	// ControlMessages counts LSU transmissions since the run began.
-	ControlMessages int64
-	// ControlBits accumulates the wire size of all LSUs sent.
-	ControlBits float64
-	// Tracer records packet paths when Options.TraceCapacity > 0.
+	// controlMsgs/controlBits count LSU transmissions per sending router
+	// (one writer lane per router; ControlMessages/ControlBits fold them).
+	controlMsgs []int64
+	controlBits []float64
+	// Tracer records packet paths when Options.TraceCapacity > 0 (serial
+	// runs only).
 	Tracer *trace.Recorder
 	// tel and its derived probes are nil unless Options.Telemetry was set.
+	// tracers[s]/nodeProbes[s] are shard s's event-bus lane; index 0 is the
+	// capture's root tracer, which also carries harness-scope emissions.
 	tel        *telemetry.Capture
-	nodeProbes *telemetry.NodeProbes
+	tracers    []*telemetry.Tracer
+	nodeProbes []*telemetry.NodeProbes
 	telDelay   *telemetry.Histogram
 	warmupDone bool
-	maxHops    int
-	serial     uint64
+	// maxHops[id] is the largest hop count delivered at router id.
+	maxHops []int
+	// flowSerial[x] counts flow x's generated packets; the wire serial packs
+	// (x+1) above it so serials stay unique without a global counter.
+	flowSerial []uint64
 	// reordering bookkeeping: per-flow highest serial seen and counts.
 	flowMaxSerial []uint64
 	flowLate      []int64
 	flowArrived   []int64
 }
 
+// ControlMessages returns the LSU transmissions since the run began,
+// folded over the per-router lanes.
+func (n *Network) ControlMessages() int64 {
+	var t int64
+	for _, v := range n.controlMsgs {
+		t += v
+	}
+	return t
+}
+
+// ControlBits returns the wire size of all LSUs sent, folded over the
+// per-router lanes in ascending router order.
+func (n *Network) ControlBits() float64 {
+	var t float64
+	for _, v := range n.controlBits {
+		t += v
+	}
+	return t
+}
+
+// Engines returns the per-shard engines (length 1 for a serial run).
+// Harnesses use it to sum EventsFired across shards.
+func (n *Network) Engines() []*des.Engine { return n.engines }
+
+// EngineOf returns the engine owning router id's shard (the shard-0 engine
+// for serial runs). Harness callbacks that fire on a router's goroutine read
+// its clock through this rather than n.Eng, which may belong to another
+// shard.
+func (n *Network) EngineOf(id graph.NodeID) *des.Engine { return n.engines[n.shardOf[id]] }
+
 // Build wires the network described by net under the given options.
 func Build(net *topo.Network, opt Options) *Network {
 	if opt.Router.MeanPacketBits <= 0 {
 		opt.Router = router.Defaults()
 	}
+	numNodes := net.Graph.NumNodes()
+	shards := opt.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > numNodes {
+		shards = numNodes
+	}
 	n := &Network{
-		Eng:         des.NewEngine(opt.Seed),
 		Graph:       net.Graph,
 		Nodes:       make(map[graph.NodeID]*router.Node),
 		Ports:       make(map[[2]graph.NodeID]*des.Port),
@@ -105,65 +177,131 @@ func Build(net *topo.Network, opt Options) *Network {
 		Stats:       make([]*metrics.DelayStats, len(net.Flows)),
 		SentPackets: make([]int64, len(net.Flows)),
 		opt:         opt,
+		engines:     make([]*des.Engine, shards),
+		shardOf:     make([]int, numNodes),
 	}
-	numNodes := net.Graph.NumNodes()
+	// Every shard engine is seeded identically. That is deliberate: nothing
+	// ever draws from a root RNG directly — routers and sources derive
+	// private streams via Split, a pure function of the parent state — so
+	// identical roots give every component the exact stream it gets in a
+	// serial run, whichever shard it landed on.
+	for s := range n.engines {
+		n.engines[s] = des.NewEngine(opt.Seed)
+	}
+	n.Eng = n.engines[0]
+	// Contiguous partition: shard s owns routers [s*N/P, (s+1)*N/P).
+	for id := 0; id < numNodes; id++ {
+		n.shardOf[id] = id * shards / numNodes
+	}
+	n.controlMsgs = make([]int64, numNodes)
+	n.controlBits = make([]float64, numNodes)
+	n.maxHops = make([]int, numNodes)
+	n.flowSerial = make([]uint64, len(net.Flows))
 	n.flowMaxSerial = make([]uint64, len(net.Flows))
 	n.flowLate = make([]int64, len(net.Flows))
 	n.flowArrived = make([]int64, len(net.Flows))
-	if opt.TraceCapacity > 0 {
+	if opt.TraceCapacity > 0 && shards == 1 {
 		n.Tracer = trace.NewRecorder(opt.TraceCapacity)
 	}
 	if opt.Telemetry != nil {
 		n.tel = opt.Telemetry
+		n.tracers = make([]*telemetry.Tracer, shards)
+		n.tracers[0] = n.tel.Trace
+		for s := 1; s < shards; s++ {
+			n.tracers[s] = n.tel.Trace.Fork()
+		}
+		for s := 0; s < shards; s++ {
+			n.tracers[s].SetOrigin(n.engines[s].Origin)
+		}
 		reg := n.tel.Metrics
-		n.nodeProbes = &telemetry.NodeProbes{
-			Tracer:    n.tel.Trace,
+		base := &telemetry.NodeProbes{
+			Tracer:    n.tracers[0],
 			ActiveDur: reg.Histogram("mpda.active.duration"),
 			Converge: &telemetry.ConvergeMeter{
 				Lag:  reg.Histogram("converge.lag"),
 				Last: reg.Gauge("converge.last"),
 			},
 		}
+		// Pre-size every slotted instrument before any concurrent writer
+		// exists: one lane per router (or per loss side), grown here so the
+		// hot paths never append.
+		base.ActiveDur.Grow(numNodes)
+		base.Converge.GrowSlots(numNodes)
+		n.nodeProbes = make([]*telemetry.NodeProbes, shards)
+		n.nodeProbes[0] = base
+		for s := 1; s < shards; s++ {
+			n.nodeProbes[s] = base.WithTracer(n.tracers[s])
+		}
 		n.telDelay = reg.Histogram("pkt.delay")
+		n.telDelay.Grow(numNodes)
 	}
 
 	// Nodes first (the LSU sender closure reads the port map lazily, so the
 	// ports can be created afterwards).
 	for _, id := range net.Graph.Nodes() {
-		n.Nodes[id] = router.New(n.Eng, id, numNodes, opt.Router, n.lsuSender(id))
+		n.Nodes[id] = router.New(n.engines[n.shardOf[id]], id, numNodes, opt.Router, n.lsuSender(id))
 		if n.nodeProbes != nil {
-			n.Nodes[id].SetTelemetry(n.nodeProbes)
+			n.Nodes[id].SetTelemetry(n.nodeProbes[n.shardOf[id]])
 		}
 	}
 
-	// Ports: one per directed link, delivering to the receiving node.
-	for _, l := range net.Graph.Links() {
+	// Ports: one per directed link, delivering to the receiving node. The
+	// port lives on the sender's engine; when the receiver is on another
+	// shard, BindReceiver routes delivery through the coordinator's
+	// mailboxes. The origin priorities come from the global link index, so
+	// equal-time link events order identically at every shard count.
+	minXProp := math.Inf(1)
+	for li, l := range net.Graph.Links() {
 		l := l
+		sEng := n.engines[n.shardOf[l.From]]
+		rEng := n.engines[n.shardOf[l.To]]
 		to := n.Nodes[l.To]
-		port := des.NewPort(n.Eng, l, opt.Router.QueueBits, func(pkt *des.Packet) {
+		port := des.NewPort(sEng, l, opt.Router.QueueBits, func(pkt *des.Packet) {
 			if pkt.IsControl() {
 				// The LSU is fully consumed inside HandleControl; the
 				// packet record goes straight back to the pool.
 				to.HandleControl(pkt)
-				n.Eng.FreePacket(pkt)
+				rEng.FreePacket(pkt)
 			} else {
 				to.HandleData(pkt) // the router recycles data packets
 			}
 		})
+		port.SetPris(des.PriLinkTx(uint64(li)), des.PriLinkDeliver(uint64(li)))
+		if rEng != sEng {
+			port.BindReceiver(rEng)
+			if l.PropDelay < minXProp {
+				minXProp = l.PropDelay
+			}
+		}
 		if n.tel != nil {
 			reg := n.tel.Metrics
 			link := fmt.Sprintf("link.%d-%d", l.From, l.To)
 			port.Probe = &telemetry.LinkProbe{
-				Tracer:    n.tel.Trace,
+				Tracer:    n.tracers[n.shardOf[l.From]],
+				RxTracer:  n.tracers[n.shardOf[l.To]],
 				From:      l.From,
 				To:        l.To,
 				QueueBits: reg.Histogram(link + ".queue.bits"),
 				TxBits:    reg.Counter(link + ".tx.bits"),
 				LostPkts:  reg.Counter(link + ".lost.pkts"),
 			}
+			port.Probe.LostPkts.GrowSlots(2)
 		}
 		n.Ports[[2]graph.NodeID{l.From, l.To}] = port
 		n.Nodes[l.From].AttachPort(l.To, port)
+	}
+
+	if shards > 1 {
+		window := opt.ShardWindow
+		if window <= 0 {
+			window = minXProp
+		}
+		n.Part = despart.New(n.engines, window)
+		for _, l := range net.Graph.Links() {
+			if s, r := n.shardOf[l.From], n.shardOf[l.To]; s != r {
+				n.Part.AddInbound(r, n.Ports[[2]graph.NodeID{l.From, l.To}])
+			}
+		}
 	}
 
 	// Delay measurement at each flow destination. Each flow seeds its own
@@ -174,23 +312,28 @@ func Build(net *topo.Network, opt Options) *Network {
 	for _, id := range net.Graph.Nodes() {
 		node := n.Nodes[id]
 		id := id
+		eng := n.engines[n.shardOf[id]]
+		var tr *telemetry.Tracer
+		if n.tel != nil {
+			tr = n.tracers[n.shardOf[id]]
+		}
 		node.OnArrive = func(pkt *des.Packet) {
 			if pkt.FlowID >= 0 && pkt.FlowID < len(n.Stats) {
-				delay := n.Eng.Now() - pkt.Created
+				delay := eng.Now() - pkt.Created
 				n.Stats[pkt.FlowID].Add(delay)
-				if pkt.Hops > n.maxHops {
-					n.maxHops = pkt.Hops
+				if pkt.Hops > n.maxHops[id] {
+					n.maxHops[id] = pkt.Hops
 				}
 				if n.tel != nil {
-					n.telDelay.Observe(n.Eng.Now(), delay)
-					ev := telemetry.NewEvent(n.Eng.Now(), telemetry.KindPktDeliver, id)
+					n.telDelay.ObserveSlot(int(id), eng.Now(), delay)
+					ev := telemetry.NewEvent(eng.Now(), telemetry.KindPktDeliver, id)
 					ev.Dst = pkt.Dst
 					ev.Flow = int32(pkt.FlowID)
 					ev.Value = delay
-					n.tel.Trace.Emit(ev)
+					tr.Emit(ev)
 				}
 				if n.Tracer != nil && pkt.Serial != 0 {
-					n.Tracer.Deliver(pkt.Serial, n.Eng.Now())
+					n.Tracer.Deliver(pkt.Serial, eng.Now())
 				}
 				if pkt.Serial != 0 {
 					n.flowArrived[pkt.FlowID]++
@@ -205,36 +348,45 @@ func Build(net *topo.Network, opt Options) *Network {
 		if n.Tracer != nil {
 			node.OnForward = func(pkt *des.Packet, next graph.NodeID) {
 				if pkt.Serial != 0 {
-					n.Tracer.Step(pkt.Serial, next, n.Eng.Now())
+					n.Tracer.Step(pkt.Serial, next, eng.Now())
 				}
 			}
 		}
 	}
 
-	// Traffic sources.
+	// Traffic sources. Each source lives on its flow's source-router shard
+	// and runs its whole event chain under the flow's own origin priority —
+	// the random arrival stream is identical at every shard count because
+	// Split is a pure function of the identically seeded root state.
 	for x, f := range n.Flows {
 		x, f := x, f
 		src := n.sourceFor(f)
-		stream := n.Eng.RNG().Split(0x7afc + uint64(x))
+		eng := n.engines[n.shardOf[f.Src]]
+		stream := eng.RNG().Split(0x7afc + uint64(x))
 		node := n.Nodes[f.Src]
-		src.Start(n.Eng, stream, func(bits float64) {
-			if n.warmupDone {
-				n.SentPackets[x]++
-			}
-			pkt := n.Eng.NewPacket()
-			n.serial++
-			*pkt = des.Packet{
-				Serial:  n.serial,
-				FlowID:  x,
-				Src:     f.Src,
-				Dst:     f.Dst,
-				Bits:    bits,
-				Created: n.Eng.Now(),
-			}
-			if n.Tracer != nil {
-				n.Tracer.Begin(pkt.Serial, x, f.Src, f.Dst, n.Eng.Now())
-			}
-			node.HandleData(pkt)
+		eng.WithOrigin(des.PriSource(uint64(x)), func() {
+			src.Start(eng, stream, func(bits float64) {
+				if n.warmupDone {
+					n.SentPackets[x]++
+				}
+				pkt := eng.NewPacket()
+				n.flowSerial[x]++
+				*pkt = des.Packet{
+					// The serial packs the flow above a per-flow count, so
+					// serials stay unique without a cross-shard counter and
+					// the per-flow order still supports reorder detection.
+					Serial:  uint64(x+1)<<40 | n.flowSerial[x],
+					FlowID:  x,
+					Src:     f.Src,
+					Dst:     f.Dst,
+					Bits:    bits,
+					Created: eng.Now(),
+				}
+				if n.Tracer != nil {
+					n.Tracer.Begin(pkt.Serial, x, f.Src, f.Dst, eng.Now())
+				}
+				node.HandleData(pkt)
+			})
 		})
 	}
 	return n
@@ -259,26 +411,27 @@ func (n *Network) lsuSender(id graph.NodeID) mpda.Sender {
 		if err != nil {
 			panic("core: marshal LSU: " + err.Error())
 		}
-		n.ControlMessages++
+		eng := n.engines[n.shardOf[id]]
+		n.controlMsgs[id]++
 		bits := float64(len(buf)*8 + framingBits)
-		n.ControlBits += bits
+		n.controlBits[id] += bits
 		if n.tel != nil {
-			ev := telemetry.NewEvent(n.Eng.Now(), telemetry.KindLSUSend, id)
+			ev := telemetry.NewEvent(eng.Now(), telemetry.KindLSUSend, id)
 			ev.Peer = to
 			ev.Value = bits
-			n.tel.Trace.Emit(ev)
+			n.tracers[n.shardOf[id]].Emit(ev)
 		}
-		pkt := n.Eng.NewPacket()
+		pkt := eng.NewPacket()
 		*pkt = des.Packet{
 			FlowID:  -1,
 			Src:     id,
 			Dst:     to,
 			Bits:    bits,
-			Created: n.Eng.Now(),
+			Created: eng.Now(),
 			Control: buf,
 		}
 		if !port.Send(pkt) {
-			n.Eng.FreePacket(pkt)
+			eng.FreePacket(pkt)
 		}
 	}
 }
@@ -310,10 +463,22 @@ func (n *Network) Run() *Report {
 	if n.Eng.Now() == 0 {
 		n.Start()
 	}
-	n.Eng.Run(n.opt.Warmup)
+	n.RunUntil(n.opt.Warmup)
 	n.BeginMeasurement()
-	n.Eng.Run(n.opt.Warmup + n.opt.Duration)
+	n.RunUntil(n.opt.Warmup + n.opt.Duration)
 	return n.Report()
+}
+
+// RunUntil advances the simulation to time t (inclusive): the coordinator's
+// lockstep windows for a sharded run, a plain engine run otherwise. On
+// return every shard clock equals t, so harness-side mutation (faults,
+// measurement boundaries) is safe.
+func (n *Network) RunUntil(t float64) {
+	if n.Part != nil {
+		n.Part.RunUntil(t)
+	} else {
+		n.Eng.Run(t)
+	}
 }
 
 // BeginMeasurement resets the per-flow statistics and starts counting
@@ -402,7 +567,7 @@ func (n *Network) emitFault(k telemetry.Kind, label string, a, b graph.NodeID) {
 		return
 	}
 	now := n.Eng.Now()
-	n.nodeProbes.Converge.TopoEvent(now)
+	n.nodeProbes[0].Converge.TopoEvent(now)
 	ev := telemetry.NewEvent(now, k, graph.None)
 	ev.Peer = a
 	ev.Dst = b
@@ -432,9 +597,10 @@ func (n *Network) syncTelemetry() {
 	if n.tel == nil {
 		return
 	}
+	n.nodeProbes[0].Converge.Finalize()
 	reg := n.tel.Metrics
-	reg.Counter("control.msgs").Set(float64(n.ControlMessages))
-	reg.Counter("control.bits").Set(n.ControlBits)
+	reg.Counter("control.msgs").Set(float64(n.ControlMessages()))
+	reg.Counter("control.bits").Set(n.ControlBits())
 	reg.Counter("telemetry.events.emitted").Set(float64(n.tel.Trace.Emitted()))
 	reg.Counter("telemetry.events.dropped").Set(float64(n.tel.Trace.Dropped()))
 	if n.Tracer != nil {
@@ -498,7 +664,13 @@ type Report struct {
 
 // Report snapshots the current statistics.
 func (n *Network) Report() *Report {
-	r := &Report{ControlMessages: n.ControlMessages, MaxHops: n.maxHops}
+	maxHops := 0
+	for _, h := range n.maxHops {
+		if h > maxHops {
+			maxHops = h
+		}
+	}
+	r := &Report{ControlMessages: n.ControlMessages(), MaxHops: maxHops}
 	for x, f := range n.Flows {
 		r.FlowNames = append(r.FlowNames, f.Name)
 		r.MeanDelayMs = append(r.MeanDelayMs, n.Stats[x].Mean()*1e3)

@@ -17,6 +17,17 @@ const DefaultQueueBits = 512 * 8 * 1024
 // work-conserving transmitter with a lossless control band and a drop-tail
 // data band, followed by a fixed propagation pipe. A Port is owned by the
 // sending router; delivery invokes the receiver's callback.
+//
+// In a sharded run (internal/despart) the sender and receiver routers may
+// live on different engines. The transmitter half (queues, service events,
+// counters) always runs on the sender's engine; the propagation half (pipe,
+// delivery events) runs on the receiver's engine rEng. When the two engines
+// differ (xshard), finished transmissions are parked in a mailbox instead of
+// being scheduled directly, and the coordinator moves them across the
+// window barrier (FlipMail, single-threaded) before the receiver drains them
+// (DrainInbox, receiver goroutine). Conservative lookahead — Prop is at
+// least the window width — guarantees every mailed arrival lands at or after
+// the window boundary, so the receiver never sees an event in its past.
 type Port struct {
 	From, To  graph.NodeID
 	Capacity  float64 // bits per second
@@ -41,6 +52,20 @@ type Port struct {
 	pipe      fifo
 	propDone  func()
 
+	// Cross-shard state. rEng is the receiver-side engine (== eng unless
+	// BindReceiver moved delivery to another shard); txPri/delivPri are the
+	// origin priorities of the transmitter and delivery event chains, set by
+	// the network from the global link index so equal-time events order
+	// identically in serial and sharded runs. mailIn collects finished
+	// transmissions during a window; mailOut is the previous window's batch
+	// awaiting DrainInbox.
+	rEng     *Engine
+	txPri    uint64
+	delivPri uint64
+	xshard   bool
+	mailIn   []mailEntry
+	mailOut  []mailEntry
+
 	// DataMeter counts transmitted data packets; routers read-and-reset it
 	// at measurement boundaries to estimate the link flow f_ik.
 	DataMeter linkcost.Meter
@@ -63,17 +88,26 @@ type Port struct {
 	DataBits       float64
 	DroppedPackets int64
 	DroppedBits    float64
-	// LostDataPackets counts data packets the port had accepted ownership of
-	// but lost to a link failure (queued at SetDown, mid-transmission, or
-	// propagating when the failure hit). Send rejections are not counted here
-	// — ownership stays with the caller, who does its own accounting. The
-	// conservation oracle sums this to balance the network's packet ledger.
-	LostDataPackets int64
+	// lostTx/lostRx count data packets the port had accepted ownership of
+	// but lost to a link failure: lostTx on the sender side (queued at
+	// SetDown or mid-transmission), lostRx on the receiver side (propagating
+	// when the failure hit). Send rejections are not counted — ownership
+	// stays with the caller. The split keeps each counter single-writer in a
+	// sharded run; LostData sums them for the conservation oracle.
+	lostTx int64
+	lostRx int64
 }
 
 type portItem struct {
 	pkt *Packet
 	enq float64
+}
+
+// mailEntry is one finished transmission awaiting cross-shard delivery: the
+// packet and its absolute arrival time (transmission end + Prop).
+type mailEntry struct {
+	at  float64
+	pkt *Packet
 }
 
 // fifo is a head-indexed queue that reuses its backing array: draining and
@@ -130,12 +164,59 @@ func NewPort(eng *Engine, l *graph.Link, queueBits float64, deliver func(*Packet
 		Capacity:  l.Capacity,
 		Prop:      l.PropDelay,
 		eng:       eng,
+		rEng:      eng,
+		txPri:     PriHarness,
+		delivPri:  PriHarness,
 		deliver:   deliver,
 		limitBits: queueBits,
 	}
 	p.txDone = p.finishTransmission
 	p.propDone = p.deliverNext
 	return p
+}
+
+// SetPris pins the origin priorities of the port's transmitter and delivery
+// event chains. The network derives them from the global link index
+// (PriLinkTx/PriLinkDeliver) so equal-time link events order identically
+// whether the run is serial or sharded.
+func (p *Port) SetPris(txPri, delivPri uint64) {
+	p.txPri, p.delivPri = txPri, delivPri
+}
+
+// BindReceiver moves the port's delivery side to another engine: finished
+// transmissions are parked in the mailbox instead of scheduled, and the
+// shard coordinator carries them across the window barrier. Binding the
+// port's own engine restores direct in-engine delivery.
+func (p *Port) BindReceiver(rEng *Engine) {
+	p.rEng = rEng
+	p.xshard = rEng != p.eng
+}
+
+// CrossShard reports whether delivery runs on a different engine than
+// transmission.
+func (p *Port) CrossShard() bool { return p.xshard }
+
+// FlipMail publishes the window's finished transmissions to the receiver.
+// The coordinator calls it inside the barrier (single-threaded), which is
+// the only moment both mailbox halves may be touched by one goroutine.
+func (p *Port) FlipMail() {
+	p.mailIn, p.mailOut = p.mailOut[:0], p.mailIn
+}
+
+// DrainInbox schedules the published mailbox batch on the receiver engine.
+// The receiver's shard goroutine calls it at window start, after the
+// barrier, in ascending link order — so equal-time arrivals across links
+// enqueue in the same relative order a serial run produces. Lookahead
+// guarantees every entry's arrival time is at or after the receiver's
+// clock; Schedule's past check enforces that loudly.
+func (p *Port) DrainInbox() {
+	for i := range p.mailOut {
+		m := &p.mailOut[i]
+		p.pipe.push(portItem{pkt: m.pkt})
+		p.rEng.SchedulePri(m.at, p.delivPri, p.propDone)
+		m.pkt = nil
+	}
+	p.mailOut = p.mailOut[:0]
 }
 
 // Send enqueues pkt for transmission. It reports false when the packet was
@@ -186,7 +267,7 @@ func (p *Port) startNext() {
 	p.busy = true
 	p.txIt = it
 	p.txService = it.pkt.Bits / p.Capacity
-	p.eng.After(p.txService, p.txDone)
+	p.eng.AfterPri(p.txService, p.txPri, p.txDone)
 }
 
 func (p *Port) finishTransmission() {
@@ -196,9 +277,9 @@ func (p *Port) finishTransmission() {
 		// The link failed mid-transmission; the packet is lost and the
 		// transmitter stays idle until the link recovers.
 		if !it.pkt.IsControl() {
-			p.LostDataPackets++
+			p.lostTx++
 			if p.Probe != nil {
-				p.Probe.Lost(p.eng.Now(), int32(it.pkt.FlowID), it.pkt.Dst)
+				p.Probe.LostTx(p.eng.Now(), int32(it.pkt.FlowID), it.pkt.Dst)
 			}
 		}
 		p.eng.FreePacket(it.pkt)
@@ -219,25 +300,29 @@ func (p *Port) finishTransmission() {
 			p.Probe.Transmit(p.eng.Now(), pkt.Bits)
 		}
 	}
-	p.pipe.push(portItem{pkt: pkt})
-	p.eng.After(p.Prop, p.propDone)
+	if p.xshard {
+		p.mailIn = append(p.mailIn, mailEntry{at: p.eng.Now() + p.Prop, pkt: pkt})
+	} else {
+		p.pipe.push(portItem{pkt: pkt})
+		p.rEng.SchedulePri(p.eng.Now()+p.Prop, p.delivPri, p.propDone)
+	}
 	p.startNext()
 }
 
-// deliverNext completes the propagation of the oldest in-flight packet.
-// Packets that were in the pipe when the link failed are lost at arrival
-// time (the down check happens when the propagation event fires, exactly as
-// the previous per-packet closure did).
+// deliverNext completes the propagation of the oldest in-flight packet. It
+// runs on the receiver engine. Packets that were in the pipe when the link
+// failed are lost at arrival time (the down check happens when the
+// propagation event fires, exactly as the previous per-packet closure did).
 func (p *Port) deliverNext() {
 	it := p.pipe.pop()
 	if p.down {
 		if !it.pkt.IsControl() {
-			p.LostDataPackets++
+			p.lostRx++
 			if p.Probe != nil {
-				p.Probe.Lost(p.eng.Now(), int32(it.pkt.FlowID), it.pkt.Dst)
+				p.Probe.LostRx(p.rEng.Now(), int32(it.pkt.FlowID), it.pkt.Dst)
 			}
 		}
-		p.eng.FreePacket(it.pkt)
+		p.rEng.FreePacket(it.pkt)
 		return
 	}
 	p.deliver(it.pkt)
@@ -261,9 +346,9 @@ func (p *Port) SetDown(down bool) {
 			it := p.data.pop()
 			p.DroppedPackets++
 			p.DroppedBits += it.pkt.Bits
-			p.LostDataPackets++
+			p.lostTx++
 			if p.Probe != nil {
-				p.Probe.Lost(p.eng.Now(), int32(it.pkt.FlowID), it.pkt.Dst)
+				p.Probe.LostTx(p.eng.Now(), int32(it.pkt.FlowID), it.pkt.Dst)
 			}
 			p.eng.FreePacket(it.pkt)
 		}
@@ -287,10 +372,17 @@ func (p *Port) QueuedPackets() int { return p.ctrl.len() + p.data.len() }
 // Busy reports whether a transmission is in progress.
 func (p *Port) Busy() bool { return p.busy }
 
+// LostData returns the data packets the port accepted ownership of but lost
+// to link failures, summed over the sender and receiver sides. The
+// conservation oracle reads it at barriers (or in-engine, serially), where
+// both counters are quiescent.
+func (p *Port) LostData() int64 { return p.lostTx + p.lostRx }
+
 // InFlightDataPackets counts the data packets the port currently owns:
-// queued in the data band, in transmission, and propagating in the pipe.
-// The conservation oracle uses it to balance offered traffic against
-// delivered, dropped, and still-travelling packets at any instant.
+// queued in the data band, in transmission, propagating in the pipe, and
+// parked in the cross-shard mailbox. The conservation oracle uses it to
+// balance offered traffic against delivered, dropped, and still-travelling
+// packets; in a sharded run it must only be called at barriers.
 func (p *Port) InFlightDataPackets() int {
 	n := p.data.len()
 	if p.txIt.pkt != nil && !p.txIt.pkt.IsControl() {
@@ -298,6 +390,16 @@ func (p *Port) InFlightDataPackets() int {
 	}
 	for i := p.pipe.head; i < len(p.pipe.items); i++ {
 		if !p.pipe.items[i].pkt.IsControl() {
+			n++
+		}
+	}
+	for i := range p.mailIn {
+		if !p.mailIn[i].pkt.IsControl() {
+			n++
+		}
+	}
+	for i := range p.mailOut {
+		if !p.mailOut[i].pkt.IsControl() {
 			n++
 		}
 	}

@@ -86,8 +86,8 @@ func TestLinkDownLosesPropagatingData(t *testing.T) {
 	if delivered != 0 {
 		t.Fatal("packet delivered through a link that failed mid-propagation")
 	}
-	if p.LostDataPackets != 1 {
-		t.Fatalf("LostDataPackets = %d, want 1", p.LostDataPackets)
+	if p.LostData() != 1 {
+		t.Fatalf("LostDataPackets = %d, want 1", p.LostData())
 	}
 }
 
@@ -103,8 +103,8 @@ func TestLinkDownLosesPropagatingControl(t *testing.T) {
 	e.Run(0.01)
 	p.SetDown(true)
 	e.Run(1)
-	if delivered != 0 || p.LostDataPackets != 0 {
-		t.Fatalf("delivered = %d, LostDataPackets = %d; want 0, 0", delivered, p.LostDataPackets)
+	if delivered != 0 || p.LostData() != 0 {
+		t.Fatalf("delivered = %d, LostDataPackets = %d; want 0, 0", delivered, p.LostData())
 	}
 }
 
@@ -120,8 +120,8 @@ func TestLinkDownLosesMidTransmissionControl(t *testing.T) {
 	e.Run(0.1) // mid-transmission (service takes 1 s)
 	p.SetDown(true)
 	e.Run(10)
-	if delivered != 0 || p.LostDataPackets != 0 {
-		t.Fatalf("delivered = %d, LostDataPackets = %d; want 0, 0", delivered, p.LostDataPackets)
+	if delivered != 0 || p.LostData() != 0 {
+		t.Fatalf("delivered = %d, LostDataPackets = %d; want 0, 0", delivered, p.LostData())
 	}
 	if p.Busy() {
 		t.Fatal("transmitter busy after losing its packet to the failure")
@@ -147,8 +147,8 @@ func TestSetDownDrainsControlBand(t *testing.T) {
 	if p.DroppedBits != 300+300+700 {
 		t.Fatalf("DroppedBits = %v, want 1300", p.DroppedBits)
 	}
-	if p.LostDataPackets != 1 {
-		t.Fatalf("LostDataPackets = %d, want 1 (queued data only)", p.LostDataPackets)
+	if p.LostData() != 1 {
+		t.Fatalf("LostDataPackets = %d, want 1 (queued data only)", p.LostData())
 	}
 	if p.QueuedDataBits() != 0 || p.QueuedPackets() != 0 {
 		t.Fatal("queues not empty after SetDown")

@@ -1,8 +1,14 @@
 // Package eventq implements the discrete-event scheduler core: a binary-heap
-// priority queue of timestamped events with stable FIFO ordering among
-// events scheduled for the same instant. Stability matters for protocol
-// correctness — MPDA assumes messages on a link are delivered in the order
-// sent, and equal-time events must not be reordered by the heap.
+// priority queue of timestamped events ordered by (time, origin priority,
+// insertion sequence). Equal-time events fire grouped by origin — the model
+// entity (router, link, traffic source) whose execution scheduled them — and
+// in FIFO order within one origin. Stability within an origin matters for
+// protocol correctness: MPDA assumes messages on a link are delivered in the
+// order sent. The origin rank makes the equal-time order a function of the
+// model alone, not of global push order, which is what lets a sharded run
+// (internal/despart) replay the exact schedule of a serial run: each origin's
+// pushes happen in that origin's own deterministic execution order on
+// whichever shard owns it.
 //
 // The queue owns a free list of Event records: the simulator pushes and pops
 // millions of events per run, and recycling them keeps the hot path
@@ -16,6 +22,7 @@ package eventq
 // through Handles and the *Event returned by Pop (valid until Recycle).
 type Event struct {
 	time float64
+	pri  uint64
 	seq  uint64
 	fn   func()
 	// index into the heap, -1 once popped or canceled.
@@ -27,6 +34,9 @@ type Event struct {
 
 // Time returns the absolute time the event fires at.
 func (e *Event) Time() float64 { return e.time }
+
+// Pri returns the event's origin priority (see PushPri).
+func (e *Event) Pri() uint64 { return e.pri }
 
 // Fire invokes the event's callback.
 func (e *Event) Fire() { e.fn() }
@@ -54,9 +64,10 @@ func (h Handle) Time() float64 {
 	return h.ev.time
 }
 
-// Queue is a min-heap of events ordered by (time, insertion sequence).
-// The zero value is ready for use. Queue is not safe for concurrent use:
-// the simulator is single-threaded by design, which keeps runs reproducible.
+// Queue is a min-heap of events ordered by (time, origin priority,
+// insertion sequence). The zero value is ready for use. Queue is not safe
+// for concurrent use: each simulation shard is single-threaded by design,
+// which keeps runs reproducible.
 type Queue struct {
 	heap []*Event
 	seq  uint64
@@ -66,9 +77,14 @@ type Queue struct {
 // Len reports the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
 
-// Push schedules fn at absolute time t and returns a handle that can cancel
-// it. It panics on a nil fn (always a programming error).
-func (q *Queue) Push(t float64, fn func()) Handle {
+// Push schedules fn at absolute time t with origin priority zero. It panics
+// on a nil fn (always a programming error).
+func (q *Queue) Push(t float64, fn func()) Handle { return q.PushPri(t, 0, fn) }
+
+// PushPri schedules fn at absolute time t with the given origin priority and
+// returns a handle that can cancel it. Among equal-time events, lower
+// priorities fire first; equal (time, pri) events fire in push order.
+func (q *Queue) PushPri(t float64, pri uint64, fn func()) Handle {
 	if fn == nil {
 		panic("eventq: Push with nil fn")
 	}
@@ -77,9 +93,9 @@ func (q *Queue) Push(t float64, fn func()) Handle {
 		e = q.free[n-1]
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
-		e.time, e.seq, e.fn, e.index = t, q.seq, fn, len(q.heap)
+		e.time, e.pri, e.seq, e.fn, e.index = t, pri, q.seq, fn, len(q.heap)
 	} else {
-		e = &Event{time: t, seq: q.seq, fn: fn, index: len(q.heap)}
+		e = &Event{time: t, pri: pri, seq: q.seq, fn: fn, index: len(q.heap)}
 	}
 	q.seq++
 	q.heap = append(q.heap, e)
@@ -156,6 +172,9 @@ func (q *Queue) less(i, j int) bool {
 	//lint:floateq-ok heap comparators need a strict weak order; tolerant equality is not transitive
 	if a.time != b.time {
 		return a.time < b.time
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
 	}
 	return a.seq < b.seq
 }

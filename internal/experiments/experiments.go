@@ -40,6 +40,17 @@ type Settings struct {
 	// a deterministic function of the simulation, so the set of files is
 	// byte-identical at any simpool worker count.
 	TelemetryDir string
+	// Shards partitions every simulation across this many event-engine
+	// shards (core.Options.Shards); zero or one runs serially. Figures and
+	// telemetry artifacts are byte-identical at any shard count — the
+	// determinism matrix pins that.
+	Shards int
+	// TelemetryRingCap overrides the per-router telemetry ring capacity
+	// (<= 0 selects telemetry.DefaultRingCap). The shard determinism matrix
+	// raises it: which events a full ring drops depends on how emissions
+	// split across shard tracers, so byte-equality across shard counts
+	// requires rings that never overflow.
+	TelemetryRingCap int
 	// figID labels telemetry prefixes; compare() installs the figure ID.
 	figID string
 }
@@ -50,7 +61,7 @@ func (s Settings) newCapture(tn *topo.Network) *telemetry.Capture {
 	if s.TelemetryDir == "" {
 		return nil
 	}
-	return telemetry.NewCapture(tn.Graph.NumNodes())
+	return telemetry.NewCaptureSized(tn.Graph.NumNodes(), s.TelemetryRingCap, telemetry.DefaultBucketWidth)
 }
 
 // exportTelemetry writes the run's artifacts under TelemetryDir. A nil
@@ -101,6 +112,7 @@ func (s scheme) options(set Settings, src func(f topo.Flow) traffic.Source) core
 	opt.Warmup = set.Warmup
 	opt.Duration = set.Duration
 	opt.Source = src
+	opt.Shards = set.Shards
 	return opt
 }
 

@@ -41,15 +41,15 @@ func Overhead(set Settings) (*report.Figure, error) {
 				// Count control traffic over the measurement period only.
 				n.Start()
 				n.Eng.Run(run.Warmup)
-				m0, b0 := n.ControlMessages, n.ControlBits
+				m0, b0 := n.ControlMessages(), n.ControlBits()
 				rep := n.Run() // continues from warmup; stats already reset inside
 				if err := n.CheckLoopFree(); err != nil {
 					return nil, fmt.Errorf("experiments: overhead: %w", err)
 				}
 				return []float64{
 					rep.AvgMeanDelayMs(),
-					float64(n.ControlMessages-m0) / run.Duration,
-					(n.ControlBits - b0) / run.Duration / 1e3,
+					float64(n.ControlMessages()-m0) / run.Duration,
+					(n.ControlBits() - b0) / run.Duration / 1e3,
 				}, nil
 			})
 			rows[i] = row

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"minroute/internal/leaktest"
+	"minroute/internal/simpool"
+	"minroute/internal/telemetry"
+)
+
+// TestShardDeterminismMatrix is the acceptance test for sharded single-sim
+// execution: the fig14 figure AND its full telemetry artifact set (JSONL
+// event logs, Chrome traces, metrics snapshots for every scheme and seed)
+// must be byte-identical at -shards 1, 2, 3, and 8, under both a serialized
+// scheduler and a wide one, against the serial (Shards=0, no coordinator)
+// golden. Ring capacity is raised so no ring ever overflows: which events a
+// full ring drops is the one thing that legitimately depends on how
+// emissions split across shard tracers.
+func TestShardDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix runs fig14 nine times")
+	}
+	leaktest.Check(t)
+	oldWorkers := simpool.Workers()
+	defer simpool.SetWorkers(oldWorkers)
+	oldProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(oldProcs)
+
+	set := detSettings
+	set.TelemetryRingCap = 1 << 16
+
+	runtime.GOMAXPROCS(oldProcs)
+	goldenFig := figureHash(t, "fig14", set)
+	goldenDir := telemetryDirHash(t, 0, set)
+
+	for _, procs := range []int{1, 16} {
+		runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{1, 2, 3, 8} {
+			s := set
+			s.Shards = shards
+			simpool.SetWorkers(0)
+			if got := figureHash(t, "fig14", s); got != goldenFig {
+				t.Errorf("shards=%d procs=%d: figure hash %s != serial golden %s", shards, procs, got, goldenFig)
+			}
+			if got := telemetryDirHash(t, 0, s); got != goldenDir {
+				t.Errorf("shards=%d procs=%d: artifact hash %s != serial golden %s", shards, procs, got, goldenDir)
+			}
+		}
+	}
+}
+
+// TestShardedRingCapPlumbing pins that the ring-capacity override reaches
+// the capture: a tiny cap must drop events on a quick run.
+func TestShardedRingCapPlumbing(t *testing.T) {
+	cap := telemetry.NewCaptureSized(4, 8, telemetry.DefaultBucketWidth)
+	for i := 0; i < 100; i++ {
+		cap.Trace.Emit(telemetry.NewEvent(float64(i), telemetry.KindTableCommit, 1))
+	}
+	if cap.Trace.Dropped() == 0 {
+		t.Fatal("ring cap 8 dropped nothing after 100 emissions")
+	}
+}

@@ -12,14 +12,13 @@ import (
 	"minroute/internal/simpool"
 )
 
-// telemetryDirHash runs fig14 with telemetry export into a fresh directory
-// and digests every artifact (name plus content, in sorted name order) into
-// one hash.
-func telemetryDirHash(t *testing.T, workers int) string {
+// telemetryDirHash runs fig14 under set with telemetry export into a fresh
+// directory and digests every artifact (name plus content, in sorted name
+// order) into one hash.
+func telemetryDirHash(t *testing.T, workers int, set Settings) string {
 	t.Helper()
 	simpool.SetWorkers(workers)
 	dir := t.TempDir()
-	set := detSettings
 	set.TelemetryDir = dir
 	if _, err := Fig14(set); err != nil {
 		t.Fatal(err)
@@ -57,8 +56,8 @@ func TestTelemetryDeterministicAcrossWorkers(t *testing.T) {
 	oldWorkers := simpool.Workers()
 	defer simpool.SetWorkers(oldWorkers)
 
-	base := telemetryDirHash(t, 1)
-	if got := telemetryDirHash(t, 8); got != base {
+	base := telemetryDirHash(t, 1, detSettings)
+	if got := telemetryDirHash(t, 8, detSettings); got != base {
 		t.Errorf("workers=8 artifact hash %s differs from workers=1 baseline %s", got, base)
 	}
 }

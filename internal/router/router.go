@@ -302,14 +302,14 @@ func (n *Node) installProtoHooks() {
 		ev := telemetry.NewEvent(now, telemetry.KindPhasePassive, n.id)
 		ev.Value = now - n.activeSince
 		n.tel.Tracer.Emit(ev)
-		n.tel.ActiveDur.Observe(now, ev.Value)
+		n.tel.ActiveDur.ObserveSlot(int(n.id), now, ev.Value)
 	}
 	n.proto.OnCommit = func(changed int) {
 		now := n.eng.Now()
 		ev := telemetry.NewEvent(now, telemetry.KindTableCommit, n.id)
 		ev.Value = float64(changed)
 		n.tel.Tracer.Emit(ev)
-		n.tel.Converge.Commit(now)
+		n.tel.Converge.CommitSlot(int(n.id), now)
 	}
 }
 
@@ -340,24 +340,32 @@ func (n *Node) emitDrop(k telemetry.Kind, pkt *des.Packet) {
 // Start brings up all adjacent links at their idle costs and schedules the
 // measurement timers with random phases.
 func (n *Node) Start() {
-	for _, k := range n.nbrs {
-		p := n.ports[k]
-		c := n.idleCost(p)
-		n.shortCost[k] = c
-		sm := linkcost.NewSmoother(n.cfg.CostSmoothing)
-		sm.Update(c)
-		n.longCost[k] = sm
-		n.proto.LinkUp(k, quantizeCost(c))
-	}
-	n.refreshAllocations()
-	if n.cfg.Ts > 0 {
-		n.tsTimer = n.eng.After(n.cfg.Ts*n.prng.Float64(), n.tsTick)
-	}
-	if n.cfg.Tl > 0 {
-		// "The long-term update periods should be phased randomly at each
-		// router" — first firing lands uniformly inside one Tl period.
-		n.tlTimer = n.eng.After(n.cfg.Tl*n.prng.Float64(), n.tlTick)
-	}
+	// The whole boot sequence runs under the router's own origin priority:
+	// Start runs from harness context (boot, or a chaos Restart), and
+	// inheriting the harness origin would make the boot emissions and the
+	// timer chains' equal-time ordering depend on who restarted the node —
+	// and on which shard's tracer recorded it — rather than on the node
+	// itself.
+	n.eng.WithOrigin(des.PriRouter(uint64(n.id)), func() {
+		for _, k := range n.nbrs {
+			p := n.ports[k]
+			c := n.idleCost(p)
+			n.shortCost[k] = c
+			sm := linkcost.NewSmoother(n.cfg.CostSmoothing)
+			sm.Update(c)
+			n.longCost[k] = sm
+			n.proto.LinkUp(k, quantizeCost(c))
+		}
+		n.refreshAllocations()
+		if n.cfg.Ts > 0 {
+			n.tsTimer = n.eng.After(n.cfg.Ts*n.prng.Float64(), n.tsTick)
+		}
+		if n.cfg.Tl > 0 {
+			// "The long-term update periods should be phased randomly at each
+			// router" — first firing lands uniformly inside one Tl period.
+			n.tlTimer = n.eng.After(n.cfg.Tl*n.prng.Float64(), n.tlTick)
+		}
+	})
 }
 
 // Crash takes the node down hard: timers are disarmed and all traffic is
@@ -626,8 +634,13 @@ func (n *Node) LinkFailed(k graph.NodeID) {
 	if n.down {
 		return
 	}
-	n.proto.LinkDown(k)
-	n.refreshAllocations()
+	// Like Start, this is a harness-context entry point (core fault
+	// injection): the protocol reaction — LSU floods, table commits, their
+	// telemetry — must carry the router's own origin, not the injector's.
+	n.eng.WithOrigin(des.PriRouter(uint64(n.id)), func() {
+		n.proto.LinkDown(k)
+		n.refreshAllocations()
+	})
 }
 
 // LinkRecovered tells the protocol an adjacent link came back.
@@ -639,11 +652,13 @@ func (n *Node) LinkRecovered(k graph.NodeID) {
 	if !ok {
 		return
 	}
-	c := n.idleCost(p)
-	n.shortCost[k] = c
-	n.longCost[k].Update(c)
-	n.proto.LinkUp(k, quantizeCost(c))
-	n.refreshAllocations()
+	n.eng.WithOrigin(des.PriRouter(uint64(n.id)), func() {
+		c := n.idleCost(p)
+		n.shortCost[k] = c
+		n.longCost[k].Update(c)
+		n.proto.LinkUp(k, quantizeCost(c))
+		n.refreshAllocations()
+	})
 }
 
 // refreshAllocations re-runs IH for every destination whose successor set

@@ -58,6 +58,56 @@ func currentLocked() chan struct{} {
 	return sem
 }
 
+// Tokens holds worker slots acquired by TryAcquire. It captures the
+// semaphore it drew from, so Release returns the slots to the right channel
+// even if SetWorkers swapped the process-wide semaphore in between.
+type Tokens struct {
+	sem chan struct{}
+	n   int
+}
+
+// Held reports how many worker slots the token set holds.
+func (t *Tokens) Held() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Release returns every held slot. Safe to call more than once.
+func (t *Tokens) Release() {
+	if t == nil {
+		return
+	}
+	for ; t.n > 0; t.n-- {
+		<-t.sem
+	}
+}
+
+// TryAcquire grabs up to n worker slots without blocking and returns the
+// tokens actually obtained (possibly zero). It lets a parallel layer nested
+// under the experiment pool — e.g. the shards of one simulation — claim
+// spare capacity when the pool is idle while degrading gracefully to fewer
+// (or no) extra goroutines when experiment workers already fill the budget.
+// The caller's own goroutine never needs a slot: only the *additional*
+// concurrency is charged, which is what keeps workers × shards bounded by
+// the process-wide budget instead of their product.
+func TryAcquire(n int) *Tokens {
+	mu.Lock()
+	s := currentLocked()
+	mu.Unlock()
+	t := &Tokens{sem: s}
+	for i := 0; i < n; i++ {
+		select {
+		case s <- struct{}{}:
+			t.n++
+		default:
+			return t
+		}
+	}
+	return t
+}
+
 // Group runs tasks concurrently and collects the first error by submission
 // order. The zero value is not valid; use NewGroup or Coordinator. A group
 // must not be reused after Wait returns.

@@ -6,11 +6,15 @@ import (
 	"strings"
 )
 
-// Counter is a monotonically growing (or explicitly Set) float total.
-// A nil *Counter is a valid no-op sink, which is what gives every probe
-// site its one-branch disabled path.
+// Counter is a monotonically growing (or explicitly Set) float total. It
+// optionally carries indexed slots so the shards of a parallel run can each
+// accumulate into a private lane without locks; Value folds the slots in
+// ascending index order, so the float result is independent of how work was
+// scheduled. A nil *Counter is a valid no-op sink, which is what gives
+// every probe site its one-branch disabled path.
 type Counter struct {
-	v float64
+	v     float64
+	slots []float64
 }
 
 // Add increases the counter by d.
@@ -24,6 +28,30 @@ func (c *Counter) Add(d float64) {
 // Inc increases the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
 
+// AddSlot increases slot i by d. Distinct slots may be written from
+// distinct goroutines, provided GrowSlots pre-sized the slot array (growth
+// is not concurrency-safe).
+func (c *Counter) AddSlot(i int, d float64) {
+	if c == nil {
+		return
+	}
+	for len(c.slots) <= i {
+		c.slots = append(c.slots, 0)
+	}
+	c.slots[i] += d
+}
+
+// GrowSlots pre-sizes the slot array to at least n entries. Call it during
+// single-threaded setup before handing slots to concurrent writers.
+func (c *Counter) GrowSlots(n int) {
+	if c == nil {
+		return
+	}
+	for len(c.slots) < n {
+		c.slots = append(c.slots, 0)
+	}
+}
+
 // Set overwrites the counter (used to mirror externally maintained totals,
 // e.g. ring drop counts, into a snapshot).
 func (c *Counter) Set(v float64) {
@@ -33,12 +61,17 @@ func (c *Counter) Set(v float64) {
 	c.v = v
 }
 
-// Value returns the current total (zero for nil).
+// Value returns the current total: the scalar plus every slot, folded in
+// ascending slot order (zero for nil).
 func (c *Counter) Value() float64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	v := c.v
+	for _, s := range c.slots {
+		v += s
+	}
+	return v
 }
 
 // Gauge is a last-value-wins instantaneous measurement.
@@ -77,39 +110,75 @@ func (b Bucket) Mean() float64 {
 	return b.Sum / float64(b.N)
 }
 
-// Histogram aggregates observations into fixed-width simulation-time
-// buckets: Observe(t, v) lands v in bucket floor(t/width). That makes a
-// histogram a compact time series — queue depth per second, ACTIVE-phase
-// duration per second — instead of a value-domain distribution, which is
-// the shape the paper's figures actually need.
-type Histogram struct {
-	width   float64
+// histSlot is one writer lane of a Histogram: its own time buckets and
+// running total.
+type histSlot struct {
 	buckets []Bucket
 	total   Bucket
 }
 
-// Observe records value v at simulation time t.
-func (h *Histogram) Observe(t, v float64) {
-	if h == nil {
-		return
-	}
+func (s *histSlot) observe(t, v, width float64) {
 	i := 0
-	if t > 0 && h.width > 0 {
-		i = int(t / h.width)
+	if t > 0 && width > 0 {
+		i = int(t / width)
 	}
-	for len(h.buckets) <= i {
-		h.buckets = append(h.buckets, Bucket{})
+	for len(s.buckets) <= i {
+		s.buckets = append(s.buckets, Bucket{})
 	}
-	b := &h.buckets[i]
+	b := &s.buckets[i]
 	b.N++
 	b.Sum += v
 	if v > b.Max {
 		b.Max = v
 	}
-	h.total.N++
-	h.total.Sum += v
-	if v > h.total.Max {
-		h.total.Max = v
+	s.total.N++
+	s.total.Sum += v
+	if v > s.total.Max {
+		s.total.Max = v
+	}
+}
+
+// Histogram aggregates observations into fixed-width simulation-time
+// buckets: Observe(t, v) lands v in bucket floor(t/width). That makes a
+// histogram a compact time series — queue depth per second, ACTIVE-phase
+// duration per second — instead of a value-domain distribution, which is
+// the shape the paper's figures actually need.
+//
+// Like Counter, a histogram carries indexed slots (writer lanes): a
+// sharded run gives each logical emitter (a router, a flow destination) a
+// fixed slot, so distinct shards never write the same lane, and the
+// read-side accessors fold lanes in ascending slot order — float sums come
+// out identical no matter how the run was scheduled, provided the serial
+// run uses the same per-slot observation calls.
+type Histogram struct {
+	width float64
+	slots []histSlot
+}
+
+// Observe records value v at simulation time t in slot 0.
+func (h *Histogram) Observe(t, v float64) { h.ObserveSlot(0, t, v) }
+
+// ObserveSlot records value v at simulation time t in the given slot.
+// Distinct slots may be written from distinct goroutines, provided Grow
+// pre-sized the slot array (growth is not concurrency-safe).
+func (h *Histogram) ObserveSlot(slot int, t, v float64) {
+	if h == nil {
+		return
+	}
+	for len(h.slots) <= slot {
+		h.slots = append(h.slots, histSlot{})
+	}
+	h.slots[slot].observe(t, v, h.width)
+}
+
+// Grow pre-sizes the slot array to at least n entries. Call it during
+// single-threaded setup before handing slots to concurrent writers.
+func (h *Histogram) Grow(n int) {
+	if h == nil {
+		return
+	}
+	for len(h.slots) < n {
+		h.slots = append(h.slots, histSlot{})
 	}
 }
 
@@ -118,15 +187,25 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.total.N
+	var n int64
+	for i := range h.slots {
+		n += h.slots[i].total.N
+	}
+	return n
 }
 
-// Mean returns the all-time average observation, or 0 with none.
+// Mean returns the all-time average observation, or 0 with none. Slot sums
+// fold in ascending slot order.
 func (h *Histogram) Mean() float64 {
 	if h == nil {
 		return 0
 	}
-	return h.total.Mean()
+	var b Bucket
+	for i := range h.slots {
+		b.N += h.slots[i].total.N
+		b.Sum += h.slots[i].total.Sum
+	}
+	return b.Mean()
 }
 
 // Max returns the largest observation seen.
@@ -134,7 +213,13 @@ func (h *Histogram) Max() float64 {
 	if h == nil {
 		return 0
 	}
-	return h.total.Max
+	var m float64
+	for i := range h.slots {
+		if h.slots[i].total.Max > m {
+			m = h.slots[i].total.Max
+		}
+	}
+	return m
 }
 
 // BucketWidth returns the time-bucket width in seconds.
@@ -146,12 +231,34 @@ func (h *Histogram) BucketWidth() float64 {
 }
 
 // Buckets returns the per-window summaries, index i covering simulation
-// time [i*width, (i+1)*width). The slice is owned by the histogram.
+// time [i*width, (i+1)*width), folded across slots in ascending slot
+// order. With a single slot the histogram's own bucket slice is returned;
+// with several the fold allocates a merged copy. Callers must not modify
+// the result.
 func (h *Histogram) Buckets() []Bucket {
-	if h == nil {
+	if h == nil || len(h.slots) == 0 {
 		return nil
 	}
-	return h.buckets
+	if len(h.slots) == 1 {
+		return h.slots[0].buckets
+	}
+	n := 0
+	for i := range h.slots {
+		if len(h.slots[i].buckets) > n {
+			n = len(h.slots[i].buckets)
+		}
+	}
+	out := make([]Bucket, n)
+	for i := range h.slots {
+		for j, bk := range h.slots[i].buckets {
+			out[j].N += bk.N
+			out[j].Sum += bk.Sum
+			if bk.Max > out[j].Max {
+				out[j].Max = bk.Max
+			}
+		}
+	}
+	return out
 }
 
 // ConvergeMeter approximates per-topology-event convergence time: every
@@ -161,6 +268,13 @@ func (h *Histogram) Buckets() []Bucket {
 // on full Theorem-4 convergence (later commits belong to the same episode)
 // but it is cheap, per-event, and monotone in the quantity the Tl sweeps
 // study: how fast the control plane reacts to change.
+//
+// Commits are recorded per slot (one slot per router) and the episode is
+// closed lazily — at the next topology event or at Finalize — by taking
+// the earliest commit across slots. Because simulation time is
+// nondecreasing within a slot, the earliest commit is exactly the first
+// one, so the recorded lag matches the eager serial semantics while
+// letting the routers of a sharded run report commits without locks.
 type ConvergeMeter struct {
 	// Lag receives one observation per closed episode (at the commit time).
 	Lag *Histogram
@@ -168,27 +282,74 @@ type ConvergeMeter struct {
 	Last  *Gauge
 	at    float64
 	armed bool
+	// commits[slot] is the earliest commit time slot reported this episode,
+	// or -1 with none yet.
+	commits []float64
 }
 
-// TopoEvent marks a topology change at simulation time t. A new event
-// re-arms the meter (the episode restarts).
+// TopoEvent marks a topology change at simulation time t, closing any
+// previous episode first. Call only from single-threaded context (faults
+// are injected at barriers).
 func (m *ConvergeMeter) TopoEvent(t float64) {
 	if m == nil {
 		return
 	}
+	m.Finalize()
 	m.at = t
 	m.armed = true
+	for i := range m.commits {
+		m.commits[i] = -1
+	}
 }
 
-// Commit reports a routing-table commit at time t, closing any armed
-// episode.
-func (m *ConvergeMeter) Commit(t float64) {
+// GrowSlots pre-sizes the commit slots to at least n entries. Call it
+// during single-threaded setup before handing slots to concurrent writers.
+func (m *ConvergeMeter) GrowSlots(n int) {
+	if m == nil {
+		return
+	}
+	for len(m.commits) < n {
+		m.commits = append(m.commits, -1)
+	}
+}
+
+// CommitSlot reports a routing-table commit by the given slot at time t.
+// Distinct slots may be written from distinct goroutines.
+func (m *ConvergeMeter) CommitSlot(slot int, t float64) {
 	if m == nil || !m.armed {
 		return
 	}
+	for len(m.commits) <= slot {
+		m.commits = append(m.commits, -1)
+	}
+	if m.commits[slot] < 0 {
+		m.commits[slot] = t
+	}
+}
+
+// Commit reports a routing-table commit at time t in slot 0.
+func (m *ConvergeMeter) Commit(t float64) { m.CommitSlot(0, t) }
+
+// Finalize closes the armed episode if any slot has committed, folding the
+// slots in ascending order to find the earliest commit. With no commit yet
+// the episode stays armed. Call only from single-threaded context (a
+// barrier, or export time).
+func (m *ConvergeMeter) Finalize() {
+	if m == nil || !m.armed {
+		return
+	}
+	tmin := -1.0
+	for _, c := range m.commits {
+		if c >= 0 && (tmin < 0 || c < tmin) {
+			tmin = c
+		}
+	}
+	if tmin < 0 {
+		return
+	}
 	m.armed = false
-	lag := t - m.at
-	m.Lag.Observe(t, lag)
+	lag := tmin - m.at
+	m.Lag.Observe(tmin, lag)
 	m.Last.Set(lag)
 }
 

@@ -3,13 +3,19 @@
 // Chrome-trace (catapult), and plain-text exporters.
 //
 // Determinism is the design constraint everything else bends around. The
-// paper harness guarantees byte-identical figures at any worker count, so
-// telemetry must add no entropy: events are stamped with simulation time
-// and a tracer-global emission serial (never the wall clock), each
-// simulation owns a private Tracer (no cross-simulation sharing), and all
-// exporters iterate in sorted orders with canonical float formatting. A
-// run's telemetry artifacts are therefore golden-testable — the JSONL of a
-// figure regeneration hashes identically at -workers=1 and -workers=8.
+// paper harness guarantees byte-identical figures at any worker count and
+// shard count, so telemetry must add no entropy: events are stamped with
+// simulation time and a schedule-independent emission serial (never the
+// wall clock), each simulation owns a private Tracer family (no
+// cross-simulation sharing), and all exporters iterate in sorted orders
+// with canonical float formatting. The serial packs the emitter's origin
+// priority (the des engine's ambient origin) above a per-tracer emission
+// count, so merging the tracers of a sharded run by (time, serial)
+// reproduces exactly the order a serial run emits in; Events then restamps
+// Seq with the merge rank, making the exported artifacts byte-identical at
+// any shard count. A run's telemetry artifacts are therefore
+// golden-testable — the JSONL of a figure regeneration hashes identically
+// at -workers=1 and -workers=8, and at -shards=1 and -shards=8.
 //
 // The disabled path is a first-class citizen: every probe is reachable
 // through a single nil check (nil *Tracer, *Counter, *Histogram, ... are
@@ -21,6 +27,7 @@ package telemetry
 
 import (
 	"fmt"
+	"sort"
 
 	"minroute/internal/graph"
 )
@@ -182,9 +189,11 @@ func KindByName(name string) (Kind, bool) {
 }
 
 // Event is one traced span edge or instant. T is simulation time in
-// seconds; Seq is the tracer-global emission serial that totally orders
-// events sharing a timestamp (many do — the DES fires whole causal chains
-// at one instant). Fields that do not apply to a kind hold graph.None / -1.
+// seconds; Seq totally orders events sharing a timestamp (many do — the
+// DES fires whole causal chains at one instant). Inside the rings Seq is a
+// packed (origin priority << 40 | emission count) stamp; Events replaces it
+// with the merge rank, so consumers always see Seq contiguous from 1.
+// Fields that do not apply to a kind hold graph.None / -1.
 type Event struct {
 	T      float64
 	Seq    uint64
@@ -241,14 +250,28 @@ func (r *ring) ordered() []Event {
 	return append(out, r.buf[:r.head]...)
 }
 
-// Tracer is the event bus of one simulation: one ring per router plus a
-// trailing network-scope ring. A simulation is single-threaded, so the
-// rings need no locks ("lock-free" the honest way); concurrency across
-// simulations is safe because each owns a private Tracer. A nil *Tracer is
-// a valid no-op sink.
+// seqCountBits is the width of the per-tracer emission count inside the
+// packed ring stamp; the origin priority occupies the bits above it.
+const seqCountBits = 40
+
+// Tracer is the event bus of one simulation shard: one ring per router plus
+// a trailing network-scope ring. A shard is single-threaded, so the rings
+// need no locks ("lock-free" the honest way); concurrency across shards is
+// safe because each owns a private sibling Tracer (Fork), and concurrency
+// across simulations because each owns a private family. A nil *Tracer is a
+// valid no-op sink.
 type Tracer struct {
 	rings []ring
-	seq   uint64
+	count uint64
+	// origin, when set, supplies the emitter's origin priority (the des
+	// engine's ambient origin) for the packed ring stamp. Nil leaves the
+	// priority at zero, which preserves the legacy pure-emission-order
+	// semantics for single-engine users.
+	origin func() uint64
+	// sibs are the forked sibling tracers of a sharded run; Events, Emitted,
+	// and Dropped aggregate over the whole family. Only the root tracer of a
+	// family carries sibs.
+	sibs []*Tracer
 }
 
 // NewTracer builds a tracer for numRouters routers with the given
@@ -267,14 +290,43 @@ func NewTracer(numRouters, ringCap int) *Tracer {
 	return t
 }
 
-// Emit records ev, stamping its emission serial. Events whose Router is
-// out of range (e.g. graph.None) land in the network-scope ring.
+// SetOrigin installs the origin-priority hook used to stamp emissions
+// (typically des.Engine.Origin). Install it before the first Emit.
+func (t *Tracer) SetOrigin(fn func() uint64) {
+	if t == nil {
+		return
+	}
+	t.origin = fn
+}
+
+// Fork creates a sibling tracer with the same ring layout, owned by one
+// shard of a sharded run. The root's Events/Emitted/Dropped aggregate over
+// every sibling; the sibling itself must not be exported directly.
+func (t *Tracer) Fork() *Tracer {
+	if t == nil {
+		return nil
+	}
+	s := &Tracer{rings: make([]ring, len(t.rings))}
+	for i := range s.rings {
+		s.rings[i].cap = t.rings[i].cap
+	}
+	t.sibs = append(t.sibs, s)
+	return s
+}
+
+// Emit records ev, stamping the packed (origin << 40 | count) emission
+// serial. Events whose Router is out of range (e.g. graph.None) land in the
+// network-scope ring.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
 	}
-	t.seq++
-	ev.Seq = t.seq
+	t.count++
+	var pri uint64
+	if t.origin != nil {
+		pri = t.origin()
+	}
+	ev.Seq = pri<<seqCountBits | t.count&(1<<seqCountBits-1)
 	i := len(t.rings) - 1
 	if r := int(ev.Router); r >= 0 && r < i {
 		i = r
@@ -282,15 +334,21 @@ func (t *Tracer) Emit(ev Event) {
 	t.rings[i].push(ev)
 }
 
-// Emitted returns the total number of events ever emitted.
+// Emitted returns the total number of events ever emitted across the
+// tracer family.
 func (t *Tracer) Emitted() uint64 {
 	if t == nil {
 		return 0
 	}
-	return t.seq
+	n := t.count
+	for _, s := range t.sibs {
+		n += s.count
+	}
+	return n
 }
 
-// Dropped returns how many events were overwritten across all rings.
+// Dropped returns how many events were overwritten across all rings of the
+// tracer family.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
@@ -299,36 +357,52 @@ func (t *Tracer) Dropped() uint64 {
 	for i := range t.rings {
 		n += t.rings[i].dropped
 	}
+	for _, s := range t.sibs {
+		n += s.Dropped()
+	}
 	return n
 }
 
-// Events merges the per-router rings into one slice ordered by emission
-// serial (equivalently: by simulation time, with causal order breaking
-// ties). Each ring is already Seq-ordered, so this is a k-way merge.
+// Events merges the rings of the whole tracer family into one slice
+// ordered by (simulation time, packed origin serial) — the order a serial
+// run emits in, regardless of how many shards actually ran — then restamps
+// Seq with the merge rank so consumers see a contiguous 1-based serial.
+// The (T, Seq, ring ordinal) key is a total order: a packed serial never
+// repeats within one tracer, and each origin priority emits through one
+// tracer of the family.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	seqs := make([][]Event, len(t.rings))
-	total := 0
-	for i := range t.rings {
-		seqs[i] = t.rings[i].ordered()
-		total += len(seqs[i])
+	type tagged struct {
+		ev  Event
+		ord int
 	}
-	out := make([]Event, 0, total)
-	idx := make([]int, len(seqs))
-	for len(out) < total {
-		best := -1
-		for i, s := range seqs {
-			if idx[i] == len(s) {
-				continue
+	var all []tagged
+	ord := 0
+	for _, tr := range append([]*Tracer{t}, t.sibs...) {
+		for i := range tr.rings {
+			for _, ev := range tr.rings[i].ordered() {
+				all = append(all, tagged{ev: ev, ord: ord})
 			}
-			if best < 0 || s[idx[i]].Seq < seqs[best][idx[best]].Seq {
-				best = i
-			}
+			ord++
 		}
-		out = append(out, seqs[best][idx[best]])
-		idx[best]++
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		//lint:floateq-ok sort comparators need a strict weak order; tolerant equality is not transitive
+		if a.ev.T != b.ev.T {
+			return a.ev.T < b.ev.T
+		}
+		if a.ev.Seq != b.ev.Seq {
+			return a.ev.Seq < b.ev.Seq
+		}
+		return a.ord < b.ord
+	})
+	out := make([]Event, len(all))
+	for i := range all {
+		out[i] = all[i].ev
+		out[i].Seq = uint64(i) + 1
 	}
 	return out
 }

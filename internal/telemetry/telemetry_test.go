@@ -74,9 +74,13 @@ func TestTracerRingWrap(t *testing.T) {
 	if len(evs) != 4 {
 		t.Fatalf("retained %d events, want 4", len(evs))
 	}
-	// Oldest were overwritten: the survivors are the last four emissions.
+	// Oldest were overwritten: the survivors are the last four emissions
+	// (T 6..9), restamped with a contiguous merge rank.
 	for i, ev := range evs {
-		if want := uint64(7 + i); ev.Seq != want {
+		if want := float64(6 + i); ev.T != want {
+			t.Fatalf("event %d has T %v, want %v", i, ev.T, want)
+		}
+		if want := uint64(1 + i); ev.Seq != want {
 			t.Fatalf("event %d has Seq %d, want %d", i, ev.Seq, want)
 		}
 	}
@@ -189,14 +193,32 @@ func TestConvergeMeter(t *testing.T) {
 		t.Fatal("commit before any topology event recorded a lag")
 	}
 	m.TopoEvent(10)
-	m.TopoEvent(12) // re-arm restarts the episode
+	m.TopoEvent(12) // re-arm (no commit yet) restarts the episode
 	m.Commit(12.5)
-	m.Commit(13) // second commit of the episode: ignored
+	m.Commit(13) // later commit of the episode: ignored by the slot
+	m.Finalize() // closes the episode with the earliest commit
 	if m.Lag.Count() != 1 {
 		t.Fatalf("lag count = %d, want 1", m.Lag.Count())
 	}
 	if got := m.Last.Value(); got != 0.5 {
 		t.Fatalf("last lag = %v, want 0.5", got)
+	}
+	// A fresh topology event closes implicitly; per-slot commits fold to
+	// the earliest across slots.
+	m.TopoEvent(20)
+	m.CommitSlot(3, 21.5)
+	m.CommitSlot(1, 21)
+	m.CommitSlot(3, 20.5) // slot already committed this episode: ignored
+	m.TopoEvent(30)       // finalizes with tmin=21
+	if m.Lag.Count() != 2 {
+		t.Fatalf("lag count = %d, want 2", m.Lag.Count())
+	}
+	if got := m.Last.Value(); got != 1 {
+		t.Fatalf("last lag = %v, want 1", got)
+	}
+	m.Finalize() // open episode, no commits: stays armed, records nothing
+	if m.Lag.Count() != 2 {
+		t.Fatalf("lag count after empty finalize = %d, want 2", m.Lag.Count())
 	}
 }
 

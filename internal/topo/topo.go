@@ -281,6 +281,85 @@ func Random(seed uint64, n, extraLinks int, minCap, maxCap, maxProp float64) *gr
 	return g
 }
 
+// ScaleFree builds a Barabási–Albert preferential-attachment graph: a seed
+// clique of m+1 nodes, then each new node attaches m duplex links to
+// existing nodes chosen proportionally to their current degree. The result
+// has the hub-dominated degree distribution of real internetworks, which is
+// the interesting regime for sharded execution: hubs concentrate load while
+// the tail stays sparse. Propagation delays are drawn from
+// [0.1*maxProp, maxProp) — strictly positive, because the conservative
+// shard window is the minimum propagation delay and must be > 0.
+// Deterministic for a given seed.
+func ScaleFree(seed uint64, n, m int, capacity, maxProp float64) *graph.Graph {
+	if m < 1 {
+		panic("topo: ScaleFree needs m >= 1")
+	}
+	if n < m+2 {
+		panic("topo: ScaleFree needs n >= m+2")
+	}
+	r := rng.New(seed)
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("s%d", i))
+	}
+	prop := func() float64 { return maxProp * (0.1 + 0.9*r.Float64()) }
+	// targets holds one entry per link endpoint, so uniform sampling from it
+	// is degree-proportional sampling of nodes.
+	var targets []graph.NodeID
+	addDuplex := func(a, b graph.NodeID) {
+		if err := g.AddDuplex(a, b, capacity, prop()); err != nil {
+			panic("topo: ScaleFree: " + err.Error())
+		}
+		targets = append(targets, a, b)
+	}
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			addDuplex(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		attached := 0
+		for attached < m {
+			t := targets[r.Intn(len(targets))]
+			if int(t) == v {
+				continue
+			}
+			if _, ok := g.Link(graph.NodeID(v), t); ok {
+				continue
+			}
+			addDuplex(graph.NodeID(v), t)
+			attached++
+		}
+	}
+	return g
+}
+
+// SynthFlows draws count random demands over g: distinct src/dst pairs with
+// rates uniform in [minRate, maxRate]. Deterministic for a given seed.
+func SynthFlows(seed uint64, g *graph.Graph, count int, minRate, maxRate float64) []Flow {
+	r := rng.New(seed).Split(0xf10e)
+	n := g.NumNodes()
+	flows := make([]Flow, 0, count)
+	for i := 0; i < count; i++ {
+		src := graph.NodeID(r.Intn(n))
+		dst := graph.NodeID(r.Intn(n))
+		if src == dst {
+			dst = graph.NodeID((int(dst) + 1) % n)
+		}
+		rate := minRate
+		if maxRate > minRate {
+			rate += r.Float64() * (maxRate - minRate)
+		}
+		flows = append(flows, Flow{
+			Name: fmt.Sprintf("f%d:%s-%s", i, g.Name(src), g.Name(dst)),
+			Src:  src,
+			Dst:  dst,
+			Rate: rate,
+		})
+	}
+	return flows
+}
+
 // ScaleFlows returns a copy of flows with every rate multiplied by factor.
 // Used for load sweeps.
 func ScaleFlows(flows []Flow, factor float64) []Flow {
