@@ -3,7 +3,7 @@ GO ?= go
 # Repetitions of the race-soak suite; CI trims this for wall time.
 RACE_SOAK_COUNT ?= 3
 
-.PHONY: check vet lint lint-concurrency test race race-soak fuzz chaos bench bench-transport bench-scale telemetry-guard codec-guard
+.PHONY: check vet lint lint-concurrency test race race-soak fuzz chaos bench bench-transport bench-scale bench-obs telemetry-guard codec-guard
 
 # The gate used before every commit: static checks (determinism and
 # concurrency lint suites), the full suite under the race detector (the
@@ -46,13 +46,16 @@ race:
 # repetitions (goroutine IDs are never reused, making repeat runs an
 # accumulating leak trap).
 race-soak:
-	GOMAXPROCS=16 GOGC=5 GODEBUG=clobberfree=1 $(GO) test -race -count=$(RACE_SOAK_COUNT) -timeout 10m ./internal/transport/... ./internal/node ./internal/simpool ./internal/telemetry ./internal/despart
+	GOMAXPROCS=16 GOGC=5 GODEBUG=clobberfree=1 $(GO) test -race -count=$(RACE_SOAK_COUNT) -timeout 10m ./internal/transport/... ./internal/node ./internal/simpool ./internal/telemetry ./internal/despart ./internal/obs
 
 # Telemetry-overhead guard: with instrumentation disabled (no probes), the
-# DES packet hot loop and all sink methods must cost zero allocations. Runs
+# DES packet hot loop and all sink methods must cost zero allocations, and
+# the live ARQ stats callbacks must stay allocation-free even with
+# instruments enabled (they write through precomputed atomic handles). Runs
 # without -race because AllocsPerRun is unreliable under the race detector.
 telemetry-guard:
 	$(GO) test -count=1 -run 'TestTelemetryDisabledZeroAlloc|TestDisabledProbesZeroAlloc|TestNilSinksAreSafe' ./internal/des ./internal/telemetry
+	$(GO) test -count=1 -run 'TestARQStatsDisabledNil|TestARQStatsEnabledZeroAlloc' ./internal/node
 
 # Codec-overhead guard: frame encode into a reused buffer and scratch
 # decode must stay at 0 allocs/op (Decode itself <=1 for the returned
@@ -93,3 +96,11 @@ bench-transport:
 # overrides flags (CI smoke passes a tiny topology, see check.yml).
 bench-scale:
 	$(GO) run ./cmd/mdrscale -out BENCH_scale.json $(SCALE_ARGS)
+
+# Observability-plane benchmarks: endpoint scrape latency against a live
+# converged mesh, the Prometheus exposition encode path, and the atomic
+# instrument write costs. Overwrites the checked-in snapshot; compare
+# against BENCH_obs.json. CI runs the same driver to a scratch path as a
+# smoke (see check.yml).
+bench-obs:
+	$(GO) run ./cmd/mdrwatch -bench -out BENCH_obs.json

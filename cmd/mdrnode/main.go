@@ -57,7 +57,9 @@ func main() {
 		cost         = flag.Float64("cost", 1, "node mode: link cost for accepted peers")
 		await        = flag.Int("await-peers", -1, "node mode: sessions to wait for (default: number of -peer flags)")
 		timeout      = flag.Float64("timeout", 60, "give up after this many seconds")
-		linger       = flag.Float64("linger", 2, "node mode: keep sessions alive this many seconds after convergence so slower peers can finish")
+		linger       = flag.Float64("linger", 2, "keep the converged process alive this many seconds (node mode: so slower peers finish; mesh mode: so a watcher can scrape)")
+		httpAddr     = flag.String("http", "", "serve per-node observability HTTP on this address (mesh mode requires port :0 — one listener per node)")
+		obsManifest  = flag.String("obs-manifest", "", "write the observability base URLs to this file, one per line, as soon as the servers are up")
 		telemetryDir = flag.String("telemetry", "", "export telemetry artifacts into this directory")
 		hb           = flag.Float64("heartbeat", 0.25, "session heartbeat period, seconds")
 		dead         = flag.Float64("dead-after", 5, "declare a silent peer down after this many seconds")
@@ -71,9 +73,9 @@ func main() {
 	case *topoName != "" && *nodeID >= 0:
 		err = fmt.Errorf("-topo (mesh mode) and -node (node mode) are mutually exclusive")
 	case *topoName != "":
-		err = runMesh(*topoName, *fabric, *loss, *dup, *reorder, *seed, *timeout, *hb, *dead, *telemetryDir)
+		err = runMesh(*topoName, *fabric, *loss, *dup, *reorder, *seed, *timeout, *linger, *hb, *dead, *telemetryDir, *httpAddr, *obsManifest)
 	case *nodeID >= 0:
-		err = runNode(*nodeID, *nodes, *listen, *cost, *await, *timeout, *linger, *hb, *dead, *telemetryDir, peerFlags)
+		err = runNode(*nodeID, *nodes, *listen, *cost, *await, *timeout, *linger, *hb, *dead, *telemetryDir, *httpAddr, *obsManifest, peerFlags)
 	default:
 		err = fmt.Errorf("pick a mode: -topo <name> (mesh) or -node <id> (single node); see -help")
 	}
@@ -156,7 +158,7 @@ func newCapture(dir string, numRouters int) (*telemetry.Capture, *node.Trace, er
 
 // runMesh hosts the whole topology in-process and prints the converged
 // state of every router.
-func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, timeout, hb, dead float64, telemetryDir string) error {
+func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, timeout, linger, hb, dead float64, telemetryDir, httpAddr, obsManifest string) error {
 	g, err := resolveTopo(topoName)
 	if err != nil {
 		return err
@@ -172,7 +174,8 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 		Fault:          transport.Fault{Seed: seed, LossProb: loss, DupProb: dup, ReorderProb: reorder},
 		ARQ:            transport.ARQConfig{RTO: 0.01, MaxRTO: 0.2},
 		HeartbeatEvery: hb, DeadAfter: dead,
-		Trace: trace,
+		Trace:   trace,
+		ObsAddr: httpAddr,
 	}
 	if capt != nil {
 		mc.Metrics = capt.Metrics
@@ -182,6 +185,12 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 		return err
 	}
 	defer m.Close()
+	// Publish the observability endpoints before convergence: a watcher
+	// wants to follow the mesh turning ready, not just confirm it after
+	// the fact.
+	if err := announceObs(m.ObsURLs(), obsManifest); err != nil {
+		return err
+	}
 	maxPolls := int(timeout / pollEvery.Seconds())
 	if err := m.AwaitConverged(stablePolls, maxPolls, func() { time.Sleep(pollEvery) }); err != nil {
 		return err
@@ -193,6 +202,15 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 	if err := printJSON(out); err != nil {
 		return err
 	}
+	// Linger with the mesh alive when observability is on: readiness
+	// streaks fill a few polls after convergence, and an external watcher
+	// needs live endpoints to scrape. Counted in polls, like every other
+	// deadline here.
+	if httpAddr != "" {
+		for poll := 0; poll < int(linger/pollEvery.Seconds()); poll++ {
+			time.Sleep(pollEvery)
+		}
+	}
 	// Tear the mesh down before exporting: ARQ retransmit timers keep
 	// emitting telemetry for as long as the mesh is up, and the exporter
 	// reads the tracer unsynchronized (Close is idempotent, so the defer
@@ -201,9 +219,28 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 	return exportCapture(capt, telemetryDir, "mdrnode_mesh")
 }
 
+// announceObs writes the manifest file and prints one "OBS <url>" line
+// per node (harness-scrapable, like the LISTEN line). The file is
+// written first so a harness that saw an OBS line can rely on the
+// manifest already being on disk.
+func announceObs(urls []string, manifest string) error {
+	if manifest != "" {
+		if len(urls) == 0 {
+			return fmt.Errorf("-obs-manifest needs -http")
+		}
+		if err := os.WriteFile(manifest, []byte(strings.Join(urls, "\n")+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	for _, u := range urls {
+		fmt.Printf("OBS %s\n", u)
+	}
+	return nil
+}
+
 // runNode hosts a single live router peering over TCP with other
 // processes.
-func runNode(id, nodes int, listen string, acceptCost float64, await int, timeout, linger, hb, dead float64, telemetryDir string, peers peerList) error {
+func runNode(id, nodes int, listen string, acceptCost float64, await int, timeout, linger, hb, dead float64, telemetryDir, httpAddr, obsManifest string, peers peerList) error {
 	if nodes <= 1 {
 		return fmt.Errorf("-nodes must cover the whole ID space (got %d)", nodes)
 	}
@@ -217,14 +254,25 @@ func runNode(id, nodes int, listen string, acceptCost float64, await int, timeou
 	if err != nil {
 		return err
 	}
-	n, err := node.New(node.Config{
+	cfg := node.Config{
 		ID: graph.NodeID(id), Nodes: nodes, Clock: node.NewWallClock(),
 		HeartbeatEvery: hb, DeadAfter: dead, Trace: trace,
-	})
+	}
+	if httpAddr != "" {
+		cfg.Metrics = telemetry.NewRegistry(0)
+		cfg.ObsAddr = httpAddr
+		cfg.ExpectPeers = await
+	}
+	n, err := node.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer n.Close()
+	if httpAddr != "" {
+		if err := announceObs([]string{n.ObsURL()}, obsManifest); err != nil {
+			return err
+		}
+	}
 
 	if listen != "" {
 		l, err := transport.ListenTCP(listen)

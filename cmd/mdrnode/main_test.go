@@ -3,8 +3,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -131,6 +133,78 @@ func TestTwoProcessTCP(t *testing.T) {
 	wantDest(t, r0, 1, 2.5, []int{1})
 	wantDest(t, r1, 1, 0, nil)
 	wantDest(t, r1, 0, 2.5, []int{0})
+}
+
+// TestMeshModeObservability runs mesh mode with the observability plane
+// on: the child prints one scrapable OBS line per node and writes the
+// manifest, and the endpoints answer while the converged mesh lingers.
+func TestMeshModeObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns an OS process; not a -short test")
+	}
+	manifest := filepath.Join(t.TempDir(), "obs.txt")
+	cmd := child(t, "-topo", "ring:3", "-fabric", "inmem", "-timeout", "30",
+		"-http", "127.0.0.1:0", "-obs-manifest", manifest, "-linger", "5")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first three stdout lines are "OBS <url>", printed before
+	// convergence begins.
+	r := bufio.NewReader(stdout)
+	var urls []string
+	for len(urls) < 3 {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading OBS lines: %v", err)
+		}
+		u, ok := strings.CutPrefix(strings.TrimSpace(line), "OBS ")
+		if !ok {
+			t.Fatalf("expected OBS line, got %q", line)
+		}
+		urls = append(urls, u)
+	}
+
+	// The manifest mirrors the OBS lines.
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	if got := strings.Fields(string(raw)); len(got) != 3 || got[0] != urls[0] {
+		t.Fatalf("manifest = %q, want the OBS urls %v", raw, urls)
+	}
+
+	// Scrape the live child: /healthz answers on every node while the
+	// mesh converges and lingers.
+	c := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	defer c.CloseIdleConnections()
+	for _, u := range urls {
+		resp, err := c.Get(u + "/healthz")
+		if err != nil {
+			t.Fatalf("GET %s/healthz: %v", u, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s/healthz: status %d", u, resp.StatusCode)
+		}
+	}
+
+	var rest strings.Builder
+	if _, err := r.WriteTo(&rest); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("mesh process: %v", err)
+	}
+	out := decodeNodeOutput(t, []byte(rest.String()))
+	if out.Mode != "mesh" || len(out.Routers) != 3 {
+		t.Fatalf("unexpected mesh output: mode=%q routers=%d", out.Mode, len(out.Routers))
+	}
 }
 
 // TestMeshModeJSON runs mesh mode in a child process and sanity-checks

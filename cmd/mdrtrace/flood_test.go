@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minroute/internal/chaos"
+	"minroute/internal/graph"
+	"minroute/internal/telemetry"
+)
+
+// lsuEv builds one LSU event for the synthetic tests.
+func lsuEv(seq uint64, t float64, k telemetry.Kind, router, peer int) telemetry.Event {
+	e := telemetry.NewEvent(t, k, graph.NodeID(router))
+	e.Seq = seq
+	e.Peer = graph.NodeID(peer)
+	return e
+}
+
+// TestBuildFloodSynthetic walks one hand-built flood through every
+// reconstruction rule: same-instant root fan-out grouped into one tree,
+// relay sends attached through the arrival that caused them, FIFO
+// matching per directed link, fan-in counted as a dup, an orphan arrival,
+// and an unmatched (lost) send.
+func TestBuildFloodSynthetic(t *testing.T) {
+	send, recv := telemetry.KindLSUSend, telemetry.KindLSURecv
+	events := []telemetry.Event{
+		// Origin 0 floods both neighbors at t=1: one tree, fan-out 2.
+		lsuEv(1, 1.0, send, 0, 1),
+		lsuEv(2, 1.0, send, 0, 2),
+		// Arrivals; node 1 relays to 2 at the same instant (depth 2).
+		lsuEv(3, 1.1, recv, 1, 0),
+		lsuEv(4, 1.1, send, 1, 2),
+		lsuEv(5, 1.2, recv, 2, 0),  // reaches 2 first via the direct hop
+		lsuEv(6, 1.3, recv, 2, 1),  // fan-in: 2 already reached -> dup
+		lsuEv(7, 1.3, send, 2, 3),  // relay onward, depth 3
+		lsuEv(8, 1.35, recv, 3, 2), // deepest arrival
+		lsuEv(9, 2.0, recv, 5, 4),  // orphan: no matching send on 4->5
+		lsuEv(10, 3.0, send, 3, 0), // a second, separate flood from 3...
+		lsuEv(11, 3.0, send, 3, 2), // ...same instant, same tree
+		lsuEv(12, 3.1, recv, 0, 3), // one arrival; the 3->2 send is lost
+	}
+	rep := buildFlood(events, 0)
+	if len(rep.Trees) != 2 {
+		t.Fatalf("want 2 trees, got %d: %s", len(rep.Trees), renderFlood(rep, true))
+	}
+	t0 := rep.Trees[0]
+	if t0.Origin != 0 || t0.Sends != 4 || t0.Arrivals != 4 || t0.Dups != 1 ||
+		t0.Reached != 3 || t0.MaxDepth != 3 || t0.Start != 1.0 || t0.End != 1.35 {
+		t.Errorf("tree 0 = %+v", t0)
+	}
+	t1 := rep.Trees[1]
+	if t1.Origin != 3 || t1.Sends != 2 || t1.Arrivals != 1 || t1.Reached != 1 || t1.MaxDepth != 1 {
+		t.Errorf("tree 1 = %+v", t1)
+	}
+	if rep.OrphanRecvs != 1 || rep.UnmatchedSends != 1 {
+		t.Errorf("orphans=%d unmatched=%d, want 1 and 1", rep.OrphanRecvs, rep.UnmatchedSends)
+	}
+
+	// Per-hop latency of the deepest hop survives into the rendering.
+	out := renderFlood(rep, true)
+	for _, want := range []string{
+		"2 flood trees, 1 orphan arrivals, 1 unmatched sends",
+		"tree 0: origin 0 t=[1.000000,1.350000] sends=4 arrivals=4 dups=1 reached=3 depth=3",
+		"  d3 2->3 send=1.300000 recv=1.350000 lat=0.050000",
+		"tree 1: origin 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBuildFloodWindow pins the attachment window: with window 0 a
+// delayed relay roots its own tree; widening the window attaches it to
+// the arrival that caused it.
+func TestBuildFloodWindow(t *testing.T) {
+	send, recv := telemetry.KindLSUSend, telemetry.KindLSURecv
+	events := []telemetry.Event{
+		lsuEv(1, 1.0, send, 0, 1),
+		lsuEv(2, 1.1, recv, 1, 0),
+		lsuEv(3, 1.15, send, 1, 2), // relays 50 ms after the arrival
+		lsuEv(4, 1.2, recv, 2, 1),
+	}
+	if rep := buildFlood(events, 0); len(rep.Trees) != 2 {
+		t.Errorf("window 0: want the delayed relay to root its own tree, got %d trees", len(rep.Trees))
+	}
+	rep := buildFlood(events, 0.1)
+	if len(rep.Trees) != 1 {
+		t.Fatalf("window 0.1: want 1 tree, got %d", len(rep.Trees))
+	}
+	if tr := rep.Trees[0]; tr.MaxDepth != 2 || tr.Reached != 2 {
+		t.Errorf("window 0.1: tree = %+v", tr)
+	}
+}
+
+// TestFloodGoldenDES pins the reconstruction end to end: replay the
+// checked-in chaos regression fixture through the DES runner with
+// telemetry on (the checked-in .events.jsonl golden comes from the
+// protocol runner, which emits no lsu_send, so the DES run is generated
+// here), rebuild the flood trees, and compare the rendering byte for
+// byte.
+//
+// Regenerate after an intentional behavioral change with:
+//
+//	TRACE_UPDATE=1 go test -run TestFloodGoldenDES ./cmd/mdrtrace
+func TestFloodGoldenDES(t *testing.T) {
+	s, err := chaos.Load(filepath.Join("..", "..", "internal", "chaos", "testdata", "regress-dup-ack-credit.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := s.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.NewCapture(tn.Graph.NumNodes())
+	res, err := chaos.RunDESWith(s, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("fixture violates invariants: %v", res.Log.Violations)
+	}
+	events := tel.Trace.Events()
+	rep := buildFlood(events, 0)
+	if len(rep.Trees) == 0 {
+		t.Fatal("DES run reconstructed no flood trees")
+	}
+	got := []byte(renderFlood(rep, true))
+
+	golden := filepath.Join("testdata", "flood_regress-dup-ack-credit.txt")
+	if os.Getenv("TRACE_UPDATE") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with TRACE_UPDATE=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("flood reconstruction drifted from golden %s (got %d bytes, want %d); rerun with TRACE_UPDATE=1 if intentional",
+			golden, len(got), len(want))
+	}
+}

@@ -9,6 +9,7 @@
 //	mdrtrace -summary run.events.jsonl             # per-kind / per-router counts
 //	mdrtrace -diff a.events.jsonl b.events.jsonl   # first divergence between logs
 //	mdrtrace -chrome run.events.jsonl > trace.json # convert for chrome://tracing
+//	mdrtrace -flood -flood-hops run.events.jsonl   # LSU flood propagation trees
 //
 // Filters compose: -summary, -diff, and -chrome all operate on the
 // filtered view. Exit status 1 when -diff finds a divergence.
@@ -33,6 +34,9 @@ func main() {
 		summary = flag.Bool("summary", false, "print per-kind and per-router counts instead of events")
 		diff    = flag.Bool("diff", false, "compare two logs and report the first divergence")
 		chrome  = flag.Bool("chrome", false, "emit Chrome trace-viewer JSON instead of JSONL")
+		flood   = flag.Bool("flood", false, "reconstruct per-LSU flood propagation trees from lsu_send/lsu_recv pairs")
+		floodW  = flag.Float64("flood-window", 0, "flood mode: max seconds between an arrival and the sends it caused (0 = same sim instant)")
+		floodH  = flag.Bool("flood-hops", false, "flood mode: print every hop with its per-hop latency")
 	)
 	flag.Parse()
 
@@ -77,6 +81,8 @@ func main() {
 		fatal(err)
 	}
 	switch {
+	case *flood:
+		fmt.Print(renderFlood(buildFlood(events, *floodW), *floodH))
 	case *summary:
 		fmt.Print(summarize(events))
 	case *chrome:

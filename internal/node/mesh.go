@@ -45,9 +45,19 @@ type MeshConfig struct {
 	// Metrics, when non-nil, receives per-link ARQ instruments on UDP
 	// fabrics: an `arq.retransmits.<a>-<b>` counter and an
 	// `arq.window.<a>-<b>` send-window occupancy gauge per directed link.
-	// Instruments are created at link setup; each is written only by its
-	// link's ARQ goroutines, so read them after Close (or quiescence).
+	// Instruments are created at link setup; counter and gauge reads are
+	// atomic, so they may be scraped while the mesh is live.
 	Metrics *telemetry.Registry
+	// ObsAddr, when non-empty, gives every node an observability server
+	// on this address — it must carry port 0 (each node binds its own
+	// ephemeral port; ObsURLs reports where they landed). Each node gets
+	// a private registry; per-link ARQ instruments are aliased into both
+	// the owning node's registry and the mesh-wide Metrics registry.
+	ObsAddr string
+	// ObsPollEvery and ObsStablePolls tune every node's readiness poller
+	// (see obs.Config); zero selects the obs defaults.
+	ObsPollEvery   float64
+	ObsStablePolls int
 }
 
 // Mesh is a full topology of live nodes running in one process, each
@@ -57,6 +67,7 @@ type Mesh struct {
 	Nodes []*Node
 
 	degree    []int
+	regs      []*telemetry.Registry
 	listeners []*transport.TCPListener
 }
 
@@ -75,23 +86,40 @@ func NewMesh(g *graph.Graph, cfg MeshConfig) (*Mesh, error) {
 	}
 	nn := g.NumNodes()
 	m := &Mesh{Nodes: make([]*Node, nn), degree: make([]int, nn)}
-	for i := 0; i < nn; i++ {
-		n, err := New(Config{
-			ID: graph.NodeID(i), Nodes: nn, Clock: cfg.Clock,
-			HeartbeatEvery: cfg.HeartbeatEvery, DeadAfter: cfg.DeadAfter,
-			Trace: cfg.Trace,
-		})
-		if err != nil {
-			return nil, err
-		}
-		m.Nodes[i] = n
-	}
 
-	// Index directed links and count expected degrees.
+	// Index directed links and count expected degrees first: a node's
+	// degree is its readiness peer floor, so it must be known at
+	// construction time.
 	dir := make(map[[2]graph.NodeID]*graph.Link)
 	for _, l := range g.Links() {
 		dir[[2]graph.NodeID{l.From, l.To}] = l
 		m.degree[l.From]++
+	}
+
+	if cfg.ObsAddr != "" {
+		m.regs = make([]*telemetry.Registry, nn)
+		for i := range m.regs {
+			m.regs[i] = telemetry.NewRegistry(0)
+		}
+	}
+	for i := 0; i < nn; i++ {
+		nc := Config{
+			ID: graph.NodeID(i), Nodes: nn, Clock: cfg.Clock,
+			HeartbeatEvery: cfg.HeartbeatEvery, DeadAfter: cfg.DeadAfter,
+			Trace:        cfg.Trace,
+			ObsAddr:      cfg.ObsAddr,
+			ExpectPeers:  m.degree[i],
+			ObsPollEvery: cfg.ObsPollEvery, ObsStablePolls: cfg.ObsStablePolls,
+		}
+		if m.regs != nil {
+			nc.Metrics = m.regs[i]
+		}
+		n, err := New(nc)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.Nodes[i] = n
 	}
 	costTo := func(from graph.NodeID) func(peer graph.NodeID) (float64, bool) {
 		return func(peer graph.NodeID) (float64, bool) {
@@ -142,7 +170,7 @@ func NewMesh(g *graph.Graph, cfg MeshConfig) (*Mesh, error) {
 			if a >= b {
 				continue
 			}
-			ca, cb, err := udpLink(a, b, cfg)
+			ca, cb, err := m.udpLink(a, b, cfg)
 			if err != nil {
 				m.Close()
 				return nil, err
@@ -171,7 +199,7 @@ func acceptLoop(l *transport.TCPListener, n *Node, costOf func(graph.NodeID) (fl
 // udpLink builds one duplex UDP+ARQ link between a and b, with per-link
 // per-direction fault seeds derived from the configured base seed so two
 // meshes with equal MeshConfig see identical perturbation sequences.
-func udpLink(a, b graph.NodeID, cfg MeshConfig) (ca, cb transport.Conn, err error) {
+func (m *Mesh) udpLink(a, b graph.NodeID, cfg MeshConfig) (ca, cb transport.Conn, err error) {
 	pa, err := transport.BindUDP("127.0.0.1:0")
 	if err != nil {
 		return nil, nil, err
@@ -195,25 +223,59 @@ func udpLink(a, b graph.NodeID, cfg MeshConfig) (ca, cb transport.Conn, err erro
 	fa.Seed = cfg.Fault.Seed ^ (uint64(a)<<20 | uint64(b)<<4 | 1)
 	fb.Seed = cfg.Fault.Seed ^ (uint64(a)<<20 | uint64(b)<<4 | 2)
 	arqA, arqB := cfg.ARQ, cfg.ARQ
-	arqA.Stats = arqStats(a, b, cfg)
-	arqB.Stats = arqStats(b, a, cfg)
+	arqA.Stats = arqStats(a, b, m.linkInstruments(a, b, cfg), cfg)
+	arqB.Stats = arqStats(b, a, m.linkInstruments(b, a, cfg), cfg)
 	ca = transport.NewARQ(transport.WithFaults(pa, fa), arqA, cfg.Clock)
 	cb = transport.NewARQ(transport.WithFaults(pb, fb), arqB, cfg.Clock)
 	return ca, cb, nil
 }
 
+// linkInstruments resolves one directed link's ARQ instrument handles,
+// once, at link setup on the mesh-building goroutine. The name
+// formatting and registry lookups happen only here — never on a path
+// reachable per frame or per retransmission; the per-event callbacks in
+// arqStats write through the precomputed pointers alone. When the mesh
+// runs per-node registries (ObsAddr set), the owning node's registry
+// creates the instrument and the mesh-wide registry aliases it, so one
+// atomic counter serves both /metrics and the exported snapshot. The
+// handles are also installed on the owning node for its /peers dump.
+type linkInstruments struct {
+	retx *telemetry.Counter
+	win  *telemetry.Gauge
+}
+
+func (m *Mesh) linkInstruments(local, remote graph.NodeID, cfg MeshConfig) linkInstruments {
+	if cfg.Metrics == nil && m.regs == nil {
+		return linkInstruments{}
+	}
+	retxName := fmt.Sprintf("arq.retransmits.%d-%d", local, remote)
+	winName := fmt.Sprintf("arq.window.%d-%d", local, remote)
+	var li linkInstruments
+	if m.regs != nil {
+		li.retx = m.regs[local].Counter(retxName)
+		li.win = m.regs[local].Gauge(winName)
+		if cfg.Metrics != nil {
+			cfg.Metrics.RegisterCounter(retxName, li.retx)
+			cfg.Metrics.RegisterGauge(winName, li.win)
+		}
+	} else {
+		li.retx = cfg.Metrics.Counter(retxName)
+		li.win = cfg.Metrics.Gauge(winName)
+	}
+	m.Nodes[local].SetPeerStats(remote, li.retx, li.win)
+	return li
+}
+
 // arqStats builds the observer for one directed UDP link, bridging the
-// transport's stats hooks into the mesh's trace and metrics. Returns nil
-// (observation fully disabled) when neither sink is configured.
-func arqStats(local, remote graph.NodeID, cfg MeshConfig) *transport.ARQStats {
-	if cfg.Trace == nil && cfg.Metrics == nil {
+// transport's stats hooks into the mesh's trace and the precomputed
+// instruments. Returns nil (observation fully disabled) when neither
+// sink is configured; the enabled metrics-only path is alloc-free (see
+// TestARQStatsEnabledZeroAlloc).
+func arqStats(local, remote graph.NodeID, li linkInstruments, cfg MeshConfig) *transport.ARQStats {
+	if cfg.Trace == nil && li.retx == nil {
 		return nil
 	}
-	// Instruments are created here, at link setup on the mesh-building
-	// goroutine; the callbacks below only write through the pointers, so
-	// the registry maps are never mutated concurrently.
-	retx := cfg.Metrics.Counter(fmt.Sprintf("arq.retransmits.%d-%d", local, remote))
-	occ := cfg.Metrics.Gauge(fmt.Sprintf("arq.window.%d-%d", local, remote))
+	retx, occ := li.retx, li.win
 	trace, clk := cfg.Trace, cfg.Clock
 	return &transport.ARQStats{
 		Retransmit: func(seq uint32, rto float64, fast bool) {
@@ -242,6 +304,21 @@ func arqStats(local, remote graph.NodeID, cfg MeshConfig) *transport.ARQStats {
 			occ.Set(float64(occupied))
 		},
 	}
+}
+
+// ObsURLs returns every node's observability base URL in ID order, or
+// nil when MeshConfig.ObsAddr was not set.
+func (m *Mesh) ObsURLs() []string {
+	if m.regs == nil {
+		return nil
+	}
+	urls := make([]string, len(m.Nodes))
+	for i, n := range m.Nodes {
+		if n != nil {
+			urls[i] = n.ObsURL()
+		}
+	}
+	return urls
 }
 
 // Ready reports whether every expected peer session is up.

@@ -27,12 +27,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"minroute/internal/graph"
 	"minroute/internal/lsu"
 	"minroute/internal/mpda"
+	"minroute/internal/obs"
 	"minroute/internal/telemetry"
 	"minroute/internal/transport"
 	"minroute/internal/wire"
@@ -69,6 +71,30 @@ func (t *Trace) Tracer() *telemetry.Tracer {
 	return t.tr
 }
 
+// Emitted returns the total number of events ever emitted on the bus
+// (zero for a nil Trace). Safe while the runtime is still emitting.
+func (t *Trace) Emitted() uint64 {
+	if t == nil || t.tr == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tr.Emitted()
+}
+
+// Dropped returns how many events the bus's rings have overwritten (zero
+// for a nil Trace). A nonzero value means the exported event log is
+// truncated — the observability plane surfaces this as a first-class
+// metric rather than leaving it to an exporter warning.
+func (t *Trace) Dropped() uint64 {
+	if t == nil || t.tr == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tr.Dropped()
+}
+
 // Events snapshots the merged event log under the lock — safe to call
 // while the runtime is still emitting (ARQ retransmit timers keep firing
 // between heartbeats for as long as a mesh is up, so readers cannot
@@ -97,6 +123,24 @@ type Config struct {
 	DeadAfter float64
 	// Trace, when non-nil, receives session and protocol events.
 	Trace *Trace
+	// Metrics, when non-nil, receives this node's session instruments
+	// (session.* counters, session.peers gauge) and backs the /metrics
+	// endpoint when ObsAddr is set. Give every node its own registry: the
+	// instrument names carry no node qualifier, so a registry shared
+	// between nodes would merge their totals.
+	Metrics *telemetry.Registry
+	// ObsAddr, when non-empty, serves the observability plane (metrics,
+	// health, routes, peers, pprof) on this TCP address; port 0 binds an
+	// ephemeral port, readable via ObsURL. The server is owned by the
+	// node and reaped by Close.
+	ObsAddr string
+	// ExpectPeers is how many peer sessions /readyz requires before the
+	// node can report ready (its expected topology degree).
+	ExpectPeers int
+	// ObsPollEvery and ObsStablePolls tune the readiness poller (see
+	// obs.Config); zero selects the obs defaults.
+	ObsPollEvery   float64
+	ObsStablePolls int
 }
 
 func (c Config) withDefaults() Config {
@@ -124,11 +168,35 @@ type peer struct {
 	down    bool
 }
 
+// nodeStats is the node's session-instrument handle set, resolved once
+// at construction so no per-event path touches the registry maps. With a
+// nil Config.Metrics every handle is nil — the usual one-branch no-op.
+type nodeStats struct {
+	peerUps   *telemetry.Counter
+	peerDowns *telemetry.Counter
+	lsusSent  *telemetry.Counter
+	lsusRecv  *telemetry.Counter
+	// evEmitted/evDropped mirror the event bus's totals (bus-wide: the
+	// Trace is typically shared across a mesh) on each /metrics refresh.
+	evEmitted *telemetry.Counter
+	evDropped *telemetry.Counter
+	peersUp   *telemetry.Gauge
+}
+
+// peerInstruments are one peer link's ARQ instrument handles, installed
+// by the mesh at link setup (SetPeerStats) so /peers can read live
+// retransmit and window values without name lookups.
+type peerInstruments struct {
+	retx *telemetry.Counter
+	win  *telemetry.Gauge
+}
+
 // Node is one live MPDA router plus its peer sessions.
 type Node struct {
-	cfg Config
-	id  graph.NodeID
-	clk transport.Clock
+	cfg   Config
+	id    graph.NodeID
+	clk   transport.Clock
+	stats nodeStats
 
 	mu    sync.Mutex
 	r     *mpda.Router
@@ -138,6 +206,8 @@ type Node struct {
 	// in Recv. Close reaps them directly — without this, a session whose
 	// remote never answers outlives the node (goroutine + conn leak).
 	handshakes  map[transport.Conn]struct{}
+	peerStats   map[graph.NodeID]peerInstruments
+	obs         *obs.Server
 	closed      bool
 	activeSince float64
 }
@@ -157,11 +227,39 @@ func New(cfg Config) (*Node, error) {
 		clk:        cfg.Clock,
 		peers:      make(map[graph.NodeID]*peer),
 		handshakes: make(map[transport.Conn]struct{}),
+		peerStats:  make(map[graph.NodeID]peerInstruments),
+	}
+	// Resolve instrument handles once: the registry's maps are unlocked,
+	// so every name lookup must happen before concurrent use.
+	n.stats = nodeStats{
+		peerUps:   cfg.Metrics.Counter("session.peer_ups"),
+		peerDowns: cfg.Metrics.Counter("session.peer_downs"),
+		lsusSent:  cfg.Metrics.Counter("session.lsus_sent"),
+		lsusRecv:  cfg.Metrics.Counter("session.lsus_received"),
+		evEmitted: cfg.Metrics.Counter("telemetry.events.emitted"),
+		evDropped: cfg.Metrics.Counter("telemetry.events.dropped"),
+		peersUp:   cfg.Metrics.Gauge("session.peers"),
 	}
 	n.r = mpda.NewRouter(cfg.ID, cfg.Nodes, n.sendLSU)
 	n.r.OnPhase = n.onPhase
 	n.r.OnCommit = func(changed int) {
 		n.emit(telemetry.KindTableCommit, graph.None, float64(changed), "")
+	}
+	if cfg.ObsAddr != "" {
+		srv, err := obs.NewServer(obs.Config{
+			Addr:        cfg.ObsAddr,
+			Clock:       cfg.Clock,
+			Sample:      n.obsSample,
+			Registry:    cfg.Metrics,
+			Refresh:     n.refreshObsMetrics,
+			ConstLabels: map[string]string{"node": strconv.Itoa(int(cfg.ID))},
+			PollEvery:   cfg.ObsPollEvery,
+			StablePolls: cfg.ObsStablePolls,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.obs = srv
 	}
 	return n, nil
 }
@@ -205,8 +303,18 @@ func (n *Node) sendLSU(to graph.NodeID, m *lsu.Msg) {
 	if err != nil {
 		return
 	}
+	n.stats.lsusSent.Inc()
 	n.emit(telemetry.KindLSUSend, to, float64(f.EncodedBytes()*8), "")
 	p.out.push(f)
+}
+
+// SetPeerStats installs the ARQ instrument handles for the link to peer,
+// so /peers reports live retransmit and window values. The mesh calls
+// this at link setup; either handle may be nil on fabrics without ARQ.
+func (n *Node) SetPeerStats(peer graph.NodeID, retx *telemetry.Counter, win *telemetry.Gauge) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peerStats[peer] = peerInstruments{retx: retx, win: win}
 }
 
 // AddPeer runs a session over conn: it sends our HELLO, waits for the
@@ -270,6 +378,8 @@ func (n *Node) session(conn transport.Conn, costOf func(peer graph.NodeID) (floa
 	go n.writeLoop(p)
 	n.armHeartbeatLocked(p)
 	n.armDeadLocked(p)
+	n.stats.peerUps.Inc()
+	n.stats.peersUp.Set(float64(len(n.peers)))
 	n.emit(telemetry.KindPeerUp, pid, cost, "")
 	n.r.LinkUp(pid, cost)
 	n.mu.Unlock()
@@ -318,6 +428,7 @@ func (n *Node) readLoop(p *peer) {
 		switch f.Type {
 		case wire.TypeLSU:
 			if m, err := wire.LSUMsg(f); err == nil {
+				n.stats.lsusRecv.Inc()
 				n.emit(telemetry.KindLSURecv, p.id, float64(len(m.Entries)), "")
 				if m.Ack {
 					n.emit(telemetry.KindLSUAck, p.id, 0, "")
@@ -378,6 +489,8 @@ func (n *Node) peerDownLocked(p *peer, reason string) {
 	p.hb.Stop()
 	p.dead.Stop()
 	delete(n.peers, p.id)
+	n.stats.peerDowns.Inc()
+	n.stats.peersUp.Set(float64(len(n.peers)))
 	n.emit(telemetry.KindPeerDown, p.id, 0, reason)
 	n.r.LinkDown(p.id)
 	p.out.close()
@@ -448,11 +561,12 @@ func (n *Node) Summary() string {
 }
 
 // Close tears every session down, sending BYE so peers drop the link
-// immediately instead of waiting out their dead timers.
+// immediately instead of waiting out their dead timers, then reaps the
+// node's obs server if it has one.
 func (n *Node) Close() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.closed {
+		n.mu.Unlock()
 		return
 	}
 	n.closed = true
@@ -472,12 +586,103 @@ func (n *Node) Close() {
 		delete(n.handshakes, conn)
 		conn.Close()
 	}
+	n.stats.peersUp.Set(0)
+	srv := n.obs
+	n.obs = nil
+	// The obs server is closed outside n.mu: its poll ticks and HTTP
+	// handlers sample node state through this same mutex, so joining them
+	// under the lock would deadlock.
+	n.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
 }
 
-// DestState is one destination row of a routing-state snapshot.
+// ObsURL returns the base URL of the node's observability server, or ""
+// when none was configured (or the node is closed).
+func (n *Node) ObsURL() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.obs == nil {
+		return ""
+	}
+	return n.obs.URL()
+}
+
+// obsSample snapshots the node's live state for the observability plane,
+// all under one lock acquisition so the view is consistent.
+func (n *Node) obsSample() obs.Sample {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := obs.Sample{
+		ID:       int(n.id),
+		Passive:  !n.r.Active(),
+		MinPeers: n.cfg.ExpectPeers,
+		Summary:  RouterSummary(n.r),
+	}
+	ids := make([]graph.NodeID, 0, len(n.peers))
+	//lint:maporder-ok keys are collected and sorted before use
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := n.peers[id]
+		pi := obs.Peer{ID: int(id), Cost: p.cost}
+		if o, ok := p.conn.(interface{ Outstanding() int }); ok {
+			pi.Outstanding = o.Outstanding()
+			s.Outstanding += pi.Outstanding
+		}
+		if r, ok := p.conn.(interface{ RTO() float64 }); ok {
+			pi.RTO = r.RTO()
+		}
+		inst := n.peerStats[id]
+		pi.Retransmits = inst.retx.Value()
+		pi.Window = inst.win.Value()
+		s.Peers = append(s.Peers, pi)
+	}
+	for j := 0; j < n.cfg.Nodes; j++ {
+		d := n.r.Dist(graph.NodeID(j))
+		if math.IsInf(d, 1) {
+			continue
+		}
+		fd := n.r.FD(graph.NodeID(j))
+		if math.IsInf(fd, 1) {
+			fd = -1 // +Inf has no JSON encoding; -1 marks "not established"
+		}
+		rt := obs.Route{
+			Dst:  j,
+			Dist: d,
+			FD:   fd,
+			Best: int(n.r.BestSuccessor(graph.NodeID(j))),
+		}
+		for _, k := range n.r.Successors(graph.NodeID(j)) {
+			rt.Successors = append(rt.Successors, int(k))
+		}
+		s.Routes = append(s.Routes, rt)
+	}
+	return s
+}
+
+// refreshObsMetrics mirrors the event bus's totals into this node's
+// registry right before a /metrics gather. The totals are bus-wide: a
+// mesh shares one Trace, so every node reports the same pair.
+func (n *Node) refreshObsMetrics() {
+	if n.cfg.Trace == nil {
+		return
+	}
+	n.stats.evEmitted.Set(float64(n.cfg.Trace.Emitted()))
+	n.stats.evDropped.Set(float64(n.cfg.Trace.Dropped()))
+}
+
+// DestState is one destination row of a routing-state snapshot. FD is
+// the feasible distance (-1 while not established: +Inf has no JSON
+// encoding); Best is the minimum-distance successor, or -1 with none.
 type DestState struct {
 	Dst        graph.NodeID   `json:"dst"`
 	Dist       float64        `json:"dist"`
+	FD         float64        `json:"fd"`
+	Best       graph.NodeID   `json:"best"`
 	Successors []graph.NodeID `json:"successors"`
 }
 
@@ -501,7 +706,14 @@ func (n *Node) State() State {
 			continue
 		}
 		succ := append([]graph.NodeID{}, n.r.Successors(graph.NodeID(j))...)
-		st.Dests = append(st.Dests, DestState{Dst: graph.NodeID(j), Dist: d, Successors: succ})
+		fd := n.r.FD(graph.NodeID(j))
+		if math.IsInf(fd, 1) {
+			fd = -1
+		}
+		st.Dests = append(st.Dests, DestState{
+			Dst: graph.NodeID(j), Dist: d, FD: fd,
+			Best: n.r.BestSuccessor(graph.NodeID(j)), Successors: succ,
+		})
 	}
 	return st
 }

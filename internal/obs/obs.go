@@ -1,0 +1,259 @@
+// Package obs is the live stack's observability plane: a per-node HTTP
+// introspection server exposing Prometheus-format metrics, health and
+// readiness probes, and JSON dumps of live routing state and peer
+// sessions.
+//
+// The server is deliberately passive: it owns no protocol state. The
+// hosting node hands it a Sample closure (a consistent snapshot of
+// routing and session state taken under the node's own lock) and a
+// telemetry.Registry whose instruments the node's goroutines write
+// through atomic counters and gauges. Scraping therefore never blocks
+// the data path, and the data path never knows the server exists.
+//
+// Readiness mirrors node.Mesh.AwaitConverged per node: the server polls
+// the sample on the node's transport.Clock and declares the node ready
+// once it is PASSIVE with all expected peers up, drained transport
+// windows, and a canonical-state hash that has held stable for a
+// configured streak of polls. /readyz turning 200 on every node of a
+// mesh is the distributed analogue of AwaitConverged returning nil.
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"minroute/internal/telemetry"
+	"minroute/internal/transport"
+)
+
+// Config parameterizes one introspection server.
+type Config struct {
+	// Addr is the TCP listen address (host:port; port 0 binds ephemeral).
+	Addr string
+	// Clock drives the readiness poll — the hosting node's clock, so
+	// virtual-clock tests can step the poller deterministically.
+	Clock transport.Clock
+	// Sample returns a consistent snapshot of the node's live state
+	// (required). It is called from poll ticks and HTTP handlers
+	// concurrently, so it must take whatever lock makes it consistent.
+	Sample func() Sample
+	// Registry backs /metrics. Instruments must be created before the
+	// server starts (the registry's maps are not locked); values may keep
+	// changing — counter and gauge reads are atomic.
+	Registry *telemetry.Registry
+	// Refresh, when non-nil, runs before every /metrics gather — the hook
+	// a node uses to mirror externally maintained totals (event-bus drop
+	// counts) into registry instruments right before exposition.
+	Refresh func()
+	// ConstLabels are attached to every exposed series (e.g. node="3").
+	ConstLabels map[string]string
+	// PollEvery is the readiness-poll period in seconds (default 0.02).
+	PollEvery float64
+	// StablePolls is how many consecutive eligible polls with an
+	// unchanged state hash flip /readyz to 200 (default 10).
+	StablePolls int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PollEvery <= 0 {
+		c.PollEvery = 0.02
+	}
+	if c.StablePolls <= 0 {
+		c.StablePolls = 10
+	}
+	return c
+}
+
+// Server is one node's live introspection endpoint.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	srv   *http.Server
+	done  chan struct{}
+	start float64
+
+	mu       sync.Mutex
+	closed   bool
+	timer    transport.Timer
+	streak   int
+	lastHash string
+}
+
+// NewServer binds cfg.Addr, starts serving, and arms the readiness
+// poller. The caller owns the server and must Close it.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("obs: Config.Clock is required")
+	}
+	if cfg.Sample == nil {
+		return nil, fmt.Errorf("obs: Config.Sample is required")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		ln:    ln,
+		done:  make(chan struct{}),
+		start: cfg.Clock.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/routes", s.handleRoutes)
+	mux.HandleFunc("/peers", s.handlePeers)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	// Serve exits once Close tears the listener down; the handler
+	// goroutines it spawns die with their connections, which Close also
+	// force-closes.
+	go func() {
+		_ = s.srv.Serve(ln)
+		close(s.done)
+	}()
+	s.mu.Lock()
+	s.armPollLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the poller, force-closes the listener and every live
+// connection, and waits for the serve loop to exit. Idempotent. Callers
+// must not hold the lock that Sample takes (the node releases its own
+// mutex before closing its obs server).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.mu.Unlock()
+	_ = s.srv.Close()
+	<-s.done
+}
+
+// armPollLocked schedules the next readiness poll; each tick re-arms.
+func (s *Server) armPollLocked() {
+	s.timer = s.cfg.Clock.AfterFunc(s.cfg.PollEvery, s.pollTick)
+}
+
+// pollTick advances the hash-stability streak. The sample is taken
+// before the server lock so a tick blocked on the node's mutex can never
+// deadlock against Close.
+func (s *Server) pollTick() {
+	sample := s.cfg.Sample()
+	h := hashSummary(sample.Summary)
+	eligible := sample.Eligible()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	switch {
+	case !eligible:
+		s.streak, s.lastHash = 0, ""
+	case h == s.lastHash:
+		s.streak++
+	default:
+		s.streak, s.lastHash = 1, h
+	}
+	s.armPollLocked()
+}
+
+// streakNow returns the current stability streak and hash.
+func (s *Server) streakNow() (int, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streak, s.lastHash
+}
+
+// Ready reports whether the node currently satisfies the readiness
+// condition (exposed for in-process callers; /readyz is the HTTP view).
+func (s *Server) Ready() bool {
+	streak, _ := s.streakNow()
+	return streak >= s.cfg.StablePolls && s.cfg.Sample().Eligible()
+}
+
+func hashSummary(summary string) string {
+	h := sha256.Sum256([]byte(summary))
+	return hex.EncodeToString(h[:])
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Refresh != nil {
+		s.cfg.Refresh()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WritePrometheus(w, s.cfg.Registry.Gather(), s.cfg.ConstLabels)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	sample := s.cfg.Sample()
+	writeJSON(w, http.StatusOK, Health{
+		Status: "ok",
+		ID:     sample.ID,
+		Uptime: s.cfg.Clock.Now() - s.start,
+		Peers:  len(sample.Peers),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	sample := s.cfg.Sample()
+	streak, hash := s.streakNow()
+	r := Readiness{
+		Ready:       streak >= s.cfg.StablePolls && sample.Eligible(),
+		Passive:     sample.Passive,
+		Peers:       len(sample.Peers),
+		MinPeers:    sample.MinPeers,
+		Outstanding: sample.Outstanding,
+		Streak:      streak,
+		StablePolls: s.cfg.StablePolls,
+		Hash:        hash,
+	}
+	code := http.StatusOK
+	if !r.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, r)
+}
+
+func (s *Server) handleRoutes(w http.ResponseWriter, _ *http.Request) {
+	sample := s.cfg.Sample()
+	writeJSON(w, http.StatusOK, RoutesDoc{ID: sample.ID, Routes: sample.Routes})
+}
+
+func (s *Server) handlePeers(w http.ResponseWriter, _ *http.Request) {
+	sample := s.cfg.Sample()
+	writeJSON(w, http.StatusOK, PeersDoc{ID: sample.ID, MinPeers: sample.MinPeers, Peers: sample.Peers})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

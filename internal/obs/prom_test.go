@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"minroute/internal/telemetry"
+)
+
+func TestSanitizeName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"control.msgs", "control_msgs"},
+		{"already_fine:ok", "already_fine:ok"},
+		{"weird name+x", "weird_name_x"},
+		{"9lead", "_9lead"},
+		{"", ""},
+	} {
+		if got := sanitizeName(tc.in); got != tc.want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSplitLink(t *testing.T) {
+	for _, tc := range []struct {
+		in, fam, link string
+	}{
+		{"arq.retransmits.0-1", "mdr_arq_retransmits", "0-1"},
+		{"arq.window.12-3", "mdr_arq_window", "12-3"},
+		{"control.msgs", "mdr_control_msgs", ""},
+		// A non-numeric trailing segment is part of the name, not a link.
+		{"session.peer-ups", "mdr_session_peer_ups", ""},
+	} {
+		fam, labels := splitLink(tc.in)
+		if fam != tc.fam {
+			t.Errorf("splitLink(%q) family = %q, want %q", tc.in, fam, tc.fam)
+		}
+		if got := labels["link"]; got != tc.link {
+			t.Errorf("splitLink(%q) link = %q, want %q", tc.in, got, tc.link)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+	} {
+		if got := escapeLabel(tc.in); got != tc.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the full exposition of a representative
+// registry: family grouping, TYPE lines, link labels, histogram summary
+// series, and sorted label rendering.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := telemetry.NewRegistry(1)
+	reg.Counter("arq.retransmits.0-1").Set(2)
+	reg.Counter("arq.retransmits.1-0").Set(5)
+	reg.Counter("control.msgs").Set(10)
+	reg.Gauge("arq.window.0-1").Set(3)
+	h := reg.Histogram("phase.active")
+	h.Observe(0.1, 0.5)
+	h.Observe(1.2, 1.5)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Gather(), map[string]string{"node": "0"}); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE mdr_arq_retransmits_total counter
+mdr_arq_retransmits_total{link="0-1",node="0"} 2
+mdr_arq_retransmits_total{link="1-0",node="0"} 5
+# TYPE mdr_control_msgs_total counter
+mdr_control_msgs_total{node="0"} 10
+# TYPE mdr_arq_window gauge
+mdr_arq_window{link="0-1",node="0"} 3
+# TYPE mdr_phase_active_count counter
+mdr_phase_active_count{node="0"} 2
+# TYPE mdr_phase_active_sum counter
+mdr_phase_active_sum{node="0"} 2
+# TYPE mdr_phase_active_max gauge
+mdr_phase_active_max{node="0"} 1.5
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWritePrometheusNoLabels(t *testing.T) {
+	reg := telemetry.NewRegistry(1)
+	reg.Counter("control.msgs").Set(1)
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Gather(), nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE mdr_control_msgs_total counter\nmdr_control_msgs_total 1\n"
+	if b.String() != want {
+		t.Errorf("got %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+// Sample is one consistent snapshot of a node's live state, produced
+// under the node's own lock. The obs package defines the types (rather
+// than importing the node package) so the dependency points from the
+// runtime to the observability plane, never back.
+type Sample struct {
+	// ID is the node's router ID.
+	ID int
+	// Passive reports the router's PASSIVE phase.
+	Passive bool
+	// Outstanding sums unacknowledged transport windows across peers.
+	Outstanding int
+	// MinPeers is how many peer sessions readiness requires (the node's
+	// expected degree).
+	MinPeers int
+	// Peers are the live peer sessions in ascending ID order.
+	Peers []Peer
+	// Routes are the reachable destinations in ascending ID order.
+	Routes []Route
+	// Summary is the canonical routing-state rendering
+	// (node.RouterSummary); readiness hashes it for stability.
+	Summary string
+}
+
+// Eligible reports whether the sample satisfies the instantaneous part
+// of the readiness condition — PASSIVE, fully peered, windows drained.
+// Readiness additionally demands a stable state-hash streak across
+// polls.
+func (s Sample) Eligible() bool {
+	return s.Passive && s.Outstanding == 0 && len(s.Peers) >= s.MinPeers
+}
+
+// Peer is one live peer session, including its ARQ instruments when the
+// link runs over the reliable-UDP transport.
+type Peer struct {
+	ID   int     `json:"id"`
+	Cost float64 `json:"cost"`
+	// Outstanding is the peer link's unacknowledged send window.
+	Outstanding int `json:"outstanding"`
+	// RTO is the link's current retransmission timeout in seconds (0 on
+	// transports without one).
+	RTO float64 `json:"rto,omitempty"`
+	// Retransmits and Window mirror the link's ARQ instruments
+	// (arq.retransmits.<a>-<b> and arq.window.<a>-<b>); both are zero on
+	// fabrics without ARQ.
+	Retransmits float64 `json:"retransmits"`
+	Window      float64 `json:"window"`
+}
+
+// Route is one destination row of the live phi table: the distance, the
+// feasible distance FD_j (the loop-freedom invariant's anchor), the
+// successor set, and the minimum-distance next hop. FD is -1 while not
+// yet established (+Inf has no JSON encoding).
+type Route struct {
+	Dst  int     `json:"dst"`
+	Dist float64 `json:"dist"`
+	FD   float64 `json:"fd"`
+	// Successors is S_j ascending; Best is the successor with the least
+	// reported distance (the next hop a pure shortest-path forwarder
+	// would take). -1 means none.
+	Successors []int `json:"successors"`
+	Best       int   `json:"best"`
+}
+
+// Health is the /healthz document: liveness only — the process is up and
+// the node answered its state snapshot. Convergence lives in /readyz.
+type Health struct {
+	Status string  `json:"status"`
+	ID     int     `json:"id"`
+	Uptime float64 `json:"uptime_seconds"`
+	Peers  int     `json:"peers"`
+}
+
+// Readiness is the /readyz document. Ready mirrors
+// node.Mesh.AwaitConverged per node: eligible (PASSIVE, fully peered,
+// drained) with a state hash stable for StablePolls consecutive polls.
+type Readiness struct {
+	Ready       bool   `json:"ready"`
+	Passive     bool   `json:"passive"`
+	Peers       int    `json:"peers"`
+	MinPeers    int    `json:"min_peers"`
+	Outstanding int    `json:"outstanding"`
+	Streak      int    `json:"streak"`
+	StablePolls int    `json:"stable_polls"`
+	Hash        string `json:"hash"`
+}
+
+// RoutesDoc is the /routes document.
+type RoutesDoc struct {
+	ID     int     `json:"id"`
+	Routes []Route `json:"routes"`
+}
+
+// PeersDoc is the /peers document.
+type PeersDoc struct {
+	ID       int    `json:"id"`
+	MinPeers int    `json:"min_peers"`
+	Peers    []Peer `json:"peers"`
+}

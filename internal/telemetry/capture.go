@@ -29,6 +29,18 @@ func NewCaptureSized(numRouters, ringCap int, bucketWidth float64) *Capture {
 	}
 }
 
+// SyncDropCounters mirrors the event bus's own accounting into registry
+// counters: telemetry.events.emitted and telemetry.events.dropped. It is
+// idempotent (Set, not Add), so callers that already mirror these totals —
+// core.Network.ExportTelemetry does — converge on the same values.
+func (c *Capture) SyncDropCounters() {
+	if c == nil || c.Trace == nil || c.Metrics == nil {
+		return
+	}
+	c.Metrics.Counter("telemetry.events.emitted").Set(float64(c.Trace.Emitted()))
+	c.Metrics.Counter("telemetry.events.dropped").Set(float64(c.Trace.Dropped()))
+}
+
 // Export writes the capture's three artifacts into dir:
 //
 //	<prefix>.events.jsonl — the merged event log, one JSON object per line
@@ -37,7 +49,16 @@ func NewCaptureSized(numRouters, ringCap int, bucketWidth float64) *Capture {
 //
 // All three are deterministic functions of the simulation, so they can be
 // hashed and compared across runs and worker counts.
+//
+// Export first mirrors the event bus's own accounting into the registry —
+// telemetry.events.emitted and telemetry.events.dropped — so a truncated
+// (ring-wrapped) log is visible as a first-class metric in the snapshot
+// and on any /metrics endpoint, not just as an operator warning. Both
+// totals are schedule-independent: emission counts and per-ring drop
+// counts are functions of what each router emitted, not of how shards or
+// workers were scheduled.
 func (c *Capture) Export(dir, prefix string) error {
+	c.SyncDropCounters()
 	events := c.Trace.Events()
 	var jsonl strings.Builder
 	if err := WriteJSONL(&jsonl, events); err != nil {

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"minroute/internal/graph"
+	"minroute/internal/leaktest"
+)
+
+// TestExportersEmpty pins the degenerate artifacts: a run that emitted
+// nothing must still produce a valid (and byte-stable) Chrome document,
+// an empty JSONL log, and a clean read of that log.
+func TestExportersEmpty(t *testing.T) {
+	leaktest.Check(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty trace has %d rows, want 0", len(doc.TraceEvents))
+	}
+
+	buf.Reset()
+	if err := WriteJSONL(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty JSONL log = %q, want no bytes", buf.String())
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil || events != nil {
+		t.Fatalf("reading an empty log: events=%v err=%v, want nil/nil", events, err)
+	}
+}
+
+// TestChromeTracePidRows pins the process-row layout: metadata rows run
+// 0..maxRouter even for routers that emitted nothing (trace-viewer rows
+// stay aligned with router IDs), and the network row appears only when a
+// network-scope event exists, always as maxRouter+1.
+func TestChromeTracePidRows(t *testing.T) {
+	leaktest.Check(t)
+	// Routers 0 and 3 emit; 1 and 2 are silent. No network events.
+	evs := []Event{
+		NewEvent(0.1, KindLSUSend, 0),
+		NewEvent(0.2, KindLSURecv, 3),
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, te := range doc.TraceEvents {
+		if te["ph"] == "M" {
+			args := te["args"].(map[string]any)
+			names = append(names, args["name"].(string))
+		}
+	}
+	want := []string{"router 0", "router 1", "router 2", "router 3"}
+	if len(names) != len(want) {
+		t.Fatalf("metadata rows %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("metadata rows %v, want %v", names, want)
+		}
+	}
+	if strings.Contains(buf.String(), `"network"`) {
+		t.Fatal("network row emitted without network-scope events")
+	}
+
+	// Adding one network-scope event grows exactly one more row at
+	// pid maxRouter+1.
+	fault := NewEvent(0.5, KindFaultStart, graph.None)
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, append(evs, fault)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"pid":4,"args":{"name":"network"}`) {
+		t.Fatalf("network row missing or on the wrong pid:\n%s", buf.String())
+	}
+}
+
+// TestExportRingWrapped drives a tiny ring past capacity and checks the
+// whole truncation story: Events keeps only the newest ringCap entries
+// per router in Seq order, the loss is visible through Dropped, and
+// SyncDropCounters surfaces it as first-class metrics in the snapshot.
+func TestExportRingWrapped(t *testing.T) {
+	leaktest.Check(t)
+	c := NewCaptureSized(1, 4, 1)
+	for i := 0; i < 10; i++ {
+		c.Trace.Emit(NewEvent(float64(i), KindLSUSend, 0))
+	}
+	evs := c.Trace.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring-wrapped Events() returned %d, want capacity 4", len(evs))
+	}
+	// The survivors are the newest four, re-stamped 1..4.
+	for i, ev := range evs {
+		if ev.T != float64(6+i) || ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d = T%g Seq%d, want T%d Seq%d", i, ev.T, ev.Seq, 6+i, i+1)
+		}
+	}
+	if c.Trace.Emitted() != 10 || c.Trace.Dropped() != 6 {
+		t.Fatalf("emitted=%d dropped=%d, want 10 and 6", c.Trace.Emitted(), c.Trace.Dropped())
+	}
+
+	// The wrapped log still round-trips through JSONL.
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil || len(back) != 4 {
+		t.Fatalf("round-trip of wrapped log: %d events, err=%v", len(back), err)
+	}
+
+	// Drop accounting lands in the metrics snapshot (and so on /metrics).
+	c.SyncDropCounters()
+	snap := c.Metrics.Snapshot()
+	for _, want := range []string{
+		"counter telemetry.events.dropped 6",
+		"counter telemetry.events.emitted 10",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+// TestForkMergeConcurrent exercises the sharded-run export path: sibling
+// tracers written from concurrent goroutines (one owner each, the Fork
+// contract) merge into a single timeline ordered by (T, origin serial)
+// with a contiguous re-stamped Seq, and the merged log exports cleanly.
+func TestForkMergeConcurrent(t *testing.T) {
+	leaktest.Check(t)
+	root := NewTracer(4, 64)
+	const shards, perShard = 3, 20
+	tracers := []*Tracer{root}
+	for i := 1; i < shards; i++ {
+		tracers = append(tracers, root.Fork())
+	}
+	var wg sync.WaitGroup
+	for s, tr := range tracers {
+		wg.Add(1)
+		go func(shard int, tr *Tracer) {
+			defer wg.Done()
+			for i := 0; i < perShard; i++ {
+				ev := NewEvent(float64(i), KindLSUSend, graph.NodeID(shard))
+				ev.Peer = graph.NodeID((shard + 1) % shards)
+				tr.Emit(ev)
+			}
+		}(s, tr)
+	}
+	wg.Wait()
+
+	evs := root.Events()
+	if len(evs) != shards*perShard {
+		t.Fatalf("merged %d events, want %d", len(evs), shards*perShard)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d, want contiguous re-stamp %d", i, ev.Seq, i+1)
+		}
+		if i > 0 && ev.T < evs[i-1].T {
+			t.Fatalf("merge out of time order at %d: %g after %g", i, ev.T, evs[i-1].T)
+		}
+	}
+	if root.Emitted() != shards*perShard || root.Dropped() != 0 {
+		t.Fatalf("family accounting: emitted=%d dropped=%d", root.Emitted(), root.Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil || len(back) != len(evs) {
+		t.Fatalf("merged log round-trip: %d events, err=%v", len(back), err)
+	}
+}
+
+// TestReadJSONLOversizedLine pins the scanner bound: a line beyond the
+// 1 MiB buffer surfaces as an error instead of silent truncation.
+func TestReadJSONLOversizedLine(t *testing.T) {
+	leaktest.Check(t)
+	line := `{"t":0,"seq":1,"kind":"lsu_send","router":0,"peer":-1,"dst":-1,"flow":-1,"value":0,"label":"` +
+		strings.Repeat("x", 1<<21) + `"}`
+	if _, err := ReadJSONL(strings.NewReader(line)); err == nil {
+		t.Fatal("oversized line accepted")
+	}
+}

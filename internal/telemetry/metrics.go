@@ -1,9 +1,10 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"strconv"
-	"strings"
+	"sync/atomic"
 )
 
 // Counter is a monotonically growing (or explicitly Set) float total. It
@@ -12,8 +13,15 @@ import (
 // ascending index order, so the float result is independent of how work was
 // scheduled. A nil *Counter is a valid no-op sink, which is what gives
 // every probe site its one-branch disabled path.
+//
+// The scalar lane (Add/Set/Value) is atomic: the live runtime's ARQ and
+// session goroutines write counters that the obs server scrapes
+// concurrently, and an uncontended CAS costs single-digit nanoseconds —
+// invisible next to the branch the disabled path already pays. The slot
+// lanes stay plain: they belong to the sharded simulator, whose shards are
+// single-threaded and whose readers run at barriers.
 type Counter struct {
-	v     float64
+	bits  atomic.Uint64 // math.Float64bits of the scalar total
 	slots []float64
 }
 
@@ -22,7 +30,12 @@ func (c *Counter) Add(d float64) {
 	if c == nil {
 		return
 	}
-	c.v += d
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
 }
 
 // Inc increases the counter by one.
@@ -58,7 +71,7 @@ func (c *Counter) Set(v float64) {
 	if c == nil {
 		return
 	}
-	c.v = v
+	c.bits.Store(math.Float64bits(v))
 }
 
 // Value returns the current total: the scalar plus every slot, folded in
@@ -67,16 +80,17 @@ func (c *Counter) Value() float64 {
 	if c == nil {
 		return 0
 	}
-	v := c.v
+	v := math.Float64frombits(c.bits.Load())
 	for _, s := range c.slots {
 		v += s
 	}
 	return v
 }
 
-// Gauge is a last-value-wins instantaneous measurement.
+// Gauge is a last-value-wins instantaneous measurement. Set and Value are
+// atomic, for the same live-scrape reason as Counter.
 type Gauge struct {
-	v float64
+	bits atomic.Uint64 // math.Float64bits of the last value
 }
 
 // Set records the current value.
@@ -84,7 +98,7 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.v = v
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Value returns the last value set (zero for nil).
@@ -92,7 +106,7 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Bucket summarizes the observations of one simulation-time window.
@@ -194,18 +208,27 @@ func (h *Histogram) Count() int64 {
 	return n
 }
 
-// Mean returns the all-time average observation, or 0 with none. Slot sums
-// fold in ascending slot order.
-func (h *Histogram) Mean() float64 {
+// Total returns the all-time summary bucket: slot totals folded in
+// ascending slot order (N, Sum) with the largest observation as Max.
+func (h *Histogram) Total() Bucket {
 	if h == nil {
-		return 0
+		return Bucket{}
 	}
 	var b Bucket
 	for i := range h.slots {
 		b.N += h.slots[i].total.N
 		b.Sum += h.slots[i].total.Sum
+		if h.slots[i].total.Max > b.Max {
+			b.Max = h.slots[i].total.Max
+		}
 	}
-	return b.Mean()
+	return b
+}
+
+// Mean returns the all-time average observation, or 0 with none. Slot sums
+// fold in ascending slot order.
+func (h *Histogram) Mean() float64 {
+	return h.Total().Mean()
 }
 
 // Max returns the largest observation seen.
@@ -421,44 +444,29 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// RegisterCounter installs an existing counter under name, so one
+// instrument can appear in several registries — the mesh-wide registry and
+// the owning node's obs registry share the same per-link ARQ counter.
+// Setup-time only: registry maps are not safe for concurrent mutation.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.counters[name] = c
+}
+
+// RegisterGauge installs an existing gauge under name (see RegisterCounter).
+func (r *Registry) RegisterGauge(name string, g *Gauge) {
+	if r == nil || g == nil {
+		return
+	}
+	r.gauges[name] = g
+}
+
 // fmtFloat is the canonical float rendering shared by every exporter:
 // shortest round-trippable form, so snapshots are byte-identical
 // run-to-run.
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-
-// Snapshot renders every instrument as sorted plain text: one line per
-// counter and gauge, one summary line plus one line per non-empty bucket
-// for each histogram.
-func (r *Registry) Snapshot() string {
-	if r == nil {
-		return ""
-	}
-	var b strings.Builder
-	for _, name := range sortedKeys(r.counters) {
-		b.WriteString("counter " + name + " " + fmtFloat(r.counters[name].Value()) + "\n")
-	}
-	for _, name := range sortedKeys(r.gauges) {
-		b.WriteString("gauge " + name + " " + fmtFloat(r.gauges[name].Value()) + "\n")
-	}
-	for _, name := range sortedKeys(r.hists) {
-		h := r.hists[name]
-		b.WriteString("hist " + name +
-			" n=" + strconv.FormatInt(h.Count(), 10) +
-			" mean=" + fmtFloat(h.Mean()) +
-			" max=" + fmtFloat(h.Max()) + "\n")
-		for i, bk := range h.Buckets() {
-			if bk.N == 0 {
-				continue
-			}
-			b.WriteString("hist " + name + "[" + strconv.Itoa(i) + "]" +
-				" t0=" + fmtFloat(float64(i)*h.width) +
-				" n=" + strconv.FormatInt(bk.N, 10) +
-				" mean=" + fmtFloat(bk.Mean()) +
-				" max=" + fmtFloat(bk.Max) + "\n")
-		}
-	}
-	return b.String()
-}
 
 // sortedKeys returns the map's keys in ascending order.
 func sortedKeys[V any](m map[string]V) []string {
