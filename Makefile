@@ -3,7 +3,7 @@ GO ?= go
 # Repetitions of the race-soak suite; CI trims this for wall time.
 RACE_SOAK_COUNT ?= 3
 
-.PHONY: check vet lint lint-concurrency test race race-soak fuzz chaos bench bench-transport bench-scale bench-obs telemetry-guard codec-guard
+.PHONY: check vet lint lint-concurrency test race race-soak fuzz chaos bench bench-transport bench-scale bench-obs bench-dataplane telemetry-guard codec-guard
 
 # The gate used before every commit: static checks (determinism and
 # concurrency lint suites), the full suite under the race detector (the
@@ -46,7 +46,7 @@ race:
 # repetitions (goroutine IDs are never reused, making repeat runs an
 # accumulating leak trap).
 race-soak:
-	GOMAXPROCS=16 GOGC=5 GODEBUG=clobberfree=1 $(GO) test -race -count=$(RACE_SOAK_COUNT) -timeout 10m ./internal/transport/... ./internal/node ./internal/simpool ./internal/telemetry ./internal/despart ./internal/obs
+	GOMAXPROCS=16 GOGC=5 GODEBUG=clobberfree=1 $(GO) test -race -count=$(RACE_SOAK_COUNT) -timeout 10m ./internal/transport/... ./internal/node ./internal/simpool ./internal/telemetry ./internal/despart ./internal/obs ./internal/dataplane
 
 # Telemetry-overhead guard: with instrumentation disabled (no probes), the
 # DES packet hot loop and all sink methods must cost zero allocations, and
@@ -72,6 +72,7 @@ fuzz:
 	$(GO) test -run FuzzChaosSchedule -fuzz FuzzChaosSchedule -fuzztime 10s ./internal/chaos
 	$(GO) test -run FuzzFrameRoundTrip -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/wire
 	$(GO) test -run FuzzShardSchedule -fuzz FuzzShardSchedule -fuzztime 10s ./internal/despart
+	$(GO) test -run FuzzDataFrame -fuzz FuzzDataFrame -fuzztime 10s ./internal/wire
 
 # Longer randomized sweep: 200 seed-derived scenarios through both runners.
 chaos:
@@ -104,3 +105,12 @@ bench-scale:
 # smoke (see check.yml).
 bench-obs:
 	$(GO) run ./cmd/mdrwatch -bench -out BENCH_obs.json
+
+# Data-plane benchmarks: forwarding-table lookup/compile/rebalance micro
+# costs, the data-frame codec path, end-to-end packet rates through real
+# forwarders on the in-memory fabric, and the worst-case bucket
+# quantization error of the weighted splitter. Overwrites the checked-in
+# snapshot; compare against BENCH_dataplane.json. CI runs the same driver
+# to a scratch path as a smoke (see check.yml).
+bench-dataplane:
+	$(GO) run ./cmd/mdrwatch -bench-dataplane -out BENCH_dataplane.json

@@ -63,6 +63,16 @@ func main() {
 		telemetryDir = flag.String("telemetry", "", "export telemetry artifacts into this directory")
 		hb           = flag.Float64("heartbeat", 0.25, "session heartbeat period, seconds")
 		dead         = flag.Float64("dead-after", 5, "declare a silent peer down after this many seconds")
+
+		dataplane  = flag.Bool("dataplane", false, "mesh mode: give every node a live UDP data plane fed by its phi tables")
+		dataLoss   = flag.Float64("data-loss", 0, "mesh mode: per-datagram loss probability on the data plane (requires -dataplane)")
+		dataDup    = flag.Float64("data-dup", 0, "mesh mode: per-datagram duplication probability on the data plane")
+		traffic    = flag.String("traffic", "", "mesh mode: drive the topology's flows through the data plane with this model (cbr, poisson, onoff, adversary)")
+		trafSecs   = flag.Float64("traffic-secs", 1, "mesh mode: traffic run length, seconds")
+		trafRate   = flag.Float64("traffic-rate", 0, "mesh mode: override every commodity's rate, bits/s (0 keeps the topology's rates)")
+		subflows   = flag.Int("subflows", 16, "mesh mode: sticky subflows per commodity")
+		packetBits = flag.Float64("packet-bits", 8192, "mesh mode: data packet size, bits")
+		minDeliv   = flag.Float64("min-deliv", -1, "mesh mode: fail unless at least this percentage of offered packets is delivered")
 	)
 	var peerFlags peerList
 	flag.Var(&peerFlags, "peer", "node mode: peer as <id>@<host:port>@<cost>; repeatable")
@@ -73,7 +83,18 @@ func main() {
 	case *topoName != "" && *nodeID >= 0:
 		err = fmt.Errorf("-topo (mesh mode) and -node (node mode) are mutually exclusive")
 	case *topoName != "":
-		err = runMesh(*topoName, *fabric, *loss, *dup, *reorder, *seed, *timeout, *linger, *hb, *dead, *telemetryDir, *httpAddr, *obsManifest)
+		dp := dataOpts{
+			enabled:  *dataplane,
+			loss:     *dataLoss,
+			dup:      *dataDup,
+			model:    *traffic,
+			secs:     *trafSecs,
+			rate:     *trafRate,
+			subflows: *subflows,
+			bits:     *packetBits,
+			minDeliv: *minDeliv,
+		}
+		err = runMesh(*topoName, *fabric, *loss, *dup, *reorder, *seed, *timeout, *linger, *hb, *dead, *telemetryDir, *httpAddr, *obsManifest, dp)
 	case *nodeID >= 0:
 		err = runNode(*nodeID, *nodes, *listen, *cost, *await, *timeout, *linger, *hb, *dead, *telemetryDir, *httpAddr, *obsManifest, peerFlags)
 	default:
@@ -115,26 +136,47 @@ func (p *peerList) Set(s string) error {
 
 // output is the JSON document both modes print.
 type output struct {
-	Mode    string       `json:"mode"`
-	Topo    string       `json:"topo,omitempty"`
-	Fabric  string       `json:"fabric,omitempty"`
-	Hash    string       `json:"hash"`
-	Routers []node.State `json:"routers"`
+	Mode    string              `json:"mode"`
+	Topo    string              `json:"topo,omitempty"`
+	Fabric  string              `json:"fabric,omitempty"`
+	Hash    string              `json:"hash"`
+	Routers []node.State        `json:"routers"`
+	Traffic *node.TrafficReport `json:"traffic,omitempty"`
+	Drops   *dataDrops          `json:"data_drops,omitempty"`
 }
 
-// resolveTopo maps a -topo value to its graph.
-func resolveTopo(name string) (*graph.Graph, error) {
+// dataDrops aggregates the mesh's forwarding-drop counters — the live
+// loop-freedom evidence next to the lfi audit.
+type dataDrops struct {
+	Looped     float64 `json:"looped"`
+	TTLExpired float64 `json:"ttl_expired"`
+}
+
+// dataOpts carries the mesh-mode data-plane and traffic flags.
+type dataOpts struct {
+	enabled    bool
+	loss, dup  float64
+	model      string
+	secs, rate float64
+	subflows   int
+	bits       float64
+	minDeliv   float64
+}
+
+// resolveTopo maps a -topo value to its network (graph plus any traffic
+// matrix the topology defines).
+func resolveTopo(name string) (*topo.Network, error) {
 	switch {
 	case name == "cairn":
-		return topo.CAIRN().Graph, nil
+		return topo.CAIRN(), nil
 	case name == "net1":
-		return topo.NET1().Graph, nil
+		return topo.NET1(), nil
 	case strings.HasPrefix(name, "ring:"):
 		n, err := strconv.Atoi(name[len("ring:"):])
 		if err != nil || n < 3 {
 			return nil, fmt.Errorf("bad ring size in %q", name)
 		}
-		return topo.Ring(n, 1.5*topo.Mb, 0.01), nil
+		return &topo.Network{Graph: topo.Ring(n, 1.5*topo.Mb, 0.01)}, nil
 	}
 	return nil, fmt.Errorf("unknown topology %q (want cairn, net1, or ring:<n>)", name)
 }
@@ -158,10 +200,17 @@ func newCapture(dir string, numRouters int) (*telemetry.Capture, *node.Trace, er
 
 // runMesh hosts the whole topology in-process and prints the converged
 // state of every router.
-func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, timeout, linger, hb, dead float64, telemetryDir, httpAddr, obsManifest string) error {
-	g, err := resolveTopo(topoName)
+func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, timeout, linger, hb, dead float64, telemetryDir, httpAddr, obsManifest string, dp dataOpts) error {
+	net, err := resolveTopo(topoName)
 	if err != nil {
 		return err
+	}
+	g := net.Graph
+	if dp.model != "" && !dp.enabled {
+		return fmt.Errorf("-traffic requires -dataplane")
+	}
+	if (dp.loss > 0 || dp.dup > 0) && !dp.enabled {
+		return fmt.Errorf("-data-loss/-data-dup require -dataplane")
 	}
 	capt, trace, err := newCapture(telemetryDir, g.NumNodes())
 	if err != nil {
@@ -174,8 +223,10 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 		Fault:          transport.Fault{Seed: seed, LossProb: loss, DupProb: dup, ReorderProb: reorder},
 		ARQ:            transport.ARQConfig{RTO: 0.01, MaxRTO: 0.2},
 		HeartbeatEvery: hb, DeadAfter: dead,
-		Trace:   trace,
-		ObsAddr: httpAddr,
+		Trace:     trace,
+		ObsAddr:   httpAddr,
+		Data:      dp.enabled,
+		DataFault: transport.Fault{Seed: seed + 1, LossProb: dp.loss, DupProb: dp.dup},
 	}
 	if capt != nil {
 		mc.Metrics = capt.Metrics
@@ -187,8 +238,15 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 	defer m.Close()
 	// Publish the observability endpoints before convergence: a watcher
 	// wants to follow the mesh turning ready, not just confirm it after
-	// the fact.
-	if err := announceObs(m.ObsURLs(), obsManifest); err != nil {
+	// the fact. With the data plane up, each manifest line carries the
+	// node's data-port address in a second column.
+	var dataAddrs []string
+	if dp.enabled {
+		for _, n := range m.Nodes {
+			dataAddrs = append(dataAddrs, n.DataPlane().LocalAddr())
+		}
+	}
+	if err := announceObs(m.ObsURLs(), dataAddrs, obsManifest); err != nil {
 		return err
 	}
 	maxPolls := int(timeout / pollEvery.Seconds())
@@ -199,8 +257,40 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 	for _, n := range m.Nodes {
 		out.Routers = append(out.Routers, n.State())
 	}
+	if dp.enabled {
+		// The loop-freedom oracle audits the converged successor graph;
+		// the per-forwarder counters below are its runtime shadow.
+		if err := m.CheckLoopFree(); err != nil {
+			return fmt.Errorf("loop-freedom audit: %w", err)
+		}
+	}
+	if dp.model != "" {
+		rep, err := runMeshTraffic(m, net, dp)
+		if err != nil {
+			return err
+		}
+		out.Traffic = rep
+	}
+	if dp.enabled {
+		var drops dataDrops
+		for _, n := range m.Nodes {
+			s := n.DataPlane().Snapshot()
+			drops.Looped += s.Looped
+			drops.TTLExpired += s.TTLExpired
+		}
+		out.Drops = &drops
+	}
 	if err := printJSON(out); err != nil {
 		return err
+	}
+	// Gates run after the report prints, so a failing run still leaves
+	// its evidence on stdout for the harness to archive.
+	if out.Drops != nil && (out.Drops.Looped > 0 || out.Drops.TTLExpired > 0) {
+		return fmt.Errorf("forwarding drops: %g looped, %g ttl-expired packets", out.Drops.Looped, out.Drops.TTLExpired)
+	}
+	if out.Traffic != nil && dp.minDeliv >= 0 && out.Traffic.DelivPct < dp.minDeliv {
+		return fmt.Errorf("delivery %.2f%% (%d/%d) below the -min-deliv %.2f%% gate",
+			out.Traffic.DelivPct, out.Traffic.Delivered, out.Traffic.Offered, dp.minDeliv)
 	}
 	// Linger with the mesh alive when observability is on: readiness
 	// streaks fill a few polls after convergence, and an external watcher
@@ -219,16 +309,59 @@ func runMesh(topoName, fabric string, loss, dup, reorder float64, seed uint64, t
 	return exportCapture(capt, telemetryDir, "mdrnode_mesh")
 }
 
+// runMeshTraffic replays the topology's traffic matrix through the live
+// data plane for the configured run length and reports delivery.
+func runMeshTraffic(m *node.Mesh, net *topo.Network, dp dataOpts) (*node.TrafficReport, error) {
+	flows := append([]topo.Flow(nil), net.Flows...)
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("-traffic: topology defines no flows")
+	}
+	if dp.rate > 0 {
+		for i := range flows {
+			flows[i].Rate = dp.rate
+		}
+	}
+	gen, err := node.NewTrafficGen(m, node.TrafficConfig{
+		Model:      node.TrafficModel(dp.model),
+		Flows:      flows,
+		Subflows:   dp.subflows,
+		PacketBits: dp.bits,
+		Seed:       1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gen.Start()
+	for poll := 0; poll < int(dp.secs/pollEvery.Seconds()); poll++ {
+		time.Sleep(pollEvery)
+	}
+	gen.Stop()
+	// Drain in-flight packets before reading the sinks.
+	for poll := 0; poll < 10; poll++ {
+		time.Sleep(pollEvery)
+	}
+	rep := gen.Report()
+	return &rep, nil
+}
+
 // announceObs writes the manifest file and prints one "OBS <url>" line
 // per node (harness-scrapable, like the LISTEN line). The file is
 // written first so a harness that saw an OBS line can rely on the
-// manifest already being on disk.
-func announceObs(urls []string, manifest string) error {
+// manifest already being on disk. With a live data plane, each manifest
+// line is "<url> <data-addr>"; consumers split on whitespace and take
+// the first column for the observability URL.
+func announceObs(urls, dataAddrs []string, manifest string) error {
+	lines := append([]string(nil), urls...)
+	if len(dataAddrs) == len(lines) {
+		for i, a := range dataAddrs {
+			lines[i] += " " + a
+		}
+	}
 	if manifest != "" {
-		if len(urls) == 0 {
+		if len(lines) == 0 {
 			return fmt.Errorf("-obs-manifest needs -http")
 		}
-		if err := os.WriteFile(manifest, []byte(strings.Join(urls, "\n")+"\n"), 0o644); err != nil {
+		if err := os.WriteFile(manifest, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 			return err
 		}
 	}
@@ -269,7 +402,7 @@ func runNode(id, nodes int, listen string, acceptCost float64, await int, timeou
 	}
 	defer n.Close()
 	if httpAddr != "" {
-		if err := announceObs([]string{n.ObsURL()}, obsManifest); err != nil {
+		if err := announceObs([]string{n.ObsURL()}, nil, obsManifest); err != nil {
 			return err
 		}
 	}

@@ -226,3 +226,91 @@ func TestMeshModeJSON(t *testing.T) {
 			out.Mode, out.Topo, len(out.Routers), out.Hash)
 	}
 }
+
+// TestMeshModeDataplaneTraffic is the CI gate in miniature: a UDP NET1
+// mesh with 10% control-plane loss converges, carries CBR traffic on its
+// live data plane, and must deliver >= 99% with zero forwarding loops.
+// The obs manifest gains a second column with each node's data-port
+// address, and /flows answers while the run is live.
+func TestMeshModeDataplaneTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns an OS process; not a -short test")
+	}
+	manifest := filepath.Join(t.TempDir(), "obs.txt")
+	cmd := child(t, "-topo", "net1", "-fabric", "udp", "-loss", "0.1", "-dup", "0.1",
+		"-dataplane", "-traffic", "cbr", "-traffic-rate", "1e6", "-traffic-secs", "0.5",
+		"-min-deliv", "99", "-timeout", "60", "-linger", "0",
+		"-http", "127.0.0.1:0", "-obs-manifest", manifest)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	r := bufio.NewReader(stdout)
+	var urls []string
+	for len(urls) < 10 {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading OBS lines: %v", err)
+		}
+		u, ok := strings.CutPrefix(strings.TrimSpace(line), "OBS ")
+		if !ok {
+			t.Fatalf("expected OBS line, got %q", line)
+		}
+		urls = append(urls, u)
+	}
+
+	// Manifest: one "<url> <data-addr>" line per node.
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("manifest has %d lines, want 10:\n%s", len(lines), raw)
+	}
+	for _, l := range lines {
+		cols := strings.Fields(l)
+		if len(cols) != 2 || !strings.HasPrefix(cols[0], "http://") || !strings.Contains(cols[1], ":") {
+			t.Fatalf("manifest line %q: want \"<url> <host:port>\"", l)
+		}
+	}
+
+	// /flows answers (with an empty snapshot this early) on a node with
+	// a data plane.
+	c := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	defer c.CloseIdleConnections()
+	resp, err := c.Get(urls[0] + "/flows")
+	if err != nil {
+		t.Fatalf("GET /flows: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /flows: status %d", resp.StatusCode)
+	}
+
+	var rest strings.Builder
+	if _, err := r.WriteTo(&rest); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("mesh process failed its gates: %v", err)
+	}
+	out := decodeNodeOutput(t, []byte(rest.String()))
+	if out.Traffic == nil || out.Drops == nil {
+		t.Fatalf("mesh output missing traffic/drops sections:\n%s", rest.String())
+	}
+	if out.Traffic.DelivPct < 99 {
+		t.Fatalf("delivery %.2f%%, want >= 99%%", out.Traffic.DelivPct)
+	}
+	if out.Drops.Looped != 0 || out.Drops.TTLExpired != 0 {
+		t.Fatalf("forwarding drops: %+v", out.Drops)
+	}
+	if len(out.Traffic.Commodities) != 10 {
+		t.Fatalf("traffic report covers %d commodities, want 10", len(out.Traffic.Commodities))
+	}
+}

@@ -41,14 +41,23 @@ func main() {
 		interval = flag.Float64("interval", 0.1, "poll period, seconds")
 		timeout  = flag.Float64("timeout", 30, "give up after this many seconds (counted in polls)")
 		bench    = flag.Bool("bench", false, "benchmark the observability plane against an in-process mesh instead of watching")
+		benchDP  = flag.Bool("bench-dataplane", false, "benchmark the data plane (table compile/lookup, codec, end-to-end forwarding) instead of watching")
 		out      = flag.String("out", "BENCH_obs.json", "bench mode: report output path")
 	)
 	flag.Parse()
 
 	var err error
-	if *bench {
+	switch {
+	case *bench && *benchDP:
+		err = fmt.Errorf("-bench and -bench-dataplane are mutually exclusive")
+	case *bench:
 		err = runBench(*out)
-	} else {
+	case *benchDP:
+		if *out == "BENCH_obs.json" {
+			*out = "BENCH_dataplane.json"
+		}
+		err = runBenchData(*out)
+	default:
 		var urls []string
 		urls, err = resolveTargets(*manifest, *targets)
 		if err == nil {
@@ -71,8 +80,10 @@ func resolveTargets(manifest, targets string) ([]string, error) {
 			return nil, err
 		}
 		for _, line := range strings.Split(string(raw), "\n") {
-			if line = strings.TrimSpace(line); line != "" {
-				urls = append(urls, line)
+			// A data-plane mesh writes "<url> <data-addr>" lines; the
+			// observability URL is always the first column.
+			if fields := strings.Fields(line); len(fields) > 0 {
+				urls = append(urls, fields[0])
 			}
 		}
 	}
@@ -92,6 +103,9 @@ type row struct {
 	url   string
 	ready obs.Readiness
 	peers obs.PeersDoc
+	// flows is the node's data-plane snapshot, nil when the node runs
+	// without a forwarder (/flows answers 404 there).
+	flows *obs.FlowsDoc
 	err   error
 }
 
@@ -115,13 +129,19 @@ func (r row) maxRTO() float64 {
 	return worst
 }
 
-// probe scrapes one node's /readyz and /peers.
+// probe scrapes one node's /readyz, /peers, and (when present) /flows.
 func probe(c *http.Client, url string) row {
 	r := row{url: url}
 	if r.err = fetchJSON(c, url+"/readyz", &r.ready); r.err != nil {
 		return r
 	}
-	r.err = fetchJSON(c, url+"/peers", &r.peers)
+	if r.err = fetchJSON(c, url+"/peers", &r.peers); r.err != nil {
+		return r
+	}
+	var fd obs.FlowsDoc
+	if status, err := fetchJSONStatus(c, url+"/flows", &fd); err == nil && status == http.StatusOK {
+		r.flows = &fd
+	}
 	return r
 }
 
@@ -129,16 +149,23 @@ func probe(c *http.Client, url string) row {
 // an error here: /readyz deliberately answers 503 while converging, and
 // its body still carries the document.
 func fetchJSON(c *http.Client, url string, v any) error {
+	_, err := fetchJSONStatus(c, url, v)
+	return err
+}
+
+// fetchJSONStatus is fetchJSON exposing the status code, for endpoints
+// like /flows where 404 is a meaningful "feature not enabled" answer.
+func fetchJSONStatus(c *http.Client, url string, v any) (int, error) {
 	resp, err := c.Get(url)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return resp.StatusCode, err
 	}
-	return json.Unmarshal(body, v)
+	return resp.StatusCode, json.Unmarshal(body, v)
 }
 
 // runWatch polls every target until the whole mesh reports ready or the
@@ -204,6 +231,48 @@ func render(w io.Writer, rows []row) {
 			r.ready.Peers, r.ready.MinPeers, r.ready.Outstanding,
 			r.ready.Streak, r.ready.StablePolls,
 			r.retransmits(), r.maxRTO(), hash)
+	}
+	tw.Flush()
+	renderData(w, sorted)
+}
+
+// renderData writes the data-plane tables for nodes exposing /flows: the
+// per-node forwarding counters and the live weighted-split table — the
+// observed next-hop fraction of each destination's traffic against the
+// phi weight the node's table wants.
+func renderData(w io.Writer, sorted []row) {
+	any := false
+	for _, r := range sorted {
+		if r.flows != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nNODE\tORIGIN\tFWD\tDELIV\tLOOPED\tTTLX\tNOROUTE\tFLOWS")
+	for _, r := range sorted {
+		if r.flows == nil {
+			continue
+		}
+		d := r.flows.Data
+		fmt.Fprintf(tw, "%d\t%g\t%g\t%g\t%g\t%g\t%g\t%d\n",
+			r.flows.ID, d.Origin, d.Forwarded, d.Delivered,
+			d.Looped, d.TTLExpired, d.DropNoRoute, len(d.Flows))
+	}
+	tw.Flush()
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nNODE\tDST\tVIA\tPKTS\tGOT\tWANT")
+	for _, r := range sorted {
+		if r.flows == nil {
+			continue
+		}
+		for _, s := range r.flows.Data.Splits {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.4f\t%.4f\n",
+				r.flows.ID, s.Dst, s.Hop, s.Packets, s.Got, s.Want)
+		}
 	}
 	tw.Flush()
 }

@@ -1,0 +1,314 @@
+// Package dataplane implements the live forwarding plane: per-node
+// weighted-multipath data-packet forwarding driven by the phi routing
+// parameters the control plane computes. The control plane (internal/node
+// wrapping the MPDA router) publishes immutable forwarding-table
+// snapshots; the forwarder looks packets up lock-free and relays them hop
+// by hop over an unreliable transport.Datagram, splitting traffic across
+// the successor set in proportion to phi — the approximation to
+// minimum-delay routing the paper reduces to per-hop routing-parameter
+// adjustment.
+//
+// Flows stick to paths. A per-packet weighted coin flip would match phi
+// exactly in expectation but reorder every flow; instead each destination
+// owns a fixed ring of consistent-hash buckets apportioned to next hops
+// by weight, and a flow's 5-tuple-style hash picks its bucket. While the
+// weights hold, a flow's path holds. When the weights move, buckets are
+// reassigned minimally: only the fraction of the ring that the weight
+// change itself demands switches hops, so only that fraction of flows
+// migrates — the rest never notice.
+package dataplane
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"minroute/internal/graph"
+)
+
+// NumBuckets is the ring size per destination. 256 buckets bound the
+// apportionment error of any bucketed split at 1/256 ≈ 0.4% absolute per
+// next hop, inside the 2% gate the cross-validation holds the live plane
+// to, while keeping a table snapshot for an n-node mesh at n*256 bytes of
+// bucket state.
+const NumBuckets = 256
+
+// Entry describes the desired split for one destination: the successor
+// set and its phi weights. Hops must be sorted ascending and Weights sum
+// to 1 (the alloc invariant); Table building normalizes defensively.
+type Entry struct {
+	Dst     graph.NodeID
+	Hops    []graph.NodeID
+	Weights []float64
+}
+
+// route is the compiled per-destination state inside a Table.
+type route struct {
+	hops    []graph.NodeID // successor set, ascending
+	weights []float64      // phi per hop, same order, normalized
+	buckets []uint8        // bucket -> index into hops
+}
+
+// Table is an immutable compiled forwarding snapshot. Build tables with
+// Compile and swap them atomically; never mutate one in place.
+type Table struct {
+	routes map[graph.NodeID]*route
+}
+
+// Compile builds a Table from per-destination entries, reusing prev's
+// bucket assignments where possible so that flows only migrate when the
+// weights actually moved (minimal disruption). prev may be nil.
+//
+// Apportionment is largest-remainder: each hop gets floor(weight*256)
+// buckets, and the leftovers go to the largest fractional remainders
+// (ties to the lower hop ID), so the bucket shares match phi to within
+// 1/NumBuckets. Reassignment is two-pass: buckets whose current hop is
+// still present and still under its new quota keep their hop; only the
+// freed surplus moves, scanned in ascending bucket order so the result is
+// a pure function of (entries, prev) — independent of map order,
+// scheduling, and GOMAXPROCS.
+func Compile(entries []Entry, prev *Table) *Table {
+	t := &Table{routes: make(map[graph.NodeID]*route, len(entries))}
+	for _, e := range entries {
+		if len(e.Hops) == 0 {
+			continue
+		}
+		r := &route{
+			hops:    append([]graph.NodeID(nil), e.Hops...),
+			weights: append([]float64(nil), e.Weights...),
+		}
+		sortRoute(r)
+		if len(r.weights) != len(r.hops) { // absent weights: uniform
+			r.weights = make([]float64, len(r.hops))
+		}
+		normalize(r.weights)
+		var old *route
+		if prev != nil {
+			old = prev.routes[e.Dst]
+		}
+		r.buckets = assignBuckets(r.hops, quotas(r.weights), old)
+		t.routes[e.Dst] = r
+	}
+	return t
+}
+
+// sortRoute orders hops ascending, carrying weights along.
+func sortRoute(r *route) {
+	if sort.SliceIsSorted(r.hops, func(i, j int) bool { return r.hops[i] < r.hops[j] }) {
+		return
+	}
+	idx := make([]int, len(r.hops))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.hops[idx[a]] < r.hops[idx[b]] })
+	hops := make([]graph.NodeID, len(idx))
+	ws := make([]float64, len(idx))
+	for i, j := range idx {
+		hops[i] = r.hops[j]
+		if j < len(r.weights) {
+			ws[i] = r.weights[j]
+		}
+	}
+	r.hops, r.weights = hops, ws
+}
+
+// normalize scales weights to sum 1, falling back to uniform when the sum
+// is unusable (zero, negative, or non-finite entries).
+func normalize(ws []float64) {
+	sum := 0.0
+	ok := true
+	for _, w := range ws {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			ok = false
+			break
+		}
+		sum += w
+	}
+	if !ok || sum <= 0 {
+		for i := range ws {
+			ws[i] = 1 / float64(len(ws))
+		}
+		return
+	}
+	for i := range ws {
+		ws[i] /= sum
+	}
+}
+
+// quotas apportions NumBuckets buckets to hops by largest remainder.
+func quotas(ws []float64) []int {
+	q := make([]int, len(ws))
+	type frac struct {
+		i int
+		f float64
+	}
+	rem := make([]frac, len(ws))
+	used := 0
+	for i, w := range ws {
+		exact := w * NumBuckets
+		q[i] = int(exact)
+		rem[i] = frac{i, exact - float64(q[i])}
+		used += q[i]
+	}
+	// Hand leftover buckets to the largest remainders; tie → lower index
+	// (lower hop ID, since hops are sorted) for determinism.
+	sort.Slice(rem, func(a, b int) bool {
+		//lint:floateq-ok sort comparators need a strict weak order; tolerant equality is not transitive
+		if rem[a].f != rem[b].f {
+			return rem[a].f > rem[b].f
+		}
+		return rem[a].i < rem[b].i
+	})
+	for k := 0; used < NumBuckets; k++ {
+		q[rem[k%len(rem)].i]++
+		used++
+	}
+	return q
+}
+
+// assignBuckets fills the bucket ring against quota, keeping old
+// assignments wherever the bucket's previous hop survives under its new
+// quota. old may be nil (fresh route): buckets then fill in hop order.
+func assignBuckets(hops []graph.NodeID, quota []int, old *route) []uint8 {
+	b := make([]uint8, NumBuckets)
+	fill := make([]int, len(hops))
+	const unset = 0xFF
+	for i := range b {
+		b[i] = unset
+	}
+	if old != nil {
+		// Pass 1: keep buckets whose previous hop is still a successor
+		// and still owes buckets under the new quota.
+		oldIdx := make(map[graph.NodeID]int, len(hops))
+		for i, h := range hops {
+			oldIdx[h] = i
+		}
+		for i := 0; i < NumBuckets; i++ {
+			if int(old.buckets[i]) >= len(old.hops) {
+				continue
+			}
+			h := old.hops[old.buckets[i]]
+			if ni, okh := oldIdx[h]; okh && fill[ni] < quota[ni] {
+				b[i] = uint8(ni)
+				fill[ni]++
+			}
+		}
+	}
+	// Pass 2: hand the remaining buckets to under-quota hops, both sides
+	// scanned in ascending order.
+	ni := 0
+	for i := 0; i < NumBuckets; i++ {
+		if b[i] != unset {
+			continue
+		}
+		for fill[ni] >= quota[ni] {
+			ni++
+		}
+		b[i] = uint8(ni)
+		fill[ni]++
+	}
+	return b
+}
+
+// Lookup returns the next hop for (dst, flowID), or ok=false when the
+// table holds no route to dst.
+func (t *Table) Lookup(dst graph.NodeID, flowID uint64) (graph.NodeID, bool) {
+	r := t.routes[dst]
+	if r == nil {
+		return 0, false
+	}
+	return r.hops[r.buckets[flowHash(flowID)%NumBuckets]], true
+}
+
+// Route returns the successor set and weights for dst (copies), or
+// ok=false. For observability; not on the forwarding path.
+func (t *Table) Route(dst graph.NodeID) (hops []graph.NodeID, weights []float64, ok bool) {
+	r := t.routes[dst]
+	if r == nil {
+		return nil, nil, false
+	}
+	return append([]graph.NodeID(nil), r.hops...), append([]float64(nil), r.weights...), true
+}
+
+// BucketShares returns, for dst, each successor's share of the bucket
+// ring — the realized long-run split a large flow population sees.
+func (t *Table) BucketShares(dst graph.NodeID) map[graph.NodeID]float64 {
+	r := t.routes[dst]
+	if r == nil {
+		return nil
+	}
+	counts := make([]int, len(r.hops))
+	for _, hi := range r.buckets {
+		counts[hi]++
+	}
+	out := make(map[graph.NodeID]float64, len(r.hops))
+	for i, h := range r.hops {
+		out[h] = float64(counts[i]) / NumBuckets
+	}
+	return out
+}
+
+// Dests returns the destinations the table routes, ascending.
+func (t *Table) Dests() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(t.routes))
+	//lint:maporder-ok keys are collected then sorted below
+	for j := range t.routes {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Moved counts buckets for dst whose hop differs between t and prev — the
+// fraction of flows a table swap migrates. Routes absent from either side
+// count as fully moved.
+func (t *Table) Moved(prev *Table, dst graph.NodeID) int {
+	cur := t.routes[dst]
+	var old *route
+	if prev != nil {
+		old = prev.routes[dst]
+	}
+	if cur == nil || old == nil {
+		return NumBuckets
+	}
+	moved := 0
+	for i := 0; i < NumBuckets; i++ {
+		if cur.hops[cur.buckets[i]] != old.hops[old.buckets[i]] {
+			moved++
+		}
+	}
+	return moved
+}
+
+// String renders the table canonically (sorted, fixed precision) for
+// debugging and byte-deterministic artifact comparison.
+func (t *Table) String() string {
+	out := ""
+	for _, j := range t.Dests() {
+		r := t.routes[j]
+		out += fmt.Sprintf("dst %d:", j)
+		counts := make([]int, len(r.hops))
+		for _, hi := range r.buckets {
+			counts[hi]++
+		}
+		for i, h := range r.hops {
+			out += fmt.Sprintf(" %d=%.6f(%d)", h, r.weights[i], counts[i])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// flowHash scrambles a flow ID into a bucket index. splitmix64 finalizer:
+// cheap, stateless, and avalanche-complete, so sequential flow IDs (the
+// traffic generator numbers subflows densely) spread uniformly over the
+// ring.
+func flowHash(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

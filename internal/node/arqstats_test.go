@@ -68,9 +68,12 @@ func TestLinkInstrumentsAliasing(t *testing.T) {
 		Nodes: []*Node{n0, n1},
 		regs:  []*telemetry.Registry{telemetry.NewRegistry(0), telemetry.NewRegistry(0)},
 	}
-	li := m.linkInstruments(0, 1, MeshConfig{Clock: clk, Metrics: shared})
-	if li.retx == nil || li.win == nil {
+	li := m.linkInstruments(0, 1, MeshConfig{Clock: clk, Metrics: shared}, true)
+	if li.retx == nil || li.win == nil || li.wq == nil {
 		t.Fatal("linkInstruments returned nil handles")
+	}
+	if m.regs[0].Gauge("session.writeq.0-1") != li.wq || shared.Gauge("session.writeq.0-1") != li.wq {
+		t.Fatal("writer-queue gauge not aliased across registries")
 	}
 	if m.regs[0].Counter("arq.retransmits.0-1") != li.retx {
 		t.Fatal("node registry does not own the counter")

@@ -1,0 +1,421 @@
+package node_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"minroute/internal/alloc"
+	"minroute/internal/core"
+	"minroute/internal/dataplane"
+	"minroute/internal/graph"
+	"minroute/internal/leaktest"
+	"minroute/internal/node"
+	"minroute/internal/router"
+	"minroute/internal/topo"
+	"minroute/internal/traffic"
+	"minroute/internal/transport"
+)
+
+// dataMesh builds a converged NET1 mesh with the data plane enabled and
+// fails the test on any convergence or loop-freedom problem.
+func dataMesh(t *testing.T, cfg node.MeshConfig) *node.Mesh {
+	t.Helper()
+	g := topo.NET1().Graph
+	cfg.Clock = node.NewWallClock()
+	cfg.CostOf = protoCost
+	cfg.Data = true
+	m, err := node.NewMesh(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	awaitMesh(t, m)
+	if err := m.CheckLoopFree(); err != nil {
+		t.Fatalf("converged mesh fails loop-freedom audit: %v", err)
+	}
+	return m
+}
+
+// runTraffic starts cfg against m, lets it run for the given wall
+// duration, stops it, and drains in-flight packets before reporting.
+func runTraffic(t *testing.T, m *node.Mesh, cfg node.TrafficConfig, d time.Duration) node.TrafficReport {
+	t.Helper()
+	gen, err := node.NewTrafficGen(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start()
+	time.Sleep(d)
+	gen.Stop()
+	time.Sleep(100 * time.Millisecond) // drain in-flight packets
+	return gen.Report()
+}
+
+// meshDrops sums looped and TTL-expired packets over every forwarder.
+func meshDrops(m *node.Mesh) (looped, ttl float64) {
+	for _, n := range m.Nodes {
+		s := n.DataPlane().Snapshot()
+		looped += s.Looped
+		ttl += s.TTLExpired
+	}
+	return looped, ttl
+}
+
+// scaledNET1Flows returns the paper's NET1 commodity list with every
+// rate replaced, so tests can choose offered load independent of the
+// paper's near-saturation regime.
+func scaledNET1Flows(rate float64) []topo.Flow {
+	flows := topo.NET1().Flows
+	for i := range flows {
+		flows[i].Rate = rate
+	}
+	return flows
+}
+
+// TestDataMeshDeliveryNET1 is the basic end-to-end data-plane exercise:
+// a converged inmem NET1 mesh carries CBR traffic on all ten paper
+// commodities with (effectively) full delivery, no forwarding loops, no
+// TTL expiry — and every node's forwarding table agrees with its
+// router's successor sets.
+func TestDataMeshDeliveryNET1(t *testing.T) {
+	leaktest.Check(t)
+	m := dataMesh(t, node.MeshConfig{
+		Fabric:         node.FabricInmem,
+		HeartbeatEvery: 0.2,
+		DeadAfter:      60,
+	})
+
+	// The published table must mirror the routing state: same
+	// destinations, same successor sets, in the same (ascending) order.
+	for i, n := range m.Nodes {
+		tbl := n.DataPlane().Table()
+		byDst := map[graph.NodeID][]graph.NodeID{}
+		for _, ds := range n.State().Dests {
+			if len(ds.Successors) > 0 {
+				byDst[ds.Dst] = ds.Successors
+			}
+		}
+		dests := tbl.Dests()
+		if len(dests) != len(byDst) {
+			t.Fatalf("node %d: table has %d destinations, routing state %d", i, len(dests), len(byDst))
+		}
+		for _, dst := range dests {
+			hops, weights, _ := tbl.Route(dst)
+			succ := byDst[dst]
+			if len(hops) != len(succ) {
+				t.Fatalf("node %d dst %d: table hops %v vs successors %v", i, dst, hops, succ)
+			}
+			sum := 0.0
+			for k := range hops {
+				if hops[k] != succ[k] {
+					t.Fatalf("node %d dst %d: table hops %v vs successors %v", i, dst, hops, succ)
+				}
+				sum += weights[k]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("node %d dst %d: weights sum to %v", i, dst, sum)
+			}
+		}
+	}
+
+	rep := runTraffic(t, m, node.TrafficConfig{
+		Model: node.TrafficCBR,
+		Flows: scaledNET1Flows(1e6),
+		Seed:  3,
+	}, 500*time.Millisecond)
+
+	if rep.Offered == 0 {
+		t.Fatal("traffic generator offered nothing")
+	}
+	if rep.DelivPct < 99 {
+		t.Fatalf("delivery %.2f%% (%d/%d), want >= 99%%", rep.DelivPct, rep.Delivered, rep.Offered)
+	}
+	for _, cr := range rep.Commodities {
+		if cr.Deliv > 0 && cr.MeanDelayMs <= 0 {
+			t.Fatalf("commodity %s: delivered %d packets with mean delay %v ms", cr.Name, cr.Deliv, cr.MeanDelayMs)
+		}
+	}
+	if looped, ttl := meshDrops(m); looped != 0 || ttl != 0 {
+		t.Fatalf("forwarding drops on a converged mesh: looped=%v ttl_expired=%v", looped, ttl)
+	}
+}
+
+// TestDataMeshUDPControlLoss mirrors the CI gate in-process: a UDP mesh
+// whose control datagrams run a 10% loss/dup gauntlet (which the ARQ
+// absorbs) while the data plane runs clean — delivery must still be
+// >= 99% with zero loops.
+func TestDataMeshUDPControlLoss(t *testing.T) {
+	leaktest.Check(t)
+	if testing.Short() {
+		t.Skip("lossy UDP mesh convergence is not a -short test")
+	}
+	m := dataMesh(t, node.MeshConfig{
+		Fabric:         node.FabricUDP,
+		Fault:          transport.Fault{Seed: 7, LossProb: 0.1, DupProb: 0.1},
+		ARQ:            transport.ARQConfig{RTO: 0.01, MaxRTO: 0.2},
+		HeartbeatEvery: 0.2,
+		DeadAfter:      60,
+	})
+	rep := runTraffic(t, m, node.TrafficConfig{
+		Model: node.TrafficCBR,
+		Flows: scaledNET1Flows(1e6),
+		Seed:  5,
+	}, 500*time.Millisecond)
+	if rep.DelivPct < 99 {
+		t.Fatalf("delivery %.2f%% (%d/%d), want >= 99%%", rep.DelivPct, rep.Delivered, rep.Offered)
+	}
+	if looped, ttl := meshDrops(m); looped != 0 || ttl != 0 {
+		t.Fatalf("forwarding drops: looped=%v ttl_expired=%v", looped, ttl)
+	}
+}
+
+// TestDataMeshDataFaults pins down that DataFault hits the data plane
+// and only the data plane: with 10% per-datagram loss under the
+// forwarders, a multi-hop commodity mix must lose a visible fraction of
+// its packets (unlike control traffic, nothing retransmits data), while
+// the control plane still converges loop-free.
+func TestDataMeshDataFaults(t *testing.T) {
+	leaktest.Check(t)
+	m := dataMesh(t, node.MeshConfig{
+		Fabric:         node.FabricInmem,
+		DataFault:      transport.Fault{Seed: 9, LossProb: 0.1},
+		HeartbeatEvery: 0.2,
+		DeadAfter:      60,
+	})
+	rep := runTraffic(t, m, node.TrafficConfig{
+		Model: node.TrafficCBR,
+		Flows: scaledNET1Flows(1e6),
+		Seed:  7,
+	}, 500*time.Millisecond)
+	// Paths average 2-4 hops, so per-packet survival is roughly
+	// 0.9^hops: well below 99, well above 50.
+	if rep.DelivPct >= 99 || rep.DelivPct < 50 {
+		t.Fatalf("delivery %.2f%% under 10%% data loss, want a visible loss band [50, 99)", rep.DelivPct)
+	}
+	if looped, ttl := meshDrops(m); looped != 0 || ttl != 0 {
+		t.Fatalf("forwarding drops: looped=%v ttl_expired=%v", looped, ttl)
+	}
+}
+
+// TestTrafficModelsOffer smoke-tests every arrival process end to end on
+// a two-node mesh: each model must offer and deliver packets.
+func TestTrafficModelsOffer(t *testing.T) {
+	leaktest.Check(t)
+	g := graph.New()
+	g.AddNode("a")
+	g.AddNode("b")
+	if err := g.AddDuplex(0, 1, 10*topo.Mb, 0.5e-3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := node.NewMesh(g, node.MeshConfig{
+		Fabric: node.FabricInmem,
+		Clock:  node.NewWallClock(),
+		CostOf: protoCost,
+		Data:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	awaitMesh(t, m)
+	flow := []topo.Flow{{Name: "a->b", Src: 0, Dst: 1, Rate: 2e6}}
+	for _, model := range []node.TrafficModel{node.TrafficCBR, node.TrafficPoisson, node.TrafficOnOff, node.TrafficAdversary} {
+		t.Run(string(model), func(t *testing.T) {
+			rep := runTraffic(t, m, node.TrafficConfig{
+				Model:    model,
+				Flows:    flow,
+				Subflows: 8,
+				Seed:     11,
+			}, 300*time.Millisecond)
+			if rep.Offered == 0 {
+				t.Fatalf("%s offered no packets", model)
+			}
+			if rep.Delivered == 0 {
+				t.Fatalf("%s delivered no packets (offered %d)", model, rep.Offered)
+			}
+		})
+	}
+}
+
+// livePhi extracts the phi matrix the mesh's forwarders are actually
+// using, in the DES's InstallStatic orientation: phi[j][i] is node i's
+// split toward destination j.
+func livePhi(m *node.Mesh, nn int) [][]alloc.Params {
+	phi := make([][]alloc.Params, nn)
+	for j := range phi {
+		phi[j] = make([]alloc.Params, nn)
+	}
+	for i, n := range m.Nodes {
+		tbl := n.DataPlane().Table()
+		for _, dst := range tbl.Dests() {
+			hops, weights, ok := tbl.Route(dst)
+			if !ok {
+				continue
+			}
+			p := make(alloc.Params, len(hops))
+			for k, h := range hops {
+				p[h] = weights[k]
+			}
+			phi[dst][i] = p
+		}
+	}
+	return phi
+}
+
+// TestDataMeshCrossValidatesDES is the live/simulated agreement gate at
+// the heart of the data plane: converge a live NET1 mesh, lift its
+// phi tables verbatim into the packet simulator's static-routing mode,
+// drive matched CBR workloads through both, and require
+//
+//   - per-commodity live mean delays within 10% of the DES measurement,
+//   - observed per-hop splits within 2% of the phi weights wherever a
+//     node forwarded a meaningful sample,
+//   - zero forwarding loops and zero TTL expiries.
+//
+// At the light utilization used here the DES's queueing term is
+// negligible, so both worlds measure the same load-independent quantity
+// — the phi-weighted transmission-plus-propagation delay along the
+// multipath route set — through completely different machinery: real
+// sockets, goroutines, and sticky flow hashing on one side; a
+// discrete-event calendar and per-packet weighted draws on the other.
+// The offered rates differ (live picks rates for wall-clock sampling
+// density, the DES for low queueing); the measured delay depends on
+// neither at this load.
+func TestDataMeshCrossValidatesDES(t *testing.T) {
+	leaktest.Check(t)
+	if testing.Short() {
+		t.Skip("cross-validation runs a live mesh plus a DES; not a -short test")
+	}
+	if raceEnabled {
+		t.Skip("delay gate includes real wall transit; race-detector overhead inflates it past the 10% envelope")
+	}
+	const pktBits = 16384
+	m := dataMesh(t, node.MeshConfig{
+		Fabric:         node.FabricInmem,
+		HeartbeatEvery: 0.2,
+		DeadAfter:      60,
+	})
+	nn := len(m.Nodes)
+	phi := livePhi(m, nn)
+
+	// DES side: same topology, same phi, frozen (ModeStatic, no
+	// adjustment cycles), CBR at ~4% utilization.
+	desNet := topo.NET1()
+	for i := range desNet.Flows {
+		desNet.Flows[i].Rate = 400e3
+	}
+	opt := core.DefaultOptions()
+	opt.Router.Mode = router.ModeStatic
+	opt.Router.Tl, opt.Router.Ts = 0, 0
+	opt.Seed = 11
+	opt.Warmup = 2
+	opt.Duration = 20
+	opt.Source = func(f topo.Flow) traffic.Source {
+		return traffic.CBR{RateBits: f.Rate, PacketBits: pktBits}
+	}
+	sim := core.Build(desNet, opt)
+	sim.InstallStatic(phi)
+	des := sim.Run()
+
+	// Live side: many sticky subflows per commodity so the realized
+	// path mix converges on the bucket shares.
+	const subflows = 512
+	const gap = 0.3 // seconds between packets of one subflow
+	rep := runTraffic(t, m, node.TrafficConfig{
+		Model:      node.TrafficCBR,
+		Flows:      scaledNET1Flows(subflows * pktBits / gap),
+		Subflows:   subflows,
+		PacketBits: pktBits,
+		Seed:       13,
+	}, 650*time.Millisecond)
+
+	if rep.DelivPct < 99 {
+		t.Fatalf("delivery %.2f%% (%d/%d), want >= 99%%", rep.DelivPct, rep.Delivered, rep.Offered)
+	}
+	if looped, ttl := meshDrops(m); looped != 0 || ttl != 0 {
+		t.Fatalf("forwarding drops on a converged mesh: looped=%v ttl_expired=%v", looped, ttl)
+	}
+
+	for x, cr := range rep.Commodities {
+		want := des.MeanDelayMs[x]
+		got := cr.MeanDelayMs
+		if want <= 0 || got <= 0 {
+			t.Fatalf("commodity %s: degenerate delays live=%.4f ms des=%.4f ms", cr.Name, got, want)
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("commodity %s: live %.4f ms vs DES %.4f ms (rel %.3f > 0.10)", cr.Name, got, want, rel)
+		}
+	}
+
+	// Split gate: at every multipath (node, destination) pair, drive a
+	// dense synthetic flow population through the live forwarder and
+	// require the realized next-hop fractions within 2% of phi. A burst
+	// of 8192 distinct flow IDs keeps the hash-draw error well inside
+	// the bound (sigma ~0.55% at a 50/50 split), where the traffic run's
+	// 512 sticky subflows per commodity could not honestly meet it.
+	// Deltas of the split counters isolate each burst; the origin
+	// counts its own sends synchronously, and the short drain keeps one
+	// burst's transit packets out of the next pair's window.
+	const burst = 8192
+	checked := 0
+	for i, n := range m.Nodes {
+		fwd := n.DataPlane()
+		tbl := fwd.Table()
+		for _, dst := range tbl.Dests() {
+			hops, _, _ := tbl.Route(dst)
+			if len(hops) < 2 {
+				continue
+			}
+			before := splitCounts(fwd, dst)
+			for k := 0; k < burst; k++ {
+				id := uint64(i)<<48 | uint64(dst)<<32 | uint64(k)
+				if err := fwd.Send(dst, id, 1024); err != nil {
+					t.Fatal(err)
+				}
+			}
+			time.Sleep(10 * time.Millisecond) // drain relays before the next window
+			after := splitCounts(fwd, dst)
+			var total int64
+			for _, h := range hops {
+				total += after[h].packets - before[h].packets
+			}
+			if total < burst {
+				t.Fatalf("node %d dst %d: burst counted %d of %d sends", i, dst, total, burst)
+			}
+			for _, h := range hops {
+				checked++
+				got := float64(after[h].packets-before[h].packets) / float64(total)
+				want := after[h].want
+				if diff := math.Abs(got - want); diff > 0.02 {
+					t.Errorf("node %d dst %d via %d: realized split %.4f vs phi %.4f (|diff| %.4f > 0.02)",
+						i, dst, h, got, want, diff)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("split gate checked nothing: no multipath (node, dst) pair in the converged tables")
+	}
+	if looped, ttl := meshDrops(m); looped != 0 || ttl != 0 {
+		t.Fatalf("forwarding drops during split bursts: looped=%v ttl_expired=%v", looped, ttl)
+	}
+}
+
+// splitCount is one next-hop's slice of a forwarder's per-destination
+// split counters.
+type splitCount struct {
+	packets int64
+	want    float64
+}
+
+// splitCounts reads the forwarder's split counters for one destination.
+func splitCounts(f *dataplane.Forwarder, dst graph.NodeID) map[graph.NodeID]splitCount {
+	out := map[graph.NodeID]splitCount{}
+	for _, s := range f.Snapshot().Splits {
+		if s.Dst == dst {
+			out[s.Hop] = splitCount{packets: s.Packets, want: s.Want}
+		}
+	}
+	return out
+}

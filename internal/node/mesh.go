@@ -3,7 +3,9 @@ package node
 import (
 	"fmt"
 
+	"minroute/internal/dataplane"
 	"minroute/internal/graph"
+	"minroute/internal/lfi"
 	"minroute/internal/telemetry"
 	"minroute/internal/transport"
 )
@@ -58,6 +60,19 @@ type MeshConfig struct {
 	// (see obs.Config); zero selects the obs defaults.
 	ObsPollEvery   float64
 	ObsStablePolls int
+	// Data enables the live data plane: every node gets a forwarder on
+	// its own data port (a MemNet endpoint on the inmem fabric, a UDP
+	// socket otherwise), peered with its topology neighbors and fed
+	// phi-derived forwarding tables by its node. Emulated per-hop latency
+	// follows the topology's link model: sizeBits/Capacity + PropDelay.
+	Data bool
+	// DataFault perturbs data-plane datagrams (per-node derived seeds),
+	// independent of the control plane's Fault: the ARQ recovers control
+	// loss, while a lost data packet is simply lost. Requires Data.
+	DataFault transport.Fault
+	// DataTTL overrides the hop budget stamped on originated data packets
+	// (dataplane.DefaultTTL if 0).
+	DataTTL uint8
 }
 
 // Mesh is a full topology of live nodes running in one process, each
@@ -69,6 +84,49 @@ type Mesh struct {
 	degree    []int
 	regs      []*telemetry.Registry
 	listeners []*transport.TCPListener
+	// dataNet is the in-memory data-plane switchboard on the inmem fabric
+	// (nil otherwise: UDP data ports need no shared fabric object).
+	dataNet *transport.MemNet
+}
+
+// dataForwarder builds node id's data-plane forwarder: a data port on the
+// matching fabric, faults derived per node, and the topology's link model
+// as the emulated per-hop latency.
+func (m *Mesh) dataForwarder(id graph.NodeID, nn int, dir map[[2]graph.NodeID]*graph.Link, cfg MeshConfig) (*dataplane.Forwarder, error) {
+	var conn transport.Datagram
+	if cfg.Fabric == FabricInmem || cfg.Fabric == "" {
+		if m.dataNet == nil {
+			m.dataNet = transport.NewMemNet()
+		}
+		conn = m.dataNet.Bind()
+	} else {
+		c, err := transport.BindUDPDatagram("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		conn = c
+	}
+	if cfg.DataFault.Active() {
+		f := cfg.DataFault
+		f.Seed = cfg.DataFault.Seed ^ (uint64(id)<<8 | 3)
+		conn = transport.WithDatagramFaults(conn, f)
+	}
+	var reg *telemetry.Registry
+	if m.regs != nil {
+		reg = m.regs[id]
+	}
+	fc := dataplane.Config{
+		Self: id, Nodes: nn, Conn: conn, Clock: cfg.Clock,
+		TTL: cfg.DataTTL, Metrics: reg,
+		LatencyOf: func(next graph.NodeID, sizeBits uint32) float64 {
+			l := dir[[2]graph.NodeID{id, next}]
+			if l == nil {
+				return 0
+			}
+			return l.PropDelay + float64(sizeBits)/l.Capacity
+		},
+	}
+	return dataplane.New(fc), nil
 }
 
 // NewMesh builds one Node per graph node and connects every duplex link
@@ -102,6 +160,9 @@ func NewMesh(g *graph.Graph, cfg MeshConfig) (*Mesh, error) {
 			m.regs[i] = telemetry.NewRegistry(0)
 		}
 	}
+	if cfg.DataFault.Active() && !cfg.Data {
+		return nil, fmt.Errorf("node: DataFault requires Data")
+	}
 	for i := 0; i < nn; i++ {
 		nc := Config{
 			ID: graph.NodeID(i), Nodes: nn, Clock: cfg.Clock,
@@ -114,12 +175,42 @@ func NewMesh(g *graph.Graph, cfg MeshConfig) (*Mesh, error) {
 		if m.regs != nil {
 			nc.Metrics = m.regs[i]
 		}
+		if cfg.Data {
+			fwd, err := m.dataForwarder(graph.NodeID(i), nn, dir, cfg)
+			if err != nil {
+				m.Close()
+				return nil, err
+			}
+			nc.Data = fwd
+		}
 		n, err := New(nc)
 		if err != nil {
+			if nc.Data != nil {
+				nc.Data.Close() // not yet owned by any node
+			}
 			m.Close()
 			return nil, err
 		}
 		m.Nodes[i] = n
+	}
+	if cfg.Data {
+		// Peer the data ports along topology links, with a per-directed-link
+		// data.tx counter mirroring the ARQ instrument pattern.
+		for _, l := range g.Links() {
+			var tx *telemetry.Counter
+			if cfg.Metrics != nil || m.regs != nil {
+				name := fmt.Sprintf("data.tx.%d-%d", l.From, l.To)
+				if m.regs != nil {
+					tx = m.regs[l.From].Counter(name)
+					if cfg.Metrics != nil {
+						cfg.Metrics.RegisterCounter(name, tx)
+					}
+				} else {
+					tx = cfg.Metrics.Counter(name)
+				}
+			}
+			m.Nodes[l.From].DataPlane().SetPeer(l.To, m.Nodes[l.To].DataPlane().LocalAddr(), tx)
+		}
 	}
 	costTo := func(from graph.NodeID) func(peer graph.NodeID) (float64, bool) {
 		return func(peer graph.NodeID) (float64, bool) {
@@ -139,6 +230,8 @@ func NewMesh(g *graph.Graph, cfg MeshConfig) (*Mesh, error) {
 				continue // one pipe per duplex link
 			}
 			ca, cb := transport.Pipe()
+			m.linkInstruments(a, b, cfg, false)
+			m.linkInstruments(b, a, cfg, false)
 			m.Nodes[a].AddPeer(ca, costTo(a))
 			m.Nodes[b].AddPeer(cb, costTo(b))
 		}
@@ -162,6 +255,8 @@ func NewMesh(g *graph.Graph, cfg MeshConfig) (*Mesh, error) {
 				m.Close()
 				return nil, err
 			}
+			m.linkInstruments(a, b, cfg, false)
+			m.linkInstruments(b, a, cfg, false)
 			m.Nodes[a].AddPeer(c, costTo(a))
 		}
 	case FabricUDP:
@@ -223,8 +318,8 @@ func (m *Mesh) udpLink(a, b graph.NodeID, cfg MeshConfig) (ca, cb transport.Conn
 	fa.Seed = cfg.Fault.Seed ^ (uint64(a)<<20 | uint64(b)<<4 | 1)
 	fb.Seed = cfg.Fault.Seed ^ (uint64(a)<<20 | uint64(b)<<4 | 2)
 	arqA, arqB := cfg.ARQ, cfg.ARQ
-	arqA.Stats = arqStats(a, b, m.linkInstruments(a, b, cfg), cfg)
-	arqB.Stats = arqStats(b, a, m.linkInstruments(b, a, cfg), cfg)
+	arqA.Stats = arqStats(a, b, m.linkInstruments(a, b, cfg, true), cfg)
+	arqB.Stats = arqStats(b, a, m.linkInstruments(b, a, cfg, true), cfg)
 	ca = transport.NewARQ(transport.WithFaults(pa, fa), arqA, cfg.Clock)
 	cb = transport.NewARQ(transport.WithFaults(pb, fb), arqB, cfg.Clock)
 	return ca, cb, nil
@@ -242,27 +337,42 @@ func (m *Mesh) udpLink(a, b graph.NodeID, cfg MeshConfig) (ca, cb transport.Conn
 type linkInstruments struct {
 	retx *telemetry.Counter
 	win  *telemetry.Gauge
+	wq   *telemetry.Gauge
 }
 
-func (m *Mesh) linkInstruments(local, remote graph.NodeID, cfg MeshConfig) linkInstruments {
+// linkInstruments wires one directed link's handles. arq selects the ARQ
+// pair (UDP fabric only); the writer-queue depth gauge
+// (session.writeq.<a>-<b>) exists on every fabric — frames queue toward a
+// peer no matter what transport drains them.
+func (m *Mesh) linkInstruments(local, remote graph.NodeID, cfg MeshConfig, arq bool) linkInstruments {
 	if cfg.Metrics == nil && m.regs == nil {
 		return linkInstruments{}
 	}
-	retxName := fmt.Sprintf("arq.retransmits.%d-%d", local, remote)
-	winName := fmt.Sprintf("arq.window.%d-%d", local, remote)
 	var li linkInstruments
-	if m.regs != nil {
-		li.retx = m.regs[local].Counter(retxName)
-		li.win = m.regs[local].Gauge(winName)
-		if cfg.Metrics != nil {
-			cfg.Metrics.RegisterCounter(retxName, li.retx)
-			cfg.Metrics.RegisterGauge(winName, li.win)
+	gauge := func(name string) *telemetry.Gauge {
+		if m.regs != nil {
+			g := m.regs[local].Gauge(name)
+			if cfg.Metrics != nil {
+				cfg.Metrics.RegisterGauge(name, g)
+			}
+			return g
 		}
-	} else {
-		li.retx = cfg.Metrics.Counter(retxName)
-		li.win = cfg.Metrics.Gauge(winName)
+		return cfg.Metrics.Gauge(name)
 	}
-	m.Nodes[local].SetPeerStats(remote, li.retx, li.win)
+	if arq {
+		retxName := fmt.Sprintf("arq.retransmits.%d-%d", local, remote)
+		if m.regs != nil {
+			li.retx = m.regs[local].Counter(retxName)
+			if cfg.Metrics != nil {
+				cfg.Metrics.RegisterCounter(retxName, li.retx)
+			}
+		} else {
+			li.retx = cfg.Metrics.Counter(retxName)
+		}
+		li.win = gauge(fmt.Sprintf("arq.window.%d-%d", local, remote))
+	}
+	li.wq = gauge(fmt.Sprintf("session.writeq.%d-%d", local, remote))
+	m.Nodes[local].SetPeerStats(remote, li.retx, li.win, li.wq)
 	return li
 }
 
@@ -365,6 +475,40 @@ func (m *Mesh) Summary() string {
 // Hash digests the mesh state for cross-validation against a simulator
 // reference.
 func (m *Mesh) Hash() string { return HashState(m.Summary()) }
+
+// tableView is a static lfi.RouterView snapshot of one live router,
+// taken under its node's lock so the oracle never races the protocol.
+type tableView struct {
+	id   graph.NodeID
+	fd   []float64
+	succ [][]graph.NodeID
+}
+
+func (v *tableView) ID() graph.NodeID                         { return v.id }
+func (v *tableView) FD(j graph.NodeID) float64                { return v.fd[j] }
+func (v *tableView) Successors(j graph.NodeID) []graph.NodeID { return v.succ[j] }
+
+// CheckLoopFree audits the mesh's instantaneous successor graph with the
+// loop-freedom oracle: for every destination, the union of the nodes'
+// successor sets must be acyclic. The data plane forwards along exactly
+// these sets, so a passing audit plus zero looped/ttl-expired counters is
+// the live half of the ISSUE's forwarding-loop gate.
+func (m *Mesh) CheckLoopFree() error {
+	nn := len(m.Nodes)
+	views := make(map[graph.NodeID]lfi.RouterView, nn)
+	for _, n := range m.Nodes {
+		v := &tableView{id: n.id, fd: make([]float64, nn), succ: make([][]graph.NodeID, nn)}
+		n.mu.Lock()
+		for j := 0; j < nn; j++ {
+			jid := graph.NodeID(j)
+			v.fd[j] = n.r.FD(jid)
+			v.succ[j] = append([]graph.NodeID(nil), n.r.Successors(jid)...)
+		}
+		n.mu.Unlock()
+		views[n.id] = v
+	}
+	return lfi.CheckAllDestinations(nn, views)
+}
 
 // AwaitConverged polls until the mesh is ready, all-PASSIVE, and its
 // state hash has held stable for `stable` consecutive polls, then until

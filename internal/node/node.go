@@ -31,6 +31,8 @@ import (
 	"strings"
 	"sync"
 
+	"minroute/internal/alloc"
+	"minroute/internal/dataplane"
 	"minroute/internal/graph"
 	"minroute/internal/lsu"
 	"minroute/internal/mpda"
@@ -141,6 +143,13 @@ type Config struct {
 	// obs.Config); zero selects the obs defaults.
 	ObsPollEvery   float64
 	ObsStablePolls int
+	// Data, when non-nil, is this node's data-plane forwarder. The node
+	// drives it: after every event that can move the router's successor
+	// sets or distances, it derives per-destination phi weights from the
+	// live tables (alloc.Initial over the successor distances — the
+	// paper's initial heuristic) and publishes a fresh forwarding
+	// snapshot. The node owns the forwarder from here on; Close reaps it.
+	Data *dataplane.Forwarder
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +198,10 @@ type nodeStats struct {
 type peerInstruments struct {
 	retx *telemetry.Counter
 	win  *telemetry.Gauge
+	// wq mirrors the peer's writer-queue depth — frames accepted from the
+	// router but not yet handed to the transport. A queue that grows
+	// between scrapes marks a link slower than its control traffic.
+	wq *telemetry.Gauge
 }
 
 // Node is one live MPDA router plus its peer sessions.
@@ -308,13 +321,14 @@ func (n *Node) sendLSU(to graph.NodeID, m *lsu.Msg) {
 	p.out.push(f)
 }
 
-// SetPeerStats installs the ARQ instrument handles for the link to peer,
-// so /peers reports live retransmit and window values. The mesh calls
-// this at link setup; either handle may be nil on fabrics without ARQ.
-func (n *Node) SetPeerStats(peer graph.NodeID, retx *telemetry.Counter, win *telemetry.Gauge) {
+// SetPeerStats installs the instrument handles for the link to peer: ARQ
+// retransmit/window plus the writer-queue depth gauge. The mesh calls
+// this at link setup; any handle may be nil (fabrics without ARQ leave
+// the first two nil).
+func (n *Node) SetPeerStats(peer graph.NodeID, retx *telemetry.Counter, win *telemetry.Gauge, wq *telemetry.Gauge) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.peerStats[peer] = peerInstruments{retx: retx, win: win}
+	n.peerStats[peer] = peerInstruments{retx: retx, win: win, wq: wq}
 }
 
 // AddPeer runs a session over conn: it sends our HELLO, waits for the
@@ -382,6 +396,7 @@ func (n *Node) session(conn transport.Conn, costOf func(peer graph.NodeID) (floa
 	n.stats.peersUp.Set(float64(len(n.peers)))
 	n.emit(telemetry.KindPeerUp, pid, cost, "")
 	n.r.LinkUp(pid, cost)
+	n.publishDataLocked()
 	n.mu.Unlock()
 
 	n.readLoop(p)
@@ -434,6 +449,7 @@ func (n *Node) readLoop(p *peer) {
 					n.emit(telemetry.KindLSUAck, p.id, 0, "")
 				}
 				n.r.HandleLSU(m)
+				n.publishDataLocked()
 			}
 		case wire.TypeBye:
 			n.peerDownLocked(p, "bye")
@@ -493,6 +509,7 @@ func (n *Node) peerDownLocked(p *peer, reason string) {
 	n.stats.peersUp.Set(float64(len(n.peers)))
 	n.emit(telemetry.KindPeerDown, p.id, 0, reason)
 	n.r.LinkDown(p.id)
+	n.publishDataLocked()
 	p.out.close()
 }
 
@@ -507,7 +524,55 @@ func (n *Node) ChangeCost(k graph.NodeID, cost float64) error {
 	}
 	p.cost = cost
 	n.r.LinkCostChange(k, cost)
+	n.publishDataLocked()
 	return nil
+}
+
+// DataPlane returns the node's forwarder, or nil without a data plane.
+func (n *Node) DataPlane() *dataplane.Forwarder { return n.cfg.Data }
+
+// publishDataLocked compiles the router's current successor sets into a
+// forwarding-table snapshot and swaps it into the data plane. Called
+// under n.mu after every event that can touch the tables — link up/down,
+// LSU application, cost change. The router's commit hook is not enough:
+// FD lowering in the PASSIVE step can widen a successor set without a
+// table commit, and the data plane must see it.
+//
+// The phi weights are alloc.Initial over the live successor distances —
+// the paper's initial heuristic IH: a single successor takes the whole
+// flow; multiple successors split inversely to their marginal distance
+// D_jk + l_ik. The simulator's routers run the same allocator over the
+// same converged distances, which is what makes the live split
+// cross-validatable against the DES.
+func (n *Node) publishDataLocked() {
+	if n.cfg.Data == nil {
+		return
+	}
+	entries := make([]dataplane.Entry, 0, n.cfg.Nodes)
+	for j := 0; j < n.cfg.Nodes; j++ {
+		jid := graph.NodeID(j)
+		if jid == n.id {
+			continue
+		}
+		succ := n.r.Successors(jid)
+		if len(succ) == 0 {
+			continue
+		}
+		phi := alloc.Initial(succ, func(k graph.NodeID) float64 {
+			return n.r.SuccessorDistance(jid, k)
+		})
+		e := dataplane.Entry{
+			Dst:     jid,
+			Hops:    make([]graph.NodeID, 0, len(succ)),
+			Weights: make([]float64, 0, len(succ)),
+		}
+		for _, k := range phi.Keys() {
+			e.Hops = append(e.Hops, k)
+			e.Weights = append(e.Weights, phi[k])
+		}
+		entries = append(entries, e)
+	}
+	n.cfg.Data.Publish(entries)
 }
 
 // Passive reports whether the router is in the PASSIVE phase.
@@ -596,6 +661,9 @@ func (n *Node) Close() {
 	if srv != nil {
 		srv.Close()
 	}
+	if n.cfg.Data != nil {
+		n.cfg.Data.Close()
+	}
 }
 
 // ObsURL returns the base URL of the node's observability server, or ""
@@ -639,6 +707,7 @@ func (n *Node) obsSample() obs.Sample {
 		inst := n.peerStats[id]
 		pi.Retransmits = inst.retx.Value()
 		pi.Window = inst.win.Value()
+		pi.Queue = p.out.depth()
 		s.Peers = append(s.Peers, pi)
 	}
 	for j := 0; j < n.cfg.Nodes; j++ {
@@ -661,18 +730,58 @@ func (n *Node) obsSample() obs.Sample {
 		}
 		s.Routes = append(s.Routes, rt)
 	}
+	if n.cfg.Data != nil {
+		s.Data = dataSample(n.cfg.Data)
+	}
 	return s
 }
 
-// refreshObsMetrics mirrors the event bus's totals into this node's
-// registry right before a /metrics gather. The totals are bus-wide: a
-// mesh shares one Trace, so every node reports the same pair.
-func (n *Node) refreshObsMetrics() {
-	if n.cfg.Trace == nil {
-		return
+// dataSample converts a forwarder snapshot into the obs wire shape.
+func dataSample(f *dataplane.Forwarder) *obs.DataSample {
+	snap := f.Snapshot()
+	d := &obs.DataSample{
+		Addr:        f.LocalAddr(),
+		Origin:      snap.Origin,
+		Forwarded:   snap.Forwarded,
+		Delivered:   snap.Delivered,
+		DropNoRoute: snap.DropNoRoute,
+		DropNoAddr:  snap.DropNoAddr,
+		TTLExpired:  snap.TTLExpired,
+		Looped:      snap.Looped,
+		RecvErrors:  snap.RecvErrors,
 	}
-	n.stats.evEmitted.Set(float64(n.cfg.Trace.Emitted()))
-	n.stats.evDropped.Set(float64(n.cfg.Trace.Dropped()))
+	for _, sp := range snap.Splits {
+		d.Splits = append(d.Splits, obs.SplitEntry{
+			Dst: int(sp.Dst), Hop: int(sp.Hop), Packets: sp.Packets,
+			Got: sp.Got, Want: sp.Want,
+		})
+	}
+	for _, fl := range snap.Flows {
+		d.Flows = append(d.Flows, obs.FlowSample{
+			FlowID: fl.FlowID, Src: int(fl.Src), Packets: fl.Packets, Bits: fl.Bits,
+			MeanDelayMs: fl.MeanDelay() * 1e3, MaxDelayMs: fl.MaxDelay * 1e3,
+		})
+	}
+	return d
+}
+
+// refreshObsMetrics refreshes the sampled (non-counter) instruments right
+// before a /metrics gather: the event bus's totals (bus-wide — a mesh
+// shares one Trace, so every node reports the same pair) and each live
+// peer's writer-queue depth.
+func (n *Node) refreshObsMetrics() {
+	if n.cfg.Trace != nil {
+		n.stats.evEmitted.Set(float64(n.cfg.Trace.Emitted()))
+		n.stats.evDropped.Set(float64(n.cfg.Trace.Dropped()))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//lint:maporder-ok independent per-peer gauge writes; order cannot show
+	for id, p := range n.peers {
+		if inst := n.peerStats[id]; inst.wq != nil {
+			inst.wq.Set(float64(p.out.depth()))
+		}
+	}
 }
 
 // DestState is one destination row of a routing-state snapshot. FD is
@@ -804,6 +913,13 @@ func (q *frameQueue) popAll() ([]*wire.Frame, error) {
 	items := q.items
 	q.items = nil
 	return items, nil
+}
+
+// depth returns the number of queued frames (the writer-queue gauge).
+func (q *frameQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
 }
 
 func (q *frameQueue) close() {

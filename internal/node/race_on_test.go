@@ -1,0 +1,11 @@
+//go:build race
+
+package node_test
+
+// raceEnabled reports whether the race detector is compiled in. The
+// data-plane cross-validation gates live delays — which include real
+// wall transit — against the simulator within 10%; race-detector
+// overhead inflates that wall component far past the envelope, so the
+// test skips itself under -race (the same forwarders run race-checked
+// by the delivery and fault tests).
+const raceEnabled = true

@@ -111,6 +111,7 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/routes", s.handleRoutes)
 	mux.HandleFunc("/peers", s.handlePeers)
+	mux.HandleFunc("/flows", s.handleFlows)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -248,6 +249,18 @@ func (s *Server) handleRoutes(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handlePeers(w http.ResponseWriter, _ *http.Request) {
 	sample := s.cfg.Sample()
 	writeJSON(w, http.StatusOK, PeersDoc{ID: sample.ID, MinPeers: sample.MinPeers, Peers: sample.Peers})
+}
+
+// handleFlows serves the data-plane snapshot: split table and sink
+// flows. 404 on nodes running without a data plane, so watchers can
+// distinguish "no forwarder" from "no traffic yet".
+func (s *Server) handleFlows(w http.ResponseWriter, _ *http.Request) {
+	sample := s.cfg.Sample()
+	if sample.Data == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no data plane"})
+		return
+	}
+	writeJSON(w, http.StatusOK, FlowsDoc{ID: sample.ID, Data: sample.Data})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -21,6 +21,9 @@ type Sample struct {
 	// Summary is the canonical routing-state rendering
 	// (node.RouterSummary); readiness hashes it for stability.
 	Summary string
+	// Data is the data-plane snapshot (nil when the node runs without a
+	// forwarder). It backs the /flows endpoint and the data.* metrics.
+	Data *DataSample
 }
 
 // Eligible reports whether the sample satisfies the instantaneous part
@@ -46,6 +49,10 @@ type Peer struct {
 	// fabrics without ARQ.
 	Retransmits float64 `json:"retransmits"`
 	Window      float64 `json:"window"`
+	// Queue is the writer-queue depth toward this peer: frames the router
+	// has emitted that the writer goroutine has not yet handed to the
+	// transport.
+	Queue int `json:"queue"`
 }
 
 // Route is one destination row of the live phi table: the distance, the
@@ -97,4 +104,57 @@ type PeersDoc struct {
 	ID       int    `json:"id"`
 	MinPeers int    `json:"min_peers"`
 	Peers    []Peer `json:"peers"`
+}
+
+// DataSample is one node's data-plane snapshot: forwarding counters, the
+// per-(destination, next-hop) split table, and the flows sinking here.
+// The obs package defines the shape (like Sample) so the dependency stays
+// runtime → observability.
+type DataSample struct {
+	// Addr is the node's data-port address.
+	Addr string `json:"addr"`
+	// Counter totals, mirroring the data.* instruments.
+	Origin      float64 `json:"origin"`
+	Forwarded   float64 `json:"forwarded"`
+	Delivered   float64 `json:"delivered"`
+	DropNoRoute float64 `json:"drop_noroute"`
+	DropNoAddr  float64 `json:"drop_noaddr"`
+	TTLExpired  float64 `json:"ttl_expired"`
+	Looped      float64 `json:"looped"`
+	RecvErrors  float64 `json:"recv_errors"`
+	// Splits is the live split table: observed vs desired (phi) share per
+	// next hop, grouped by destination ascending, hops ascending.
+	Splits []SplitEntry `json:"splits,omitempty"`
+	// Flows are the flows terminating at this node, ascending by ID.
+	Flows []FlowSample `json:"flows,omitempty"`
+}
+
+// SplitEntry is one (destination, next hop) row of the split table.
+type SplitEntry struct {
+	Dst     int   `json:"dst"`
+	Hop     int   `json:"hop"`
+	Packets int64 `json:"packets"`
+	// Got is the observed fraction of this node's packets toward Dst that
+	// left via Hop; Want is the phi weight the table aims for.
+	Got  float64 `json:"got"`
+	Want float64 `json:"want"`
+}
+
+// FlowSample is one flow observed at its sink.
+type FlowSample struct {
+	FlowID  uint64 `json:"flow_id"`
+	Src     int    `json:"src"`
+	Packets int64  `json:"packets"`
+	Bits    int64  `json:"bits"`
+	// MeanDelayMs and MaxDelayMs are end-to-end delays in milliseconds:
+	// the emulated per-hop link time accumulated in the packet plus real
+	// stack transit.
+	MeanDelayMs float64 `json:"mean_delay_ms"`
+	MaxDelayMs  float64 `json:"max_delay_ms"`
+}
+
+// FlowsDoc is the /flows document.
+type FlowsDoc struct {
+	ID   int         `json:"id"`
+	Data *DataSample `json:"data"`
 }

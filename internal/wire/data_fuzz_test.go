@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDataFrame fuzzes the data-packet payload codec directly (beneath
+// the frame envelope, which FuzzFrameRoundTrip already covers): the
+// decoder must be total over arbitrary bytes, and every payload it
+// accepts must re-encode to the identical bytes — the canonical round
+// trip that keeps forwarders from mutating packets they merely relay.
+func FuzzDataFrame(f *testing.F) {
+	seeds := []DataPacket{
+		{Src: 0, Dst: 1, TTL: 32, FlowID: 1, SizeBits: 4096},
+		{Src: 5, Dst: 2, TTL: 1, Hops: 31, FlowID: 0xffff_ffff_ffff_ffff, SentAt: 123.456, Accum: 0.031, SizeBits: 1},
+		{Src: 9, Dst: 9, TTL: 8, FlowID: 0x42, SentAt: 0.001, Body: []byte("hello, mesh")},
+		{Src: 25, Dst: 0, TTL: 64, Hops: 3, FlowID: 7, SentAt: 1e6, Accum: 2.5, SizeBits: 65535},
+	}
+	for i := range seeds {
+		f.Add(AppendDataPayload(nil, &seeds[i]))
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, DataHeaderBytes-1))
+	f.Add(make([]byte, DataHeaderBytes+3))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var p DataPacket
+		if err := DecodeDataPacket(&p, payload); err != nil {
+			return
+		}
+		out := AppendDataPayload(nil, &p)
+		if !bytes.Equal(payload, out) {
+			t.Fatalf("round trip not canonical:\n in  %x\n out %x", payload, out)
+		}
+		// An accepted payload must also frame and re-decode cleanly.
+		fr, err := NewData(&p)
+		if err != nil {
+			t.Fatalf("accepted payload refused by NewData: %v", err)
+		}
+		buf, err := fr.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("framed data packet refused by Decode: %v", err)
+		}
+		if _, err := DataPacketOf(g); err != nil {
+			t.Fatalf("accepted data frame with undecodable payload: %v", err)
+		}
+	})
+}

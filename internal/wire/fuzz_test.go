@@ -22,10 +22,18 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		f.Fatal(err)
 	}
 	lf.Seq = 12345
+	df, err := NewData(&DataPacket{
+		Src: 2, Dst: 7, TTL: 31, Hops: 1, FlowID: 0xdeadbeef,
+		SentAt: 1.5, Accum: 0.0025, SizeBits: 8192,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
 	singles := []*Frame{
 		NewHello(7), NewHeartbeat(), NewBye(), lf, NewAck(9),
 		NewSack(3, nil), NewSack(12345, []byte{0x01}),
 		NewSack(9, []byte{0xff, 0x00, 0x80}),
+		df,
 	}
 	for _, fr := range singles {
 		buf, err := fr.Encode()

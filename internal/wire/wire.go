@@ -26,7 +26,9 @@
 // one lsu.Msg in its existing binary encoding; Heartbeat, Bye, and Ack are
 // empty (Ack's information is its cumulative seq); Sack carries the
 // selective-repeat out-of-order bitmap (cumulative ack in seq, bit i of
-// the payload acknowledging seq cum+1+i, trailing zero bytes trimmed).
+// the payload acknowledging seq cum+1+i, trailing zero bytes trimmed);
+// Data carries one data-plane packet (DataPacket: TTL, flow ID, origin
+// timestamp, accumulated emulated latency) outside the ARQ entirely.
 // Frames may be coalesced back to back inside one datagram; DecodeSome
 // iterates them. Decode validates the payload against its type, so an
 // accepted frame always re-encodes to the identical bytes (the canonical
@@ -38,6 +40,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"minroute/internal/graph"
 	"minroute/internal/lsu"
@@ -61,6 +64,11 @@ const (
 	TypeLSU
 	TypeAck
 	TypeSack
+	// TypeData carries one data-plane packet: fire-and-forget (never
+	// sequenced by the ARQ; Seq stays 0), forwarded hop by hop under the
+	// phi tables. The payload is the fixed DataPacket header plus an
+	// optional opaque body.
+	TypeData
 )
 
 // String implements fmt.Stringer.
@@ -78,6 +86,8 @@ func (t Type) String() string {
 		return "ack"
 	case TypeSack:
 		return "sack"
+	case TypeData:
+		return "data"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -104,6 +114,12 @@ const (
 	MaxSackBytes = 512
 	// helloBytes is the exact Hello payload size (the sender node ID).
 	helloBytes = 4
+	// DataHeaderBytes is the fixed DataPacket header inside a Data
+	// payload; any bytes past it are the opaque body.
+	DataHeaderBytes = 38
+	// MaxDataBody bounds a Data frame's body so header + body + envelope
+	// always fits one transport datagram with room to spare.
+	MaxDataBody = 32 << 10
 )
 
 // castagnoli is the CRC-32C table; crc32.MakeTable memoizes internally but
@@ -181,6 +197,10 @@ func validate(t Type, payload []byte) error {
 			// valid encoder always trims them — keeping the format closed
 			// under the round trip the fuzzer pins.
 			return fmt.Errorf("wire: sack bitmap has trailing zero byte")
+		}
+	case TypeData:
+		if err := validateData(payload); err != nil {
+			return fmt.Errorf("wire: data payload: %w", err)
 		}
 	default:
 		return fmt.Errorf("wire: unknown frame type %d", uint8(t))
@@ -359,4 +379,124 @@ func SackBit(bitmap []byte, i int) bool {
 		return false
 	}
 	return bitmap[i/8]&(1<<(uint(i)%8)) != 0
+}
+
+// DataPacket is the header of one data-plane packet. The forwarding plane
+// carries the packet's emulated size (SizeBits) instead of padding bytes,
+// and charges each hop's link latency arithmetically into Accum: the
+// delivery sink reads end-to-end delay as Accum plus the real clock span
+// SentAt→now, which is what lets a loopback mesh cross-validate against
+// the simulator's link model without real multi-millisecond sleeps.
+//
+// Header layout inside a Data payload (big endian, DataHeaderBytes total):
+//
+//	offset size field
+//	0      4    src node ID
+//	4      4    dst node ID
+//	8      1    TTL (remaining hops; forwarders decrement and drop at 0)
+//	9      1    hops taken so far
+//	10     8    flow ID (the 5-tuple-hash stand-in driving path stickiness)
+//	18     8    SentAt — origin clock seconds, float64 bits
+//	26     8    Accum — accumulated emulated link latency seconds, float64 bits
+//	34     4    SizeBits — emulated packet size in bits
+//	38     n    opaque body (optional, bounded by MaxDataBody)
+type DataPacket struct {
+	Src, Dst graph.NodeID
+	TTL      uint8
+	Hops     uint8
+	FlowID   uint64
+	SentAt   float64
+	Accum    float64
+	SizeBits uint32
+	// Body is the opaque application bytes; nil for the usual
+	// measurement-traffic packets. Decoded bodies alias the frame buffer.
+	Body []byte
+}
+
+// validateData checks a Data payload's shape and field sanity. Times must
+// be finite and non-negative so every accepted packet yields a sane delay
+// sample, and rejecting NaN keeps the format closed under the canonical
+// re-encode round trip (NaN aside, float64 bits survive decode→encode
+// bit-exactly).
+func validateData(payload []byte) error {
+	if len(payload) < DataHeaderBytes {
+		return fmt.Errorf("header needs %d bytes, got %d", DataHeaderBytes, len(payload))
+	}
+	if body := len(payload) - DataHeaderBytes; body > MaxDataBody {
+		return fmt.Errorf("body %d exceeds limit %d", body, MaxDataBody)
+	}
+	if int32(binary.BigEndian.Uint32(payload[0:4])) < 0 {
+		return fmt.Errorf("negative src node")
+	}
+	if int32(binary.BigEndian.Uint32(payload[4:8])) < 0 {
+		return fmt.Errorf("negative dst node")
+	}
+	for _, f := range []struct {
+		name string
+		off  int
+	}{{"sent_at", 18}, {"accum", 26}} {
+		v := math.Float64frombits(binary.BigEndian.Uint64(payload[f.off : f.off+8]))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%s %g not a finite non-negative time", f.name, v)
+		}
+	}
+	return nil
+}
+
+// AppendDataPayload appends p's encoded payload (header plus body) to dst.
+func AppendDataPayload(dst []byte, p *DataPacket) []byte {
+	var hdr [DataHeaderBytes]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(p.Src))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(p.Dst))
+	hdr[8] = p.TTL
+	hdr[9] = p.Hops
+	binary.BigEndian.PutUint64(hdr[10:18], p.FlowID)
+	binary.BigEndian.PutUint64(hdr[18:26], math.Float64bits(p.SentAt))
+	binary.BigEndian.PutUint64(hdr[26:34], math.Float64bits(p.Accum))
+	binary.BigEndian.PutUint32(hdr[34:38], p.SizeBits)
+	dst = append(dst, hdr[:]...)
+	return append(dst, p.Body...)
+}
+
+// NewData wraps one data packet in a frame, validating it on the way in
+// (so the encoder refuses anything a receiving forwarder would reject).
+func NewData(p *DataPacket) (*Frame, error) {
+	payload := AppendDataPayload(make([]byte, 0, DataHeaderBytes+len(p.Body)), p)
+	if err := validate(TypeData, payload); err != nil {
+		return nil, err
+	}
+	return &Frame{Type: TypeData, Payload: payload}, nil
+}
+
+// DecodeDataPacket parses a Data payload into p without allocating; the
+// body aliases the payload. Decode/DecodeSome already validated accepted
+// frames, but the parse revalidates so it is safe on raw bytes too.
+func DecodeDataPacket(p *DataPacket, payload []byte) error {
+	if err := validateData(payload); err != nil {
+		return fmt.Errorf("wire: data payload: %w", err)
+	}
+	p.Src = graph.NodeID(binary.BigEndian.Uint32(payload[0:4]))
+	p.Dst = graph.NodeID(binary.BigEndian.Uint32(payload[4:8]))
+	p.TTL = payload[8]
+	p.Hops = payload[9]
+	p.FlowID = binary.BigEndian.Uint64(payload[10:18])
+	p.SentAt = math.Float64frombits(binary.BigEndian.Uint64(payload[18:26]))
+	p.Accum = math.Float64frombits(binary.BigEndian.Uint64(payload[26:34]))
+	p.SizeBits = binary.BigEndian.Uint32(payload[34:38])
+	if body := payload[DataHeaderBytes:]; len(body) > 0 {
+		p.Body = body
+	} else {
+		p.Body = nil
+	}
+	return nil
+}
+
+// DataPacketOf decodes the packet carried by a Data frame.
+func DataPacketOf(f *Frame) (DataPacket, error) {
+	var p DataPacket
+	if f.Type != TypeData {
+		return p, fmt.Errorf("wire: not a data frame (%s)", f.Type)
+	}
+	err := DecodeDataPacket(&p, f.Payload)
+	return p, err
 }
